@@ -1,0 +1,123 @@
+"""Ablation E — the simulated distributed chunk store.
+
+ForkBase runs distributed; our substitution shards content-addressed
+chunks via consistent hashing with replication.  This bench checks the
+properties the substitution must preserve:
+
+  - placement balance across 2..16 nodes;
+  - read availability under single-node failure per replication factor
+    (RF=1 loses data, RF≥2 does not);
+  - repair cost after a node loss;
+  - end-to-end engine operation (put/diff/verify) on the cluster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.chunk import Chunk, ChunkType
+from repro.cluster import ClusterStore
+from repro.db import ForkBase
+from repro.security import Verifier
+
+
+def _fill(cluster, count=1500):
+    chunks = [Chunk(ChunkType.BLOB, b"payload-%06d" % i) for i in range(count)]
+    cluster.put_many(chunks)
+    return chunks
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8, 16])
+def test_cluster_read_latency(benchmark, nodes):
+    """Chunk read latency as the cluster grows (routing overhead)."""
+    cluster = ClusterStore(node_count=nodes, replication=2)
+    chunks = _fill(cluster, 500)
+    target = chunks[250].uid
+    chunk = benchmark(cluster.get, target)
+    assert chunk.uid == target
+
+
+def test_cluster_report(benchmark):
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    # Balance sweep.
+    balance_rows = []
+    for nodes in (2, 4, 8, 16):
+        cluster = ClusterStore(node_count=nodes, replication=2)
+        _fill(cluster)
+        histogram = cluster.placement_histogram()
+        counts = sorted(histogram.values())
+        mean = sum(counts) / len(counts)
+        imbalance = max(counts) / mean
+        balance_rows.append(
+            (nodes, counts[0], counts[-1], f"{imbalance:.2f}x")
+        )
+
+    # Availability under one node failure, per replication factor.
+    avail_rows = []
+    for replication in (1, 2, 3):
+        cluster = ClusterStore(node_count=6, replication=replication)
+        chunks = _fill(cluster, 1200)
+        cluster.kill_node("node-03")
+        missing = sum(1 for c in chunks if cluster.get_maybe(c.uid) is None)
+        avail_rows.append(
+            (
+                replication,
+                f"{100 * (1 - missing / len(chunks)):.2f}%",
+                missing,
+                cluster.failovers,
+            )
+        )
+
+    # Repair cost after losing and wiping one node (RF=2).
+    cluster = ClusterStore(node_count=6, replication=2)
+    _fill(cluster, 1200)
+    cluster.kill_node("node-01")
+    cluster.revive_node("node-01", wipe=True)
+    singles_before = cluster.durability_check()["single"]
+    copies = cluster.repair()
+    after = cluster.durability_check()
+
+    lines = ["placement balance (RF=2, 1500 chunks):"]
+    lines.extend(table(["nodes", "min chunks", "max chunks", "max/mean"], balance_rows))
+    lines.append("")
+    lines.append("availability with one node down (6 nodes, 1200 chunks):")
+    lines.extend(
+        table(["RF", "readable", "lost", "failover reads"], avail_rows)
+    )
+    lines.append("")
+    lines.append(
+        f"repair after wiping one node: {singles_before} under-replicated "
+        f"chunks re-copied with {copies} transfers; after: {after}"
+    )
+    report("ablation_cluster", lines)
+
+    # Shape assertions.
+    for row in balance_rows:
+        assert float(row[3][:-1]) < 2.0  # consistent hashing stays balanced
+    assert avail_rows[0][2] > 0  # RF=1 loses chunks
+    assert avail_rows[1][2] == 0  # RF=2 survives one failure
+    assert avail_rows[2][2] == 0
+    assert after["single"] == 0 and after["lost"] == 0
+
+
+def test_cluster_end_to_end_engine(benchmark):
+    """The full stack over the cluster: dedup + diff + verification."""
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    cluster = ClusterStore(node_count=5, replication=2)
+    engine = ForkBase(store=cluster, clock=lambda: 0.0)
+    engine.put("data", {f"k{i:04d}": f"v{i}" for i in range(2000)})
+    engine.branch("data", "dev")
+    engine.put(
+        "data",
+        {**{f"k{i:04d}": f"v{i}" for i in range(2000)}, "extra": "1"},
+        branch="dev",
+    )
+    diff = engine.diff("data", branch_a="master", branch_b="dev")
+    assert len(diff.added) == 1
+    cluster.kill_node("node-04")
+    assert Verifier(cluster).verify_version(engine.head("data", "dev")).ok

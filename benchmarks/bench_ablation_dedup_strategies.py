@@ -1,0 +1,152 @@
+"""Ablation D — deduplication strategy comparison.
+
+Puts the POS-Tree (content-defined pages) next to the dedup strategies it
+subsumes or improves on, over two workload shapes:
+
+  - *overwrite chain*: in-place cell edits only (friendly to every
+    strategy with any sub-file sharing);
+  - *insert chain*: row insertions (hostile to fixed-size chunking,
+    whose boundaries shift; hostile to file-level dedup always).
+
+Expected shape (the paper's motivation for content-defined node splits):
+ForkBase ≈ delta-chain on storage for both shapes, fixed-chunk collapses
+to near-snapshot cost under insertions, git-file always pays full copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.baselines import (
+    DeltaChainStore,
+    FixedChunkStore,
+    GitFileStore,
+    SnapshotStore,
+)
+from repro.baselines.forkbase_adapter import ForkBaseAdapter
+from repro.table.schema import Schema
+from repro.workloads import generate_rows
+
+SCHEMA = Schema.of(
+    ["id", "vendor", "product", "region", "quantity", "price", "note"], "id"
+)
+ROWS = 2500
+VERSIONS = 12
+
+STRATEGIES = {
+    "forkbase (CDC pages)": ForkBaseAdapter,
+    "delta chain": DeltaChainStore,
+    "fixed-size chunks": FixedChunkStore,
+    "git file-level": GitFileStore,
+    "full snapshot": SnapshotStore,
+}
+
+
+def _encode(rows):
+    return {row["id"]: SCHEMA.encode_row(row) for row in rows}
+
+
+def _overwrite_chain():
+    """Cell overwrites only: row count and row ids never change."""
+    rows = generate_rows(ROWS, seed=4)
+    states = [_encode(rows)]
+    for step in range(VERSIONS - 1):
+        rows = [dict(row) for row in rows]
+        for offset in range(8):
+            rows[(step * 97 + offset * 31) % ROWS]["note"] = f"edit-{step}-{offset}"
+        states.append(_encode(rows))
+    return states
+
+
+def _insert_chain():
+    """Pure insertions near the front: shifts every serialized offset."""
+    rows = generate_rows(ROWS, seed=5)
+    states = [_encode(rows)]
+    for step in range(VERSIONS - 1):
+        rows = [dict(row) for row in rows]
+        for offset in range(8):
+            rows.append(
+                {
+                    "id": f"00000{step:02d}{offset}x",  # sorts near the front
+                    "vendor": "new", "product": "new", "region": "north",
+                    "quantity": "1", "price": "1.00", "note": f"ins-{step}-{offset}",
+                }
+            )
+        states.append(_encode(rows))
+    return states
+
+
+def _load_chain(store, states):
+    parent = None
+    for state in states:
+        parent = store.load_version("ds", state, parent=parent)
+    return parent
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+def test_dedup_strategy_load_latency(benchmark, name):
+    """Latency of loading one more near-duplicate version."""
+    states = _overwrite_chain()
+    store = STRATEGIES[name]()
+    parent = _load_chain(store, states[:-1])
+    counter = [0]
+
+    def load():
+        counter[0] += 1
+        return store.load_version("ds", states[-1], parent=parent)
+
+    benchmark(load)
+
+
+def test_dedup_strategies_report(benchmark):
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    overwrite = _overwrite_chain()
+    inserts = _insert_chain()
+    one_version = sum(len(k) + len(v) for k, v in overwrite[0].items())
+
+    rows = []
+    results = {}
+    for name, cls in STRATEGIES.items():
+        store_o = cls()
+        _load_chain(store_o, overwrite)
+        store_i = cls()
+        _load_chain(store_i, inserts)
+        results[name] = (store_o.physical_bytes(), store_i.physical_bytes())
+        rows.append(
+            (
+                name,
+                f"{store_o.physical_bytes() / 1024:.0f} KB",
+                f"{store_i.physical_bytes() / 1024:.0f} KB",
+            )
+        )
+
+    lines = [
+        f"{ROWS} rows x {VERSIONS} versions; one version ≈ "
+        f"{one_version / 1024:.0f} KB logical "
+        f"({VERSIONS * one_version / 1024:.0f} KB total offered)",
+        "",
+    ]
+    lines.extend(
+        table(["strategy", "overwrite chain", "insert chain"], rows)
+    )
+    lines.append("")
+    lines.append(
+        "shape: fixed-size chunking collapses under insertions (boundary "
+        "shift); content-defined POS-Tree pages stay near delta-chain cost "
+        "on both workloads while remaining content-addressed and "
+        "tamper evident."
+    )
+    report("ablation_dedup_strategies", lines)
+
+    snapshot_o, snapshot_i = results["full snapshot"]
+    forkbase_o, forkbase_i = results["forkbase (CDC pages)"]
+    fixed_o, fixed_i = results["fixed-size chunks"]
+    # ForkBase stays frugal on both shapes.
+    assert forkbase_o < snapshot_o / 4
+    assert forkbase_i < snapshot_i / 4
+    # Fixed chunking is fine for overwrites but degrades under inserts.
+    assert fixed_i > 3 * fixed_o or fixed_i > snapshot_i / 2
+    assert forkbase_i < fixed_i / 2

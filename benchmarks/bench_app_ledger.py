@@ -1,0 +1,108 @@
+"""Application benchmark — blockchain-style ledger workload.
+
+The paper positions ForkBase as the substrate for "blockchain and
+forkable applications"; this bench drives the ledger app end to end:
+
+  - block commit throughput (transfers/block sweep);
+  - storage growth per block vs a naive snapshot-per-block design —
+    the whole reason to store chain state in a SIRI index;
+  - full-chain audit latency as the chain grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.apps import Ledger
+from repro.db import ForkBase
+
+ACCOUNTS = 10000
+
+
+def _fresh_ledger() -> Ledger:
+    engine = ForkBase(author="bench", clock=lambda: 0.0)
+    ledger = Ledger(engine)
+    ledger.genesis({f"acct{i:05d}": 1_000_000 for i in range(ACCOUNTS)})
+    return ledger
+
+
+@pytest.mark.parametrize("txns_per_block", [1, 10, 100])
+def test_ledger_block_commit_latency(benchmark, txns_per_block):
+    """Commit latency vs block size."""
+    ledger = _fresh_ledger()
+    counter = [0]
+
+    def commit():
+        counter[0] += 1
+        for offset in range(txns_per_block):
+            index = (counter[0] * 131 + offset * 17) % ACCOUNTS
+            ledger.transfer(f"acct{index:05d}", f"acct{(index + 1) % ACCOUNTS:05d}", 1)
+        return ledger.commit_block()
+
+    block = benchmark(commit)
+    assert block.height >= 1
+
+
+def test_ledger_report(benchmark):
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    ledger = _fresh_ledger()
+    engine = ledger.engine
+    genesis_bytes = engine.storage_stats().physical_bytes
+
+    rows = []
+    blocks = 50
+    naive_per_block = genesis_bytes  # a snapshot design re-writes the state
+    for height in range(1, blocks + 1):
+        before = engine.storage_stats().physical_bytes
+        for offset in range(10):
+            index = (height * 131 + offset * 17) % ACCOUNTS
+            ledger.transfer(
+                f"acct{index:05d}", f"acct{(index + 1) % ACCOUNTS:05d}", 1
+            )
+        ledger.commit_block()
+        delta = engine.storage_stats().physical_bytes - before
+        if height in (1, 10, 25, 50):
+            rows.append(
+                (height, f"{delta / 1024:.2f} KB", f"{naive_per_block / 1024:.2f} KB")
+            )
+
+    total = engine.storage_stats().physical_bytes
+    audit = ledger.audit()
+
+    lines = [
+        f"{ACCOUNTS} accounts; genesis state {genesis_bytes / 1024:.0f} KB; "
+        f"{blocks} blocks x 10 transfers",
+        "",
+    ]
+    lines.extend(
+        table(["block", "state bytes added", "naive snapshot would add"], rows)
+    )
+    lines.append("")
+    lines.append(
+        f"total after {blocks} blocks: {total / 1024:.0f} KB "
+        f"(naive: {(genesis_bytes * (blocks + 1)) / 1024:.0f} KB; "
+        f"{genesis_bytes * (blocks + 1) / total:.1f}x saved)"
+    )
+    lines.append(
+        f"full-chain audit: ok={audit.ok}, {audit.chunks_checked} chunks, "
+        f"{audit.fnodes_checked} blocks re-hashed"
+    )
+    report("app_ledger", lines)
+
+    assert audit.ok
+    assert ledger.total_supply() == ACCOUNTS * 1_000_000  # conservation
+    # Per-block growth ≪ per-block snapshot.
+    assert total < genesis_bytes * (blocks + 1) / 5
+
+
+def test_ledger_audit_latency(benchmark):
+    """Audit latency on a 20-block chain."""
+    ledger = _fresh_ledger()
+    for height in range(20):
+        ledger.transfer(f"acct{height:05d}", "acct00000", 1)
+        ledger.commit_block()
+    result = benchmark(ledger.audit)
+    assert result.ok

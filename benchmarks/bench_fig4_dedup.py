@@ -1,0 +1,123 @@
+"""Fig. 4 — fine-grained data deduplication in ForkBase.
+
+The demo: "loading the first dataset increases 338.54 KB to the storage,
+but afterwards loading the second dataset [a single-word variant] only
+increases 0.04 KB."  We regenerate the same two-row table (first-load
+increment vs near-duplicate-load increment) with a ~330 KB synthetic CSV,
+then sweep the number of edited words to show the increment scales with
+the change, not the dataset.
+
+Expected shape: the second load's increment is orders of magnitude
+smaller than the first's (page-level dedup absorbs all shared rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.db import ForkBase
+from repro.table import DataTable
+from repro.workloads import generate_csv, mutate_csv_one_word
+
+CSV_ROWS = 5200  # ≈ 330-360 KB, like the paper's file
+
+
+@pytest.fixture(scope="module")
+def csv_pair():
+    csv_1 = generate_csv(CSV_ROWS, seed=7)
+    csv_2 = mutate_csv_one_word(csv_1, seed=9)
+    return csv_1, csv_2
+
+
+def test_fig4_first_load(benchmark, csv_pair):
+    """Latency of the cold first load."""
+    csv_1, _ = csv_pair
+
+    def load():
+        engine = ForkBase(clock=lambda: 0.0)
+        DataTable.load_csv(engine, "Dataset-1", csv_1, primary_key="id")
+        return engine
+
+    engine = benchmark(load)
+    assert engine.storage_stats().physical_bytes > 100_000
+
+
+def test_fig4_near_duplicate_load(benchmark, csv_pair):
+    """Latency of loading the one-word variant next to the original."""
+    csv_1, csv_2 = csv_pair
+    engine = ForkBase(clock=lambda: 0.0)
+    DataTable.load_csv(engine, "Dataset-1", csv_1, primary_key="id")
+
+    counter = [0]
+
+    def load():
+        counter[0] += 1
+        name = f"Dataset-2-{counter[0]}"
+        _, rep = DataTable.load_csv(engine, name, csv_2, primary_key="id")
+        return rep
+
+    rep = benchmark(load)
+    assert rep.dedup_savings > 0.95
+
+
+def test_fig4_report(benchmark, csv_pair):
+    """Regenerate the figure's storage-increment table + an edit sweep."""
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    csv_1, csv_2 = csv_pair
+    engine = ForkBase(clock=lambda: 0.0)
+    _, report_1 = DataTable.load_csv(engine, "Dataset-1", csv_1, primary_key="id")
+    _, report_2 = DataTable.load_csv(engine, "Dataset-2", csv_2, primary_key="id")
+
+    rows = [
+        ("Dataset-1 (first load)", f"{len(csv_1) / 1024:.2f} KB",
+         f"+{report_1.physical_bytes_added / 1024:.2f} KB", "-"),
+        ("Dataset-2 (one word differs)", f"{len(csv_2) / 1024:.2f} KB",
+         f"+{report_2.physical_bytes_added / 1024:.2f} KB",
+         f"{report_2.dedup_savings * 100:.2f}%"),
+    ]
+
+    # Sweep: storage increment vs number of single-word edits.
+    sweep_rows = []
+    for edits in (1, 5, 25, 100, 500):
+        sweep_engine = ForkBase(clock=lambda: 0.0)
+        DataTable.load_csv(sweep_engine, "base", csv_1, primary_key="id")
+        variant = csv_1
+        for edit in range(edits):
+            variant = mutate_csv_one_word(variant, seed=1000 + edit)
+        _, rep = DataTable.load_csv(sweep_engine, "variant", variant, primary_key="id")
+        sweep_rows.append(
+            (edits, f"+{rep.physical_bytes_added / 1024:.2f} KB",
+             f"{rep.dedup_savings * 100:.2f}%")
+        )
+
+    lines = table(["Load", "CSV size", "Storage increment", "Deduplicated"], rows)
+    lines.append("")
+    lines.extend(
+        table(["Edited words", "Second-load increment", "Deduplicated"], sweep_rows)
+    )
+    lines.append("")
+    lines.append(
+        "paper: first load +338.54 KB, one-word variant +0.04 KB; shape "
+        "reproduced — the increment tracks the edit size, not the dataset."
+    )
+    report("fig4_dedup", lines)
+
+    # The headline assertions.
+    assert report_2.physical_bytes_added < report_1.physical_bytes_added / 50
+    assert report_2.dedup_savings > 0.99
+
+
+def test_fig4_identical_reload_is_free(benchmark, csv_pair):
+    """Loading byte-identical content costs only the new FNode."""
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    csv_1, _ = csv_pair
+    engine = ForkBase(clock=lambda: 0.0)
+    DataTable.load_csv(engine, "a", csv_1, primary_key="id")
+    _, rep = DataTable.load_csv(engine, "b", csv_1, primary_key="id")
+    assert rep.chunks_new <= 1
+    assert rep.physical_bytes_added < 300

@@ -1,0 +1,156 @@
+"""Table I — comparison with related data versioning systems.
+
+The paper's Table I compares ForkBase against DataHub/Decibel, OrpheusDB,
+MusaeusDB and RStore on data model, deduplication, tamper evidence and
+branching.  We regenerate the feature columns from each implementation's
+declared capabilities and add *measured* columns on a shared workload:
+a ~5k-row dataset carried through 20 versions across 3 branches (point
+edits), reporting physical bytes, dedup ratio vs the naive snapshot, and
+checkout latency (pytest-benchmark timings).
+
+Expected shape: ForkBase and DeltaChain are storage-frugal; Snapshot and
+Git-file pay full copies; TupleDedup sits between (rid lists); only
+ForkBase combines page-level dedup with tamper evidence and Git-like
+branching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.baselines import (
+    DeltaChainStore,
+    FixedChunkStore,
+    GitFileStore,
+    SnapshotStore,
+    TupleDedupStore,
+)
+from repro.baselines.base import rows_logical_bytes
+from repro.baselines.forkbase_adapter import ForkBaseAdapter
+from repro.table.schema import Schema
+from repro.workloads import generate_rows, make_edit_script
+
+SYSTEMS = {
+    "forkbase": ForkBaseAdapter,
+    "snapshot": SnapshotStore,
+    "tuplededup": TupleDedupStore,
+    "deltachain": DeltaChainStore,
+    "gitfile": GitFileStore,
+    "fixedchunk": FixedChunkStore,
+}
+
+ROWS = 5000
+BRANCHES = 3
+VERSIONS_PER_BRANCH = 7  # ~20 versions total (incl. base)
+EDITS_PER_VERSION = 10
+
+
+def _workload():
+    """Base state plus per-branch edited states (shared across systems)."""
+    schema = Schema.of(
+        ["id", "vendor", "product", "region", "quantity", "price", "note"], "id"
+    )
+    base_rows = generate_rows(ROWS, seed=1)
+
+    def encode(rows):
+        return {row["id"]: schema.encode_row(row) for row in rows}
+
+    states = {"base": encode(base_rows)}
+    for branch in range(BRANCHES):
+        rows = base_rows
+        chain = []
+        for step in range(VERSIONS_PER_BRANCH - 1):
+            script = make_edit_script(
+                rows, updates=EDITS_PER_VERSION, inserts=1, deletes=1,
+                seed=branch * 100 + step,
+            )
+            rows = script.apply(rows)
+            chain.append(encode(rows))
+        states[f"branch-{branch}"] = chain
+    return states
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+def _run_system(store, states):
+    """Load the whole branching history into one baseline store."""
+    base_version = store.load_version("ds", states["base"])
+    last_versions = {}
+    for name, chain in states.items():
+        if name == "base":
+            continue
+        parent = base_version
+        for state in chain:
+            parent = store.load_version("ds", state, parent=parent)
+        last_versions[name] = parent
+    return base_version, last_versions
+
+
+@pytest.mark.parametrize("name", list(SYSTEMS))
+def test_table1_load_and_checkout(benchmark, name, workload):
+    """Benchmark checkout latency per system (after full history load)."""
+    store = SYSTEMS[name]()
+    _, last = _run_system(store, workload)
+    target = last["branch-0"]
+    rows = benchmark(store.checkout, "ds", target)
+    assert len(rows) == ROWS  # +VERSIONS inserts -VERSIONS deletes nets 0
+
+
+def test_table1_report(benchmark, workload):
+    """Regenerate Table I: features + measured storage."""
+    # Report/correctness test: the no-op benchmark call keeps it
+    # running under `pytest --benchmark-only`.
+    benchmark(lambda: None)
+    logical_one_version = rows_logical_bytes(workload["base"])
+    total_versions = 1 + BRANCHES * (VERSIONS_PER_BRANCH - 1)
+
+    measured = []
+    snapshot_bytes = None
+    for name, cls in SYSTEMS.items():
+        store = cls()
+        _run_system(store, workload)
+        measured.append((name, store))
+        if name == "snapshot":
+            snapshot_bytes = store.physical_bytes()
+    assert snapshot_bytes is not None
+
+    rows = []
+    for name, store in measured:
+        caps = store.capabilities
+        physical = store.physical_bytes()
+        rows.append(
+            (
+                caps.name,
+                caps.data_model,
+                caps.dedup,
+                caps.tamper_evidence,
+                caps.branching,
+                f"{physical / 1024:.0f} KB",
+                f"{snapshot_bytes / physical:.1f}x",
+            )
+        )
+    lines = table(
+        ["System", "Data Model", "Deduplication", "Tamper Evidence",
+         "Branching", "Physical", "vs naive"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"workload: {ROWS} rows x {total_versions} versions over {BRANCHES} "
+        f"branches, {EDITS_PER_VERSION} edits/version; one version is "
+        f"{logical_one_version / 1024:.0f} KB logical"
+    )
+    report("table1_comparison", lines)
+
+    by_name = dict(measured)
+    forkbase = by_name["forkbase"].physical_bytes()
+    # Paper shape: ForkBase dedups far below naive and below tuple dedup.
+    assert forkbase < snapshot_bytes / 5
+    assert forkbase < by_name["tuplededup"].physical_bytes()
+    assert forkbase < by_name["gitfile"].physical_bytes()
+    # Only ForkBase advertises Merkle-DAG tamper evidence + Git-like branching.
+    assert "Merkle" in by_name["forkbase"].capabilities.tamper_evidence

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-shaped result table through
+:func:`report`, which both echoes to stdout (visible with ``-s``) and
+appends to ``benchmarks/out/<bench>.txt`` so EXPERIMENTS.md can quote the
+numbers after a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(bench_name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n[{bench_name}]\n{text}")
+    with open(os.path.join(OUT_DIR, f"{bench_name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Format an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return lines
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _ensure_out_dir():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    yield

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Collaborative analytics: the demo paper's multi-admin scenario (§III).
+
+Two administrators share a sales dataset.  Admin A owns ``master``;
+admin B (a vendor) may only write the ``vendorX`` branch — branch-based
+access control from the architecture's semantic-view layer.  Vendor edits
+are reviewed via a differential query (Fig. 5) and merged row-by-row.
+
+Run:  python examples/collaborative_analytics.py
+"""
+
+from repro import ForkBase
+from repro.api.diffview import render_diff_text
+from repro.errors import AccessDeniedError
+from repro.security import AccessController, Permission, SecuredForkBase
+from repro.table import DataTable
+from repro.workloads import generate_csv
+
+
+def main() -> None:
+    engine = ForkBase(author="system")
+
+    # --- Admin A loads the shared dataset --------------------------------
+    csv_text = generate_csv(3000, seed=42)
+    table, report = DataTable.load_csv(engine, "Dataset-1", csv_text,
+                                       primary_key="id")
+    print(f"admin A loaded Dataset-1: {report.describe()}")
+
+    # --- Access control: A is admin; B can only write vendorX -------------
+    acl = AccessController()
+    acl.grant("adminA", Permission.ADMIN, key="Dataset-1")
+    acl.grant("adminB", Permission.READ, key="Dataset-1", branch="master")
+    acl.grant("adminB", Permission.WRITE, key="Dataset-1", branch="vendorX")
+
+    admin_a = SecuredForkBase(engine, acl, "adminA")
+    admin_b = SecuredForkBase(engine, acl, "adminB")
+
+    admin_a.branch("Dataset-1", "vendorX")
+    print("admin A forked branch 'vendorX' for the vendor")
+
+    # --- The vendor works on their branch ---------------------------------
+    vendor_view = DataTable(engine, "Dataset-1")
+    vendor_view.update_cells("0000100", {"note": "verified priority delivery"},
+                             branch="vendorX", message="fix note")
+    vendor_view.upsert_rows(
+        [{
+            "id": "9000000", "vendor": "globex", "product": "sprocket",
+            "region": "east", "quantity": "50", "price": "19.99",
+            "note": "vendor-submitted row",
+        }],
+        branch="vendorX", message="add new sale",
+    )
+    print("admin B committed 2 changes on vendorX")
+
+    # ... but cannot touch master:
+    try:
+        admin_b.put("Dataset-1", engine.get("Dataset-1", branch="vendorX"),
+                    branch="master")
+    except AccessDeniedError as denied:
+        print(f"admin B blocked on master: {denied}")
+
+    # --- Admin A reviews the differential query (Fig. 5) ------------------
+    diff = vendor_view.diff("master", "vendorX")
+    print("\n" + render_diff_text(diff, "Dataset-1"))
+
+    # --- Merge after review -------------------------------------------------
+    admin_a.merge("Dataset-1", from_branch="vendorX", into_branch="master",
+                  message="accept vendor changes")
+    merged = vendor_view.get_row("9000000", branch="master")
+    print(f"\nafter merge, master has the vendor row: {merged is not None}")
+
+    # --- Every step is in the tamper-evident history -----------------------
+    print("\nversion log (newest first):")
+    for fnode in engine.history("Dataset-1", branch="master", limit=4):
+        mark = "merge " if fnode.is_merge() else ""
+        print(f"  {mark}{fnode.uid.base32()[:16]}…  {fnode.author:8s} {fnode.message}")
+
+    stats = engine.storage_stats()
+    print(f"\nstorage after all of this: {stats.describe()}")
+    print("(branching cost ~zero bytes: versions share unchanged pages)")
+
+
+if __name__ == "__main__":
+    main()

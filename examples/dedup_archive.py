@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Archiving massive near-duplicate versions (the Fig. 4 demo, extended).
+
+Loads a ~350 KB CSV, then a copy differing by a single word — the exact
+walkthrough from the paper ("loading the first dataset increases
+338.54 KB ... loading the second increases only 0.04 KB") — and then
+archives a 25-version edit chain, comparing ForkBase's physical growth
+with what a naive full-copy archive would pay.
+
+Run:  python examples/dedup_archive.py
+"""
+
+from repro import ForkBase
+from repro.table import DataTable
+from repro.table.csvio import parse_csv
+from repro.workloads import (
+    generate_csv,
+    make_edit_script,
+    mutate_csv_one_word,
+    rows_to_csv,
+)
+
+
+def main() -> None:
+    engine = ForkBase(author="archivist")
+
+    # --- The paper's two-dataset walkthrough ------------------------------
+    csv_1 = generate_csv(5200, seed=7)  # ≈ the paper's ~330 KB file
+    csv_2 = mutate_csv_one_word(csv_1, seed=9)
+    print(f"dataset CSV size: {len(csv_1) / 1024:.2f} KB")
+
+    _, report_1 = DataTable.load_csv(engine, "Dataset-1", csv_1, primary_key="id")
+    print(f"load Dataset-1: +{report_1.physical_bytes_added / 1024:.2f} KB physical")
+
+    _, report_2 = DataTable.load_csv(engine, "Dataset-2", csv_2, primary_key="id")
+    print(
+        f"load Dataset-2 (one word changed): "
+        f"+{report_2.physical_bytes_added / 1024:.2f} KB physical "
+        f"({report_2.dedup_savings * 100:.2f}% deduplicated)"
+    )
+
+    # --- Archive a 25-version history --------------------------------------
+    print("\narchiving a 25-version edit chain (5 row edits per version):")
+    _, rows = parse_csv(csv_1)
+    naive_bytes = 0
+    versions = 25
+    for step in range(versions):
+        script = make_edit_script(rows, updates=5, seed=100 + step)
+        rows = script.apply(rows)
+        state_csv = rows_to_csv(rows)
+        naive_bytes += len(state_csv)
+        table, report = DataTable.load_csv(
+            engine, "Archive", state_csv, primary_key="id",
+            message=f"archive step {step}",
+        )
+        if step % 5 == 0:
+            print(
+                f"  v{step:02d}: +{report.physical_bytes_added / 1024:7.2f} KB "
+                f"(naive full copy would be +{len(state_csv) / 1024:.2f} KB)"
+            )
+
+    forkbase_bytes = engine.storage_stats().physical_bytes
+    print(f"\nForkBase total physical: {forkbase_bytes / 1024:10.2f} KB")
+    print(f"Naive full-copy archive: {naive_bytes / 1024:10.2f} KB (versions only)")
+    print(f"Savings factor: {naive_bytes / forkbase_bytes:.1f}x")
+
+    # --- Any archived version is still directly addressable ----------------
+    table = DataTable(engine, "Archive")
+    history = engine.history("Archive")
+    old = history[-1]
+    print(
+        f"\ntime travel: version {old.uid.base32()[:16]}… still has "
+        f"{table.row_count(version=old.uid)} rows"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the Git-for-data workflow in ten steps.
+
+Covers the core API verbs from the paper's Fig. 1 — Put, Get, Branch,
+Diff, Merge, History, Meta — plus tamper-evidence validation, all against
+an in-memory engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ForkBase
+from repro.postree.merge import resolve_theirs
+from repro.security import Verifier
+
+
+def main() -> None:
+    db = ForkBase(author="ada")
+
+    # 1. Put: every write stamps a tamper-evident version (Base32 uid).
+    info = db.put("profile", {"name": "ada", "role": "admin"}, message="initial")
+    print(f"1. put -> version {info.version[:20]}…")
+
+    # 2. Get: read the current value of a branch head.
+    print(f"2. get -> {db.get_value('profile')}")
+
+    # 3. More versions: history accumulates immutably.
+    db.put("profile", {"name": "ada", "role": "admin", "team": "storage"},
+           message="add team")
+
+    # 4. Branch: fork the object — zero bytes copied.
+    db.branch("profile", "experiment")
+    print("4. branched 'experiment' from master")
+
+    # 5. Diverge: edit only the experiment branch.
+    db.put("profile", {"name": "ada", "role": "analyst", "team": "storage"},
+           branch="experiment", message="try analyst role")
+
+    # 6. Diff: differential query between branches (O(D log N)).
+    diff = db.diff("profile", branch_a="master", branch_b="experiment")
+    print(f"6. diff master..experiment -> changed keys: {sorted(diff.changed)}")
+
+    # 7. Merge: three-way, with a conflict resolver if needed.
+    db.put("profile", {"name": "ada", "role": "admin", "team": "systems"},
+           branch="master", message="move team")
+    merge_info = db.merge("profile", from_branch="experiment",
+                          resolver=resolve_theirs, message="adopt experiment")
+    print(f"7. merged -> {db.get_value('profile')}")
+
+    # 8. History: the version derivation graph, newest first.
+    print("8. history:")
+    for fnode in db.history("profile"):
+        kind = "merge " if fnode.is_merge() else ""
+        print(f"     {kind}{fnode.uid.base32()[:16]}… {fnode.message}")
+
+    # 9. Meta: descriptive facts about a branch head.
+    meta = db.meta("profile")
+    print(f"9. meta -> type={meta['type']} branches={meta['branches']}")
+
+    # 10. Verify: recompute every hash client-side (tamper evidence).
+    report = Verifier(db.store).verify_version(db.head("profile"))
+    print(f"10. verify -> {report.describe()}")
+
+    stats = db.storage_stats()
+    print(f"\nstorage: {stats.describe()}")
+
+
+if __name__ == "__main__":
+    main()

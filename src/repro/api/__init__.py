@@ -1,0 +1,14 @@
+"""Application-facing surfaces (Fig. 1 semantic-view layer).
+
+- :mod:`~repro.api.cli` — the ``forkbase`` command-line tool (the demo's
+  "Command Line scripting" box).
+- :mod:`~repro.api.rest` — an in-process REST-style router with the same
+  routes a RESTful deployment would expose (no sockets; request in,
+  JSON-compatible response out).
+- :mod:`~repro.api.diffview` — text/HTML renderers for dataset diffs and
+  version logs, standing in for the demo's Web UI (Figs. 4–6).
+"""
+
+from repro.api.rest import Request, Response, Router
+
+__all__ = ["Request", "Response", "Router"]

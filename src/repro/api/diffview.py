@@ -1,0 +1,108 @@
+"""Renderers for differential queries and version logs.
+
+The demo paper showcases a Web UI highlighting "data differences at
+multiple scopes, from dataset to data entry" (Fig. 5) and a version panel
+with Base32 uids (Fig. 6).  These functions produce the same information
+as plain text (for the CLI) and a small self-contained HTML page.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from repro.table.dataset import TableDiff
+from repro.vcs.fnode import FNode
+
+
+def render_diff_text(diff: TableDiff, name: str = "dataset") -> str:
+    """Git-diff-style textual rendering of a dataset diff."""
+    lines: List[str] = [
+        f"diff of {name}: +{len(diff.added)} -{len(diff.removed)} "
+        f"~{len(diff.changed)} row(s)"
+        + ("  [schema changed]" if diff.schema_changed else "")
+    ]
+    for row in diff.rows:
+        if row.kind == "added":
+            lines.append(f"+ {row.pk}: {row.new}")
+        elif row.kind == "removed":
+            lines.append(f"- {row.pk}: {row.old}")
+        else:
+            assert row.old is not None and row.new is not None
+            lines.append(f"~ {row.pk}: columns {', '.join(row.changed_columns)}")
+            for column in row.changed_columns:
+                lines.append(f"    {column}: {row.old[column]!r} -> {row.new[column]!r}")
+    lines.append(
+        f"(pruned {diff.subtrees_pruned} shared sub-tree(s); "
+        f"loaded {diff.nodes_loaded} node(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_diff_html(
+    diff: TableDiff, name: str = "dataset", title: Optional[str] = None
+) -> str:
+    """Self-contained HTML diff page (the Fig. 5 visualization)."""
+    title = title or f"Diff of {name}"
+    rows_html: List[str] = []
+    for row in diff.rows:
+        if row.kind == "added":
+            assert row.new is not None
+            cells = "".join(
+                f"<td class='add'>{html.escape(value)}</td>" for value in row.new.values()
+            )
+            rows_html.append(f"<tr class='add'><td>+</td><td>{html.escape(row.pk)}</td>{cells}</tr>")
+        elif row.kind == "removed":
+            assert row.old is not None
+            cells = "".join(
+                f"<td class='del'>{html.escape(value)}</td>" for value in row.old.values()
+            )
+            rows_html.append(f"<tr class='del'><td>-</td><td>{html.escape(row.pk)}</td>{cells}</tr>")
+        else:
+            assert row.old is not None and row.new is not None
+            cells = []
+            for column, new_value in row.new.items():
+                if column in row.changed_columns:
+                    old_value = row.old[column]
+                    cells.append(
+                        "<td class='chg'><span class='old'>"
+                        f"{html.escape(old_value)}</span> → "
+                        f"<span class='new'>{html.escape(new_value)}</span></td>"
+                    )
+                else:
+                    cells.append(f"<td>{html.escape(new_value)}</td>")
+            rows_html.append(
+                f"<tr class='chg'><td>~</td><td>{html.escape(row.pk)}</td>{''.join(cells)}</tr>"
+            )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font-family: monospace; }}
+table {{ border-collapse: collapse; }}
+td {{ border: 1px solid #ccc; padding: 2px 6px; }}
+tr.add td {{ background: #e6ffe6; }}
+tr.del td {{ background: #ffe6e6; }}
+td.chg {{ background: #fff6cc; }}
+.old {{ text-decoration: line-through; color: #a00; }}
+.new {{ color: #080; font-weight: bold; }}
+</style></head>
+<body>
+<h1>{html.escape(title)}</h1>
+<p>+{len(diff.added)} added, -{len(diff.removed)} removed,
+~{len(diff.changed)} changed; pruned {diff.subtrees_pruned} shared
+sub-tree(s), loaded {diff.nodes_loaded} node(s).</p>
+<table>{''.join(rows_html)}</table>
+</body></html>"""
+
+
+def render_history_text(history: List[FNode]) -> str:
+    """Fig.-6-style version log: Base32 uid per Put, newest first."""
+    lines: List[str] = []
+    for fnode in history:
+        merge_mark = " (merge)" if fnode.is_merge() else ""
+        lines.append(
+            f"version {fnode.uid.base32()}{merge_mark}\n"
+            f"  author: {fnode.author}\n"
+            f"  message: {fnode.message or '(none)'}"
+        )
+    return "\n".join(lines)

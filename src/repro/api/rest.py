@@ -1,0 +1,286 @@
+"""In-process RESTful API.
+
+The demo architecture exposes "RESTful" APIs for applications; with no
+network in this environment the router maps the same (method, path,
+params, body) requests to engine calls and returns JSON-compatible
+responses.  A real HTTP server would be a ~30-line shim over
+:meth:`Router.handle`.
+
+Routes::
+
+    GET    /v1/keys
+    GET    /v1/obj/{key}                      ?branch= | ?version=
+    PUT    /v1/obj/{key}                      ?branch=   body={"value": ...}
+    GET    /v1/obj/{key}/meta                 ?branch=
+    GET    /v1/obj/{key}/history              ?branch= | ?version=
+    GET    /v1/obj/{key}/branches
+    POST   /v1/obj/{key}/branches             body={"name","from_branch"|"version"}
+    DELETE /v1/obj/{key}/branches/{branch}
+    GET    /v1/obj/{key}/diff                 ?from=&to=  (branch names)
+    POST   /v1/obj/{key}/merge                body={"from_branch","into_branch","strategy"}
+    GET    /v1/obj/{key}/verify               ?branch= | ?version=
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.engine import ForkBase
+from repro.errors import (
+    ApiError,
+    ForkBaseError,
+    MergeConflictError,
+    NotFoundApiError,
+    UnknownBranchError,
+    UnknownKeyError,
+    UnknownVersionError,
+)
+from repro.postree.merge import resolve_ours, resolve_theirs
+from repro.security.verify import Verifier
+from repro.types.convert import unwrap
+from repro.vcs.branches import DEFAULT_BRANCH
+
+
+@dataclass
+class Request:
+    """One API call."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    body: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class Response:
+    """The API answer: HTTP-ish status plus a JSON-compatible payload."""
+
+    status: int
+    body: Dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def _jsonable(value: Any) -> Any:
+    """Make engine values JSON-representable (bytes → UTF-8/latin-1)."""
+    if isinstance(value, bytes):
+        try:
+            return value.decode("utf-8")
+        except UnicodeDecodeError:
+            return value.decode("latin-1")
+    if isinstance(value, dict):
+        return {_jsonable(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class Router:
+    """Dispatches REST-style requests onto a ForkBase engine."""
+
+    def __init__(self, engine: ForkBase) -> None:
+        self.engine = engine
+        self.verifier = Verifier(engine.store)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route one request; exceptions become error responses."""
+        try:
+            return self._route(request)
+        except MergeConflictError as error:
+            return Response(409, {"error": "merge conflict", "conflicts": len(error.conflicts)})
+        except (UnknownKeyError, UnknownBranchError, UnknownVersionError) as error:
+            return Response(404, {"error": str(error)})
+        except ApiError as error:
+            return Response(error.status, {"error": str(error)})
+        except ForkBaseError as error:
+            return Response(400, {"error": str(error)})
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Response:
+        """Convenience wrapper building the Request for you."""
+        return self.handle(Request(method.upper(), path, params or {}, body))
+
+    def _route(self, request: Request) -> Response:
+        parts = [part for part in request.path.split("/") if part]
+        if not parts or parts[0] != "v1":
+            raise NotFoundApiError(f"unknown path {request.path!r}")
+        parts = parts[1:]
+        method = request.method.upper()
+
+        if parts == ["keys"] and method == "GET":
+            return Response(200, {"keys": self.engine.keys()})
+
+        if len(parts) >= 2 and parts[0] == "obj":
+            key = parts[1]
+            rest = parts[2:]
+            if not rest:
+                if method == "GET":
+                    return self._get_object(key, request)
+                if method == "PUT":
+                    return self._put_object(key, request)
+            if rest == ["meta"] and method == "GET":
+                branch = request.params.get("branch", DEFAULT_BRANCH)
+                return Response(200, {"meta": _jsonable(self.engine.meta(key, branch))})
+            if rest == ["history"] and method == "GET":
+                return self._history(key, request)
+            if rest == ["branches"]:
+                if method == "GET":
+                    return Response(200, {"branches": self.engine.branches(key)})
+                if method == "POST":
+                    return self._create_branch(key, request)
+            if len(rest) == 2 and rest[0] == "branches" and method == "DELETE":
+                self.engine.delete_branch(key, rest[1])
+                return Response(200, {"deleted": rest[1]})
+            if rest == ["diff"] and method == "GET":
+                return self._diff(key, request)
+            if rest == ["merge"] and method == "POST":
+                return self._merge(key, request)
+            if rest == ["verify"] and method == "GET":
+                return self._verify(key, request)
+
+        raise NotFoundApiError(f"no route for {method} {request.path}")
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _get_object(self, key: str, request: Request) -> Response:
+        branch = request.params.get("branch")
+        version = request.params.get("version")
+        obj = self.engine.get(key, branch=branch, version=version)
+        resolved = version or self.engine.head(key, branch or DEFAULT_BRANCH).base32()
+        return Response(
+            200,
+            {
+                "key": key,
+                "type": obj.TYPE_NAME,
+                "version": resolved,
+                "value": _jsonable(unwrap(obj)),
+            },
+        )
+
+    def _put_object(self, key: str, request: Request) -> Response:
+        if not request.body or "value" not in request.body:
+            raise ApiError("PUT body must contain 'value'")
+        branch = request.params.get("branch", DEFAULT_BRANCH)
+        info = self.engine.put(
+            key,
+            request.body["value"],
+            branch=branch,
+            message=request.body.get("message", ""),
+        )
+        return Response(
+            201,
+            {"key": key, "branch": branch, "version": info.version, "type": info.type_name},
+        )
+
+    def _history(self, key: str, request: Request) -> Response:
+        branch = request.params.get("branch")
+        version = request.params.get("version")
+        limit = request.params.get("limit")
+        history = self.engine.history(
+            key, branch=branch, version=version,
+            limit=int(limit) if limit else None,
+        )
+        return Response(
+            200,
+            {
+                "key": key,
+                "versions": [
+                    {
+                        "version": fnode.uid.base32(),
+                        "author": fnode.author,
+                        "message": fnode.message,
+                        "bases": [base.base32() for base in fnode.bases],
+                        "merge": fnode.is_merge(),
+                    }
+                    for fnode in history
+                ],
+            },
+        )
+
+    def _create_branch(self, key: str, request: Request) -> Response:
+        if not request.body or "name" not in request.body:
+            raise ApiError("POST body must contain 'name'")
+        head = self.engine.branch(
+            key,
+            request.body["name"],
+            from_branch=request.body.get("from_branch"),
+            version=request.body.get("version"),
+        )
+        return Response(201, {"branch": request.body["name"], "head": head.base32()})
+
+    def _diff(self, key: str, request: Request) -> Response:
+        source = request.params.get("from", DEFAULT_BRANCH)
+        target = request.params.get("to")
+        if target is None:
+            raise ApiError("diff requires ?to=<branch>")
+        diff = self.engine.diff(key, branch_a=source, branch_b=target)
+        return Response(
+            200,
+            {
+                "key": key,
+                "from": source,
+                "to": target,
+                "added": _jsonable(diff.added),
+                "removed": _jsonable(diff.removed),
+                "changed": {
+                    _jsonable(k): [_jsonable(old), _jsonable(new)]
+                    for k, (old, new) in diff.changed.items()
+                },
+                "subtrees_pruned": diff.subtrees_pruned,
+            },
+        )
+
+    def _merge(self, key: str, request: Request) -> Response:
+        body = request.body or {}
+        if "from_branch" not in body:
+            raise ApiError("merge requires 'from_branch'")
+        strategy = body.get("strategy")
+        resolver = None
+        if strategy == "ours":
+            resolver = resolve_ours
+        elif strategy == "theirs":
+            resolver = resolve_theirs
+        elif strategy not in (None, "fail"):
+            raise ApiError(f"unknown merge strategy {strategy!r}")
+        info = self.engine.merge(
+            key,
+            from_branch=body["from_branch"],
+            into_branch=body.get("into_branch", DEFAULT_BRANCH),
+            resolver=resolver,
+            message=body.get("message", ""),
+        )
+        return Response(
+            200,
+            {"key": key, "branch": info.branch, "version": info.version,
+             "message": info.message},
+        )
+
+    def _verify(self, key: str, request: Request) -> Response:
+        branch = request.params.get("branch")
+        version = request.params.get("version")
+        if version is None:
+            version = self.engine.head(key, branch or DEFAULT_BRANCH).base32()
+        report = self.verifier.verify_version(version)
+        return Response(
+            200 if report.ok else 502,
+            {
+                "key": key,
+                "version": version,
+                "valid": report.ok,
+                "chunks_checked": report.chunks_checked,
+                "versions_checked": report.fnodes_checked,
+                "errors": report.errors,
+            },
+        )

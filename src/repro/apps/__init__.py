@@ -1,0 +1,27 @@
+"""Branchable applications built on the ForkBase substrate.
+
+The paper's conclusion: "ForkBase benefits various kinds of branchable
+applications built on top of it with reduced development effort."  The
+engine version of the system (PVLDB 2018) headlines blockchain state
+storage.  This package contains complete applications exercising the
+public API:
+
+- :mod:`repro.apps.ledger` — a tamper-evident account ledger whose block
+  chain *is* the version derivation graph: state roots come from the
+  POS-Tree, block hashes from FNode uids, forks from branches, and
+  reorgs from Git-like head moves.
+- :mod:`repro.apps.curation` — collaborative dataset curation: proposals
+  as branches, review as differential queries, acceptance as merges, and
+  lineage as the (tamper-evident) version history.
+"""
+
+from repro.apps.curation import CurationPipeline, LineageStep
+from repro.apps.ledger import Block, InsufficientFunds, Ledger
+
+__all__ = [
+    "Block",
+    "CurationPipeline",
+    "InsufficientFunds",
+    "Ledger",
+    "LineageStep",
+]

@@ -1,0 +1,168 @@
+"""Collaborative dataset curation with lineage — the intro's motivation.
+
+"Processing on the same specific dataset usually involves multiple
+disciplines that run analytics or data engineering independently."  This
+app turns that workflow into engine primitives:
+
+- a **proposal** is a branch: a curator forks the dataset, applies named
+  transformation steps, and every step commits a version whose message
+  records the step (the lineage);
+- **review** is the differential query: the owner inspects exactly what a
+  proposal changes, at row/cell granularity;
+- **acceptance** is a merge; rejected proposals are just deleted branch
+  heads (the work remains addressable for audit);
+- **lineage** is the version history: which steps, by whom, in what
+  order, produced the current state — tamper evident end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.db.engine import ForkBase
+from repro.errors import ForkBaseError
+from repro.table.dataset import DataTable, TableDiff
+from repro.vcs.branches import DEFAULT_BRANCH
+
+#: A transformation: takes a row dict, returns the new row (or None to
+#: drop the row).
+Transform = Callable[[Dict[str, str]], Optional[Dict[str, str]]]
+
+
+@dataclass(frozen=True)
+class LineageStep:
+    """One recorded transformation."""
+
+    step: str
+    curator: str
+    branch: str
+    version: str
+    rows_changed: int
+
+
+class CurationPipeline:
+    """Branch-per-proposal curation over one dataset."""
+
+    def __init__(self, engine: ForkBase, dataset: str) -> None:
+        self.engine = engine
+        self.table = DataTable(engine, dataset)
+        self.dataset = dataset
+
+    # -- proposals -----------------------------------------------------------
+
+    def propose(self, name: str, curator: str) -> str:
+        """Open a proposal branch off master."""
+        branch = f"proposal/{name}"
+        self.engine.branch(self.dataset, branch, from_branch=DEFAULT_BRANCH)
+        return branch
+
+    def apply_step(
+        self,
+        branch: str,
+        step_name: str,
+        transform: Transform,
+        curator: str,
+    ) -> LineageStep:
+        """Run a named transform over every row on a proposal branch.
+
+        The commit message records the lineage entry; the version uid
+        makes the step tamper evident.
+        """
+        schema = self.table.schema(branch=branch)
+        edited: List[Dict[str, str]] = []
+        dropped: List[str] = []
+        for row in self.table.rows(branch=branch):
+            result = transform(dict(row))
+            if result is None:
+                dropped.append(row[schema.primary_key])
+                continue
+            if set(result) != set(schema.columns):
+                raise ForkBaseError(
+                    f"step {step_name!r} produced a row with wrong columns"
+                )
+            if result != row:
+                edited.append(result)
+        changed = len(edited) + len(dropped)
+
+        message = json.dumps(
+            {"curation_step": step_name, "curator": curator,
+             "rows_changed": changed},
+            sort_keys=True,
+        )
+        # One commit for the whole step, even when it drops and edits.
+        fmap = self.table._map(branch=branch)
+        puts = {schema.row_key(row): schema.encode_row(row) for row in edited}
+        deletes = [schema.key_for(pk) for pk in dropped]
+        self.engine.put(
+            self.dataset,
+            fmap.update(puts=puts, deletes=deletes),
+            branch=branch,
+            message=message,
+            author=curator,
+        )
+        info = self.engine.meta(self.dataset, branch)
+        return LineageStep(
+            step=step_name,
+            curator=curator,
+            branch=branch,
+            version=info["version"],
+            rows_changed=changed,
+        )
+
+    def review(self, branch: str) -> TableDiff:
+        """What would merging this proposal change?"""
+        return self.table.diff(DEFAULT_BRANCH, branch)
+
+    def accept(self, branch: str, reviewer: str, message: str = "") -> str:
+        """Merge the proposal into master; returns the new head version."""
+        info = self.engine.merge(
+            self.dataset,
+            from_branch=branch,
+            into_branch=DEFAULT_BRANCH,
+            message=message or f"accept {branch}",
+            author=reviewer,
+        )
+        return info.version
+
+    def reject(self, branch: str) -> None:
+        """Drop the proposal head (its versions stay auditable)."""
+        self.engine.delete_branch(self.dataset, branch)
+
+    def proposals(self) -> List[str]:
+        """Open proposal branches."""
+        return [
+            branch
+            for branch in self.engine.branches(self.dataset)
+            if branch.startswith("proposal/")
+        ]
+
+    # -- lineage -----------------------------------------------------------------
+
+    def lineage(self, branch: str = DEFAULT_BRANCH) -> List[LineageStep]:
+        """Curation steps reachable from a head, oldest first."""
+        steps: List[LineageStep] = []
+        for fnode in self.engine.history(self.dataset, branch=branch):
+            if not fnode.message:
+                continue
+            try:
+                meta = json.loads(fnode.message)
+            except (json.JSONDecodeError, ValueError):
+                continue
+            if isinstance(meta, dict) and "curation_step" in meta:
+                steps.append(
+                    LineageStep(
+                        step=meta["curation_step"],
+                        curator=meta.get("curator", fnode.author),
+                        branch=branch,
+                        version=fnode.uid.base32(),
+                        rows_changed=meta.get("rows_changed", 0),
+                    )
+                )
+        steps.reverse()
+        return steps
+
+    def audit(self, branch: str = DEFAULT_BRANCH):
+        """Tamper-evidence validation of the whole curation history."""
+        return self.engine.verify(self.dataset, branch=branch)

@@ -1,0 +1,278 @@
+"""A tamper-evident account ledger over ForkBase.
+
+The point of the exercise (and of the PVLDB paper's blockchain use case):
+an application gets block-chain-grade guarantees *for free* from the
+substrate instead of building them itself —
+
+- the account state is an FMap; its POS-Tree root is the state root;
+- committing a block is a Put: the FNode uid (value root + hash-chained
+  bases + block metadata) *is* the block hash;
+- a fork is a branch; a reorg is a head move; divergent forks touching
+  disjoint accounts merge with the stock three-way merge;
+- auditing a chain is the stock tamper-evidence verification.
+
+Balances are integers (smallest currency unit), stored as canonical
+svarint-encoded values so equal states are byte-equal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chunk import Reader, Uid, Writer
+from repro.db.engine import ForkBase
+from repro.errors import ForkBaseError
+from repro.types import FMap
+from repro.vcs.branches import DEFAULT_BRANCH
+
+
+class InsufficientFunds(ForkBaseError):
+    """A transfer would overdraw the sender."""
+
+
+def _encode_balance(amount: int) -> bytes:
+    return Writer().svarint(amount).getvalue()
+
+
+def _decode_balance(data: bytes) -> int:
+    return Reader(data).svarint()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One transfer inside a block."""
+
+    sender: str
+    recipient: str
+    amount: int
+
+    def as_json(self) -> Dict[str, object]:
+        return {"from": self.sender, "to": self.recipient, "amount": self.amount}
+
+
+@dataclass(frozen=True)
+class Block:
+    """A committed block: one version of the ledger state."""
+
+    height: int
+    block_hash: Uid  # the FNode uid — value root + chained history
+    state_root: Uid  # the POS-Tree root of the account map
+    transactions: Tuple[Transaction, ...]
+    proposer: str
+
+    def short_hash(self) -> str:
+        """Abbreviated Base32 block id."""
+        return self.block_hash.base32()[:16]
+
+
+class Ledger:
+    """An account ledger whose chain is the version derivation graph."""
+
+    def __init__(
+        self,
+        engine: Optional[ForkBase] = None,
+        key: str = "ledger",
+    ) -> None:
+        self.engine = engine if engine is not None else ForkBase(author="ledger")
+        self.key = key
+        self._pending: List[Transaction] = []
+
+    # -- chain construction ------------------------------------------------------
+
+    def genesis(
+        self, allocations: Dict[str, int], proposer: str = "genesis"
+    ) -> Block:
+        """Mint the initial state as block 0."""
+        if self.engine.exists(self.key):
+            raise ForkBaseError(f"ledger {self.key!r} already has a genesis")
+        if any(amount < 0 for amount in allocations.values()):
+            raise ValueError("genesis balances must be non-negative")
+        state = {
+            account.encode("utf-8"): _encode_balance(amount)
+            for account, amount in allocations.items()
+        }
+        value = FMap.from_dict(self.engine.store, state)
+        message = json.dumps(
+            {"block": 0, "txns": [], "proposer": proposer}, sort_keys=True
+        )
+        info = self.engine.put(
+            self.key, value, message=message, author=proposer
+        )
+        return self.block_at(0)
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Stage a transfer for the next block (validated at commit)."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self._pending.append(Transaction(sender, recipient, amount))
+
+    @property
+    def pending(self) -> List[Transaction]:
+        """Transactions staged for the next block (copy)."""
+        return list(self._pending)
+
+    def commit_block(
+        self, proposer: str = "validator", branch: str = DEFAULT_BRANCH
+    ) -> Block:
+        """Apply the staged transactions as one block on ``branch``.
+
+        The whole block either applies or fails; validation checks every
+        intermediate balance.
+        """
+        state = self._state(branch=branch)
+        balances: Dict[bytes, int] = {}
+
+        def balance_of(account: str) -> int:
+            key = account.encode("utf-8")
+            if key not in balances:
+                raw = state.get(key)
+                balances[key] = _decode_balance(raw) if raw is not None else 0
+            return balances[key]
+
+        for txn in self._pending:
+            if balance_of(txn.sender) < txn.amount:
+                raise InsufficientFunds(
+                    f"{txn.sender!r} has {balance_of(txn.sender)}, "
+                    f"needs {txn.amount}"
+                )
+            balances[txn.sender.encode("utf-8")] -= txn.amount
+            balances[txn.recipient.encode("utf-8")] = (
+                balance_of(txn.recipient) + txn.amount
+            )
+
+        puts = {key: _encode_balance(amount) for key, amount in balances.items()}
+        new_state = state.update(puts=puts)
+        height = self.height(branch=branch) + 1
+        message = json.dumps(
+            {
+                "block": height,
+                "txns": [txn.as_json() for txn in self._pending],
+                "proposer": proposer,
+            },
+            sort_keys=True,
+        )
+        self.engine.put(
+            self.key, new_state, branch=branch, message=message, author=proposer
+        )
+        self._pending = []
+        return self.block_at(height, branch=branch)
+
+    # -- queries --------------------------------------------------------------------
+
+    def _state(
+        self,
+        branch: Optional[str] = None,
+        version: Optional[Uid] = None,
+    ) -> FMap:
+        obj = self.engine.get(self.key, branch=branch, version=version)
+        assert isinstance(obj, FMap)
+        return obj
+
+    def balance(
+        self,
+        account: str,
+        branch: Optional[str] = None,
+        height: Optional[int] = None,
+    ) -> int:
+        """Current (or historical, via ``height``) balance of an account."""
+        version = None
+        if height is not None:
+            version = self.block_at(height, branch=branch).block_hash
+        raw = self._state(branch=branch, version=version).get(
+            account.encode("utf-8")
+        )
+        return _decode_balance(raw) if raw is not None else 0
+
+    def accounts(self, branch: Optional[str] = None) -> Dict[str, int]:
+        """Every account and balance."""
+        return {
+            key.decode("utf-8"): _decode_balance(value)
+            for key, value in self._state(branch=branch).items()
+        }
+
+    def total_supply(self, branch: Optional[str] = None) -> int:
+        """Sum of all balances — invariant across transfers."""
+        return sum(self.accounts(branch=branch).values())
+
+    def height(self, branch: str = DEFAULT_BRANCH) -> int:
+        """Height of the branch tip (genesis is height 0).
+
+        Follows first parents only, so a merge block counts as one step —
+        the canonical-chain convention (``git log --first-parent``).
+        """
+        return len(self.chain(branch=branch)) - 1
+
+    def chain(self, branch: str = DEFAULT_BRANCH) -> List[Block]:
+        """Canonical-chain blocks oldest-first (first-parent walk)."""
+        fnodes = []
+        cursor: Optional[Uid] = self.engine.head(self.key, branch)
+        while cursor is not None:
+            fnode = self.engine.graph.load(cursor)
+            fnodes.append(fnode)
+            cursor = fnode.bases[0] if fnode.bases else None
+        fnodes.reverse()
+        blocks = []
+        for height, fnode in enumerate(fnodes):
+            meta = json.loads(fnode.message) if fnode.message else {}
+            txns = tuple(
+                Transaction(t["from"], t["to"], t["amount"])
+                for t in meta.get("txns", [])
+            )
+            blocks.append(
+                Block(
+                    height=height,
+                    block_hash=fnode.uid,
+                    state_root=fnode.value_root,
+                    transactions=txns,
+                    proposer=fnode.author,
+                )
+            )
+        return blocks
+
+    def block_at(self, height: int, branch: Optional[str] = None) -> Block:
+        """The block at a given height."""
+        blocks = self.chain(branch=branch or DEFAULT_BRANCH)
+        if not 0 <= height < len(blocks):
+            raise IndexError(f"no block at height {height}")
+        return blocks[height]
+
+    # -- forks ---------------------------------------------------------------------
+
+    def fork(self, name: str, from_branch: str = DEFAULT_BRANCH) -> None:
+        """Open a fork (competing chain tip) at the current head."""
+        self.engine.branch(self.key, name, from_branch=from_branch)
+
+    def adopt_fork(self, name: str, into_branch: str = DEFAULT_BRANCH) -> None:
+        """Reorg: make the fork's chain the canonical one (head move).
+
+        Only fast-forwards are performed automatically; a non-linear
+        adoption should go through :meth:`merge_fork`.
+        """
+        info = self.engine.merge(self.key, from_branch=name, into_branch=into_branch)
+        if info.message not in ("fast-forward", "already up to date"):
+            raise ForkBaseError("adopt_fork requires a fast-forward; use merge_fork")
+
+    def merge_fork(
+        self, name: str, into_branch: str = DEFAULT_BRANCH, proposer: str = "validator"
+    ) -> Block:
+        """Merge a fork that touched disjoint accounts (three-way merge)."""
+        self.engine.merge(
+            self.key,
+            from_branch=name,
+            into_branch=into_branch,
+            message=json.dumps(
+                {"block": self.height(into_branch) + 1, "txns": [],
+                 "proposer": proposer, "merge_of": name},
+                sort_keys=True,
+            ),
+            author=proposer,
+        )
+        return self.block_at(self.height(into_branch), branch=into_branch)
+
+    # -- audit ----------------------------------------------------------------------
+
+    def audit(self, branch: str = DEFAULT_BRANCH):
+        """Verify the whole chain against (possibly malicious) storage."""
+        return self.engine.verify(self.key, branch=branch)

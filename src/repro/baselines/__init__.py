@@ -1,0 +1,40 @@
+"""Comparison systems for Table I and the dedup-strategy ablation.
+
+Each baseline models the storage strategy of one family from the paper's
+related-work table, implemented against the same workload interface so
+the benchmark can measure logical-vs-physical bytes for all of them:
+
+- :class:`~repro.baselines.snapshot.SnapshotStore` — full copy per
+  version (the naive strawman every versioning paper starts from).
+- :class:`~repro.baselines.tupledelta.TupleDedupStore` — tuple-oriented
+  dedup with per-version rid lists (OrpheusDB-style "table oriented").
+- :class:`~repro.baselines.deltachain.DeltaChainStore` — per-version
+  forward deltas against a parent (Decibel/DataHub-style), checkout
+  walks the chain.
+- :class:`~repro.baselines.gitfile.GitFileStore` — file-granularity
+  content addressing (plain Git semantics: dedup only identical files).
+- :class:`~repro.baselines.fixedchunk.FixedChunkStore` — fixed-size
+  chunking with content addressing; shows the boundary-shift pathology
+  that content-defined chunking (POS-Tree) avoids.
+
+None of them is tamper evident and none shares pages between logically
+equal but differently-edited instances — the two columns where ForkBase
+differs in Table I.
+"""
+
+from repro.baselines.base import BaselineStore, Capabilities
+from repro.baselines.deltachain import DeltaChainStore
+from repro.baselines.fixedchunk import FixedChunkStore
+from repro.baselines.gitfile import GitFileStore
+from repro.baselines.snapshot import SnapshotStore
+from repro.baselines.tupledelta import TupleDedupStore
+
+__all__ = [
+    "BaselineStore",
+    "Capabilities",
+    "DeltaChainStore",
+    "FixedChunkStore",
+    "GitFileStore",
+    "SnapshotStore",
+    "TupleDedupStore",
+]

@@ -1,0 +1,51 @@
+"""Common interface for versioned-storage baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+Rows = Dict[str, bytes]  # primary key -> encoded row
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Table I's feature columns for one system."""
+
+    name: str
+    data_model: str
+    dedup: str
+    tamper_evidence: str
+    branching: str
+
+
+class BaselineStore:
+    """A versioned dataset store measured by physical bytes.
+
+    ``load_version`` ingests a full dataset state and returns a version
+    id; ``checkout`` materializes a version; ``physical_bytes`` is the
+    storage footprint the comparison benchmarks report.
+    """
+
+    capabilities: Capabilities = Capabilities(
+        name="abstract", data_model="-", dedup="-", tamper_evidence="-", branching="-"
+    )
+
+    def load_version(
+        self, dataset: str, rows: Rows, parent: Optional[str] = None
+    ) -> str:
+        raise NotImplementedError
+
+    def checkout(self, dataset: str, version: str) -> Rows:
+        raise NotImplementedError
+
+    def physical_bytes(self) -> int:
+        raise NotImplementedError
+
+    def versions(self, dataset: str) -> List[str]:
+        raise NotImplementedError
+
+
+def rows_logical_bytes(rows: Rows) -> int:
+    """Logical payload size of one dataset state (keys + values)."""
+    return sum(len(pk.encode("utf-8")) + len(value) for pk, value in rows.items())

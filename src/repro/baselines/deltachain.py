@@ -1,0 +1,78 @@
+"""Forward-delta baseline (Decibel/DataHub-style table versioning).
+
+Each version stores only the rows that changed against its parent (plus
+tombstones).  Storage is proportional to change size — competitive with
+ForkBase on that axis — but checkout must replay the whole chain, diff
+between arbitrary versions is O(chain), and nothing is content-addressed,
+so equal states reached along different paths are stored twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.base import BaselineStore, Capabilities, Rows
+
+_TOMBSTONE_BYTES = 8  # per deleted key bookkeeping
+
+
+class DeltaChainStore(BaselineStore):
+    """Per-version forward deltas with chain replay on checkout."""
+
+    capabilities = Capabilities(
+        name="DeltaChain (Decibel-like)",
+        data_model="structured (table), mutable",
+        dedup="table oriented (delta)",
+        tamper_evidence="none",
+        branching="ad-hoc",
+    )
+
+    def __init__(self) -> None:
+        # version -> (parent, puts, deletes)
+        self._deltas: Dict[
+            Tuple[str, str], Tuple[Optional[str], Rows, Set[str]]
+        ] = {}
+        self._order: Dict[str, List[str]] = {}
+        self._counter = 0
+        self.replay_steps = 0  # checkout work accounting
+
+    def load_version(
+        self, dataset: str, rows: Rows, parent: Optional[str] = None
+    ) -> str:
+        base: Rows = self.checkout(dataset, parent) if parent else {}
+        puts: Rows = {}
+        for pk, value in rows.items():
+            if base.get(pk) != value:
+                puts[pk] = value
+        deletes = {pk for pk in base if pk not in rows}
+        self._counter += 1
+        version = f"v{self._counter}"
+        self._deltas[(dataset, version)] = (parent, puts, deletes)
+        self._order.setdefault(dataset, []).append(version)
+        return version
+
+    def checkout(self, dataset: str, version: str) -> Rows:
+        chain: List[Tuple[Rows, Set[str]]] = []
+        cursor: Optional[str] = version
+        while cursor is not None:
+            parent, puts, deletes = self._deltas[(dataset, cursor)]
+            chain.append((puts, deletes))
+            cursor = parent
+            self.replay_steps += 1
+        state: Rows = {}
+        for puts, deletes in reversed(chain):
+            for pk in deletes:
+                state.pop(pk, None)
+            state.update(puts)
+        return state
+
+    def physical_bytes(self) -> int:
+        total = 0
+        for _, puts, deletes in self._deltas.values():
+            for pk, value in puts.items():
+                total += len(pk.encode("utf-8")) + len(value)
+            total += len(deletes) * _TOMBSTONE_BYTES
+        return total
+
+    def versions(self, dataset: str) -> List[str]:
+        return list(self._order.get(dataset, []))

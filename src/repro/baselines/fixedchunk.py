@@ -1,0 +1,70 @@
+"""Fixed-size chunking baseline.
+
+Serializes the dataset to one byte stream and dedups fixed-size chunks by
+content hash.  Works for in-place overwrites, but any *insertion or
+deletion* shifts every later chunk boundary, destroying dedup from the
+edit point onward — the precise pathology content-defined slicing
+(POS-Tree's pattern rule) exists to avoid.  The ablation benchmark puts
+the two side by side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineStore, Capabilities, Rows
+from repro.baselines.gitfile import deserialize_rows, serialize_rows
+
+
+class FixedChunkStore(BaselineStore):
+    """Content-addressed fixed-size chunks over the serialized dataset."""
+
+    capabilities = Capabilities(
+        name="FixedChunk",
+        data_model="unstructured (byte stream), immutable",
+        dedup="fixed-size chunk",
+        tamper_evidence="chunk hashes (no tree)",
+        branching="ad-hoc",
+    )
+
+    def __init__(self, chunk_size: int = 1024) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self._chunks: Dict[bytes, bytes] = {}
+        self._versions: Dict[Tuple[str, str], List[bytes]] = {}
+        self._order: Dict[str, List[str]] = {}
+        self._counter = 0
+
+    def load_version(
+        self, dataset: str, rows: Rows, parent: Optional[str] = None
+    ) -> str:
+        blob = serialize_rows(rows)
+        manifest: List[bytes] = []
+        for offset in range(0, len(blob), self.chunk_size):
+            piece = blob[offset : offset + self.chunk_size]
+            digest = hashlib.sha256(piece).digest()
+            if digest not in self._chunks:
+                self._chunks[digest] = piece
+            manifest.append(digest)
+        self._counter += 1
+        version = f"v{self._counter}"
+        self._versions[(dataset, version)] = manifest
+        self._order.setdefault(dataset, []).append(version)
+        return version
+
+    def checkout(self, dataset: str, version: str) -> Rows:
+        manifest = self._versions[(dataset, version)]
+        blob = b"".join(self._chunks[digest] for digest in manifest)
+        return deserialize_rows(blob)
+
+    def physical_bytes(self) -> int:
+        chunk_bytes = sum(len(piece) for piece in self._chunks.values())
+        manifest_bytes = sum(
+            len(manifest) * 32 for manifest in self._versions.values()
+        )
+        return chunk_bytes + manifest_bytes
+
+    def versions(self, dataset: str) -> List[str]:
+        return list(self._order.get(dataset, []))

@@ -1,0 +1,46 @@
+"""Full-copy snapshot baseline: every version stores the whole dataset."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineStore, Capabilities, Rows
+
+
+class SnapshotStore(BaselineStore):
+    """The strawman: no sharing at all between versions."""
+
+    capabilities = Capabilities(
+        name="Snapshot (naive)",
+        data_model="structured (table), mutable",
+        dedup="none",
+        tamper_evidence="none",
+        branching="ad-hoc",
+    )
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[Tuple[str, str], Rows] = {}
+        self._order: Dict[str, List[str]] = {}
+        self._counter = 0
+
+    def load_version(
+        self, dataset: str, rows: Rows, parent: Optional[str] = None
+    ) -> str:
+        self._counter += 1
+        version = f"v{self._counter}"
+        self._snapshots[(dataset, version)] = dict(rows)
+        self._order.setdefault(dataset, []).append(version)
+        return version
+
+    def checkout(self, dataset: str, version: str) -> Rows:
+        return dict(self._snapshots[(dataset, version)])
+
+    def physical_bytes(self) -> int:
+        total = 0
+        for rows in self._snapshots.values():
+            for pk, value in rows.items():
+                total += len(pk.encode("utf-8")) + len(value)
+        return total
+
+    def versions(self, dataset: str) -> List[str]:
+        return list(self._order.get(dataset, []))

@@ -1,0 +1,71 @@
+"""Tuple-oriented dedup baseline (OrpheusDB-style).
+
+Every distinct tuple is stored once in a global tuple table; each version
+is a list of tuple record ids (4 bytes per rid, matching OrpheusDB's
+rlist representation).  Dedup granularity is the tuple: any in-tuple edit
+stores a whole new tuple, and the per-version rid list always costs
+O(dataset size), not O(change size).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineStore, Capabilities, Rows
+
+_RID_BYTES = 4
+
+
+class TupleDedupStore(BaselineStore):
+    """Tuple-level sharing with per-version rid lists."""
+
+    capabilities = Capabilities(
+        name="TupleDedup (OrpheusDB-like)",
+        data_model="structured (table), mutable",
+        dedup="table oriented (tuple)",
+        tamper_evidence="none",
+        branching="ad-hoc",
+    )
+
+    def __init__(self) -> None:
+        self._tuples: Dict[bytes, bytes] = {}  # tuple hash -> payload
+        self._versions: Dict[Tuple[str, str], List[bytes]] = {}
+        self._order: Dict[str, List[str]] = {}
+        self._counter = 0
+
+    @staticmethod
+    def _tuple_id(pk: str, value: bytes) -> bytes:
+        return hashlib.sha256(pk.encode("utf-8") + b"\x00" + value).digest()
+
+    def load_version(
+        self, dataset: str, rows: Rows, parent: Optional[str] = None
+    ) -> str:
+        rids: List[bytes] = []
+        for pk in sorted(rows):
+            value = rows[pk]
+            rid = self._tuple_id(pk, value)
+            if rid not in self._tuples:
+                self._tuples[rid] = pk.encode("utf-8") + b"\x00" + value
+            rids.append(rid)
+        self._counter += 1
+        version = f"v{self._counter}"
+        self._versions[(dataset, version)] = rids
+        self._order.setdefault(dataset, []).append(version)
+        return version
+
+    def checkout(self, dataset: str, version: str) -> Rows:
+        out: Rows = {}
+        for rid in self._versions[(dataset, version)]:
+            payload = self._tuples[rid]
+            pk, _, value = payload.partition(b"\x00")
+            out[pk.decode("utf-8")] = value
+        return out
+
+    def physical_bytes(self) -> int:
+        tuple_bytes = sum(len(payload) for payload in self._tuples.values())
+        rid_bytes = sum(len(rids) * _RID_BYTES for rids in self._versions.values())
+        return tuple_bytes + rid_bytes
+
+    def versions(self, dataset: str) -> List[str]:
+        return list(self._order.get(dataset, []))

@@ -1,0 +1,22 @@
+"""Content-addressed chunk model.
+
+This package implements the bottom layer of Fig. 1 in the paper: immutable
+chunks uniquely identified by the SHA-256 hash of their content, with uids
+rendered in the RFC 4648 Base32 alphabet exactly as the ForkBase demo UI
+shows them (paper §III-C).
+
+Public surface:
+
+- :class:`~repro.chunk.uid.Uid` — 32-byte content address.
+- :class:`~repro.chunk.chunk.Chunk` / :class:`~repro.chunk.chunk.ChunkType`
+  — typed immutable byte payloads.
+- :mod:`~repro.chunk.codec` — deterministic binary encoding used by every
+  Merkle-hashed structure (POS-Tree nodes, FNodes), so that equal logical
+  content always serializes to equal bytes.
+"""
+
+from repro.chunk.chunk import Chunk, ChunkType
+from repro.chunk.codec import Reader, Writer
+from repro.chunk.uid import NULL_UID, Uid
+
+__all__ = ["Chunk", "ChunkType", "Reader", "Writer", "Uid", "NULL_UID"]

@@ -1,0 +1,116 @@
+"""Immutable typed chunks.
+
+A chunk is the unit of deduplication (paper §II-C): "data are split into
+chunks, each of which is immutable after complete construction and uniquely
+identified by its SHA-256 hash."  The uid covers both the type tag and the
+payload so that, e.g., a map leaf and a blob leaf with coincidentally equal
+bytes never collide.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from typing import Optional
+
+from repro.chunk.uid import Uid
+from repro.errors import ChunkCorruptionError
+
+
+class ChunkType(enum.IntEnum):
+    """Tags for every chunk kind materialized in physical storage."""
+
+    #: Raw byte segment of a blob (POS-Tree leaf for FBlob).
+    BLOB = 1
+    #: POS-Tree leaf holding serialized keyed entries (map/set).
+    LEAF = 2
+    #: POS-Tree index node holding (split key, child uid) entries.
+    INDEX = 3
+    #: POS-Tree leaf holding positional entries (list).
+    LIST_LEAF = 4
+    #: POS-Tree index node for positional trees (child uid + count).
+    LIST_INDEX = 5
+    #: FNode: a committed version (value root + hash-chained bases).
+    FNODE = 6
+    #: Serialized primitive value (string / number / boolean).
+    PRIMITIVE = 7
+    #: Table schema descriptor.
+    SCHEMA = 8
+    #: Free-form metadata blob (engine bookkeeping).
+    META = 9
+
+    def tag(self) -> bytes:
+        """Single tag byte mixed into the hash."""
+        return bytes([int(self)])
+
+
+class Chunk:
+    """An immutable `(type, payload)` pair addressed by its SHA-256 uid."""
+
+    __slots__ = ("_type", "_data", "_uid")
+
+    def __init__(
+        self, type_: ChunkType, data: bytes, uid: Optional[Uid] = None
+    ) -> None:
+        self._type = ChunkType(type_)
+        self._data = bytes(data)
+        self._uid = uid if uid is not None else self.compute_uid(self._type, self._data)
+
+    @staticmethod
+    def compute_uid(type_: ChunkType, data: bytes) -> Uid:
+        """SHA-256 over the tag byte followed by the payload."""
+        hasher = hashlib.sha256()
+        hasher.update(ChunkType(type_).tag())
+        hasher.update(data)
+        return Uid(hasher.digest())
+
+    @property
+    def type(self) -> ChunkType:
+        """The chunk kind."""
+        return self._type
+
+    @property
+    def data(self) -> bytes:
+        """The immutable payload bytes."""
+        return self._data
+
+    @property
+    def uid(self) -> Uid:
+        """The content address of this chunk."""
+        return self._uid
+
+    def size(self) -> int:
+        """Payload size in bytes (the unit Fig. 4's KB numbers count)."""
+        return len(self._data)
+
+    def verify(self) -> None:
+        """Recompute the uid and raise if the payload was tampered with.
+
+        This is the primitive behind the tamper-evidence property of
+        §III-C: a malicious store can return arbitrary bytes for a uid, but
+        cannot make them hash back to that uid.
+        """
+        actual = self.compute_uid(self._type, self._data)
+        if actual != self._uid:
+            raise ChunkCorruptionError(
+                f"chunk {self._uid.short()} fails verification "
+                f"(content hashes to {actual.short()})"
+            )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`verify`."""
+        return self.compute_uid(self._type, self._data) == self._uid
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Chunk):
+            return self._uid == other._uid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Chunk({self._type.name}, {len(self._data)}B, {self._uid.short()}…)"

@@ -1,0 +1,18 @@
+"""Simulated distributed chunk storage.
+
+ForkBase is "a distributed storage system"; the authors ran it across
+storage servicers.  Without a testbed we simulate the distribution layer
+in-process: chunks are placed on N storage nodes by consistent hashing
+with a configurable replication factor, nodes can be killed and repaired,
+and reads fail over across replicas.  All upper layers are oblivious —
+:class:`~repro.cluster.cluster.ClusterStore` is just another
+:class:`~repro.store.base.ChunkStore` — which is exactly the property
+that makes the substitution faithful: dedup, diff, merge and verification
+run the same code paths against it.
+"""
+
+from repro.cluster.cluster import ClusterStore
+from repro.cluster.node import StorageNode
+from repro.cluster.ring import HashRing
+
+__all__ = ["ClusterStore", "StorageNode", "HashRing"]

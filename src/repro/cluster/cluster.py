@@ -1,0 +1,194 @@
+"""ClusterStore: a ChunkStore spread over simulated storage nodes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.chunk import Chunk, Uid
+from repro.errors import NodeDownError
+from repro.store.base import ChunkStore
+from repro.cluster.node import StorageNode
+from repro.cluster.ring import HashRing
+
+
+class ClusterStore(ChunkStore):
+    """Consistent-hash sharded, replicated chunk storage.
+
+    Writes go to ``replication`` nodes chosen by the ring; reads try each
+    replica in placement order and fail over past dead nodes.  The content
+    address doubles as the placement key, so rebalancing and repair are
+    just "copy chunks whose replica set changed" — no version metadata
+    moves ever.
+    """
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        replication: int = 2,
+        vnodes: int = 64,
+        verify_reads: bool = False,
+    ) -> None:
+        super().__init__(verify_reads=verify_reads)
+        if node_count < 1:
+            raise ValueError("need at least one node")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self.nodes: Dict[str, StorageNode] = {}
+        names = [f"node-{index:02d}" for index in range(node_count)]
+        for name in names:
+            self.nodes[name] = StorageNode(name)
+        self.ring = HashRing(names, vnodes=vnodes)
+        self.failed_reads = 0
+        self.failovers = 0
+
+    # -- membership ----------------------------------------------------------------
+
+    def add_node(self, name: Optional[str] = None) -> StorageNode:
+        """Join a new node (chunks are NOT moved until :meth:`rebalance`)."""
+        if name is None:
+            name = f"node-{len(self.nodes):02d}"
+        node = StorageNode(name)
+        self.nodes[name] = node
+        self.ring.add_node(name)
+        return node
+
+    def kill_node(self, name: str) -> None:
+        """Fail a node in place (stays in the ring; reads fail over)."""
+        self.nodes[name].kill()
+
+    def revive_node(self, name: str, wipe: bool = False) -> None:
+        """Recover a failed node."""
+        self.nodes[name].revive(wipe=wipe)
+
+    def live_nodes(self) -> List[StorageNode]:
+        """Nodes currently serving requests."""
+        return [node for node in self.nodes.values() if node.up]
+
+    # -- ChunkStore primitives -------------------------------------------------------
+
+    def _replica_nodes(self, uid: Uid) -> List[StorageNode]:
+        return [self.nodes[name] for name in self.ring.replicas(uid, self.replication)]
+
+    def _insert(self, chunk: Chunk) -> None:
+        stored = 0
+        for node in self._replica_nodes(chunk.uid):
+            if node.up:
+                node.put(chunk)
+                stored += 1
+        if stored == 0:
+            raise NodeDownError(
+                f"no live replica target for {chunk.uid.short()} "
+                f"(all {self.replication} placement nodes down)"
+            )
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        for index, node in enumerate(self._replica_nodes(uid)):
+            if not node.up:
+                continue
+            chunk = node.get(uid)
+            if chunk is not None:
+                if index > 0:
+                    self.failovers += 1
+                return chunk
+        self.failed_reads += 1
+        return None
+
+    def _contains(self, uid: Uid) -> bool:
+        for node in self._replica_nodes(uid):
+            if node.up and node.has(uid):
+                return True
+        return False
+
+    def _ids(self) -> Iterator[Uid]:
+        seen: Set[Uid] = set()
+        for node in self.nodes.values():
+            for uid in node.store.ids():
+                if uid not in seen:
+                    seen.add(uid)
+                    yield uid
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def repair(self) -> int:
+        """Re-replicate: ensure every chunk sits on all its live replicas.
+
+        Run after failures or membership changes; returns copies made.
+        """
+        copies = 0
+        for uid in list(self._ids()):
+            source: Optional[Chunk] = None
+            targets = []
+            for node in self._replica_nodes(uid):
+                if not node.up:
+                    continue
+                if node.store.has(uid):
+                    if source is None:
+                        source = node.store.get(uid)
+                else:
+                    targets.append(node)
+            if source is None:
+                # All live replicas lost it; try any live node (rebalance
+                # leftovers hold stale copies).
+                for node in self.live_nodes():
+                    if node.store.has(uid):
+                        source = node.store.get(uid)
+                        break
+            if source is None:
+                continue
+            for node in targets:
+                node.put(source)
+                copies += 1
+        return copies
+
+    def rebalance(self) -> int:
+        """Move chunks onto their current ring placement; drop strays.
+
+        Returns chunks copied.  (Repair first places, then strays drop.)
+        """
+        copies = self.repair()
+        dropped = 0
+        for node in self.live_nodes():
+            for uid in list(node.store.ids()):
+                owners = self.ring.replicas(uid, self.replication)
+                if node.name not in owners:
+                    # Only drop if every live owner has a copy.
+                    if all(
+                        self.nodes[name].up and self.nodes[name].store.has(uid)
+                        for name in owners
+                    ):
+                        del node.store._chunks[uid]  # intra-package reach
+                        dropped += 1
+        return copies
+
+    # -- diagnostics -----------------------------------------------------------------------
+
+    def placement_histogram(self) -> Dict[str, int]:
+        """Chunks per node (balance metric for the cluster ablation)."""
+        return {name: node.chunk_count() for name, node in sorted(self.nodes.items())}
+
+    def total_replica_count(self) -> int:
+        """Sum of replicas across nodes."""
+        return sum(node.chunk_count() for node in self.nodes.values())
+
+    def durability_check(self) -> Dict[str, int]:
+        """How many chunks have 0 / 1 / ≥2 live replicas right now."""
+        buckets = {"lost": 0, "single": 0, "replicated": 0}
+        for uid in self._ids():
+            live = sum(
+                1
+                for node in self._replica_nodes(uid)
+                if node.up and node.store.has(uid)
+            )
+            if live == 0:
+                # May still survive on a non-placement node (pre-rebalance).
+                live = sum(
+                    1 for node in self.live_nodes() if node.store.has(uid)
+                )
+            if live == 0:
+                buckets["lost"] += 1
+            elif live == 1:
+                buckets["single"] += 1
+            else:
+                buckets["replicated"] += 1
+        return buckets

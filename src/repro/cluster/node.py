@@ -1,0 +1,66 @@
+"""A simulated storage node: an in-memory chunk store with a health flag
+and simple service-time accounting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chunk import Chunk, Uid
+from repro.errors import NodeDownError
+from repro.store.memory import InMemoryStore
+
+
+class StorageNode:
+    """One member of the simulated cluster."""
+
+    def __init__(self, name: str, latency_ms: float = 0.2) -> None:
+        self.name = name
+        self.store = InMemoryStore()
+        self.up = True
+        #: Simulated per-request service time; accumulated, never slept.
+        self.latency_ms = latency_ms
+        self.simulated_ms = 0.0
+        self.requests = 0
+
+    def _touch(self) -> None:
+        if not self.up:
+            raise NodeDownError(f"node {self.name} is down")
+        self.requests += 1
+        self.simulated_ms += self.latency_ms
+
+    def put(self, chunk: Chunk) -> bool:
+        """Store a replica (raises if the node is down)."""
+        self._touch()
+        return self.store.put(chunk)
+
+    def get(self, uid: Uid) -> Optional[Chunk]:
+        """Fetch a replica or None (raises if the node is down)."""
+        self._touch()
+        return self.store.get_maybe(uid)
+
+    def has(self, uid: Uid) -> bool:
+        """Replica presence (raises if the node is down)."""
+        self._touch()
+        return self.store.has(uid)
+
+    def chunk_count(self) -> int:
+        """Replicas held (management-plane call, works while down)."""
+        return len(self.store)
+
+    def bytes_held(self) -> int:
+        """Payload bytes held (management-plane call, works while down)."""
+        return self.store.physical_size()
+
+    def kill(self) -> None:
+        """Fail the node."""
+        self.up = False
+
+    def revive(self, wipe: bool = False) -> None:
+        """Bring the node back, optionally with its disk wiped."""
+        self.up = True
+        if wipe:
+            self.store.clear()
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"StorageNode({self.name}, {state}, {self.chunk_count()} chunks)"

@@ -1,0 +1,11 @@
+"""The ForkBase engine: Git-like data management over the substrate.
+
+This is the facade a branchable application talks to.  It exposes the
+verbs listed on the API layer of Fig. 1 — Put, Get, List, Branch, Merge,
+Diff, Head, Latest, Meta, Rename — over the typed-object, version and
+chunk layers.
+"""
+
+from repro.db.engine import ForkBase, VersionInfo
+
+__all__ = ["ForkBase", "VersionInfo"]

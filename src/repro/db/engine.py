@@ -1,0 +1,476 @@
+"""The ForkBase engine.
+
+An extended key-value model (§II-D): "each object is identified by a key,
+and contains a value of a specific type.  A key may have multiple
+branches.  Given a key we can retrieve not only the current value in each
+branch, but also its historical versions."
+
+All writes are immutable — a Put creates an FNode whose uid is the
+tamper-evident version stamped onto the branch (Fig. 6) — and all shared
+content deduplicates at the page level in the chunk store (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.chunk import Uid
+from repro.errors import (
+    EngineError,
+    MergeConflictError,
+    TypeMismatchError,
+    UnknownBranchError,
+    UnknownKeyError,
+)
+from repro.postree.diff import TreeDiff
+from repro.postree.merge import MergeConflict, Resolver
+from repro.store import FileStore, InMemoryStore
+from repro.store.base import ChunkStore
+from repro.types import FBlob, FList, FMap, FObject, FSet, load_object
+from repro.types.convert import PyValue, unwrap, wrap
+from repro.vcs import BranchTable, FNode, VersionGraph
+from repro.vcs.branches import DEFAULT_BRANCH
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """What a Put/Merge returns: the stamped version and its context."""
+
+    key: str
+    branch: str
+    uid: Uid
+    type_name: str
+    author: str
+    message: str
+
+    @property
+    def version(self) -> str:
+        """Base32 rendering of the uid (the demo UI's version string)."""
+        return self.uid.base32()
+
+    def __repr__(self) -> str:
+        return f"VersionInfo({self.key!r}@{self.branch}: {self.uid.short(16)})"
+
+
+class ForkBase:
+    """Git-for-data engine over an immutable chunk store."""
+
+    def __init__(
+        self,
+        store: Optional[ChunkStore] = None,
+        author: str = "anonymous",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.store = store if store is not None else InMemoryStore()
+        self.graph = VersionGraph(self.store)
+        self.branch_table = BranchTable()
+        self.author = author
+        self._clock = clock if clock is not None else time.time
+        self._directory: Optional[str] = None
+
+    # -- persistence -------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str, author: str = "anonymous") -> "ForkBase":
+        """Open (or create) a durable engine rooted at ``directory``.
+
+        Chunks live in an append-only :class:`FileStore`; branch heads in
+        ``branches.json`` next to it (the client-side head record of the
+        paper's threat model).
+        """
+        os.makedirs(directory, exist_ok=True)
+        engine = cls(FileStore(os.path.join(directory, "chunks")), author=author)
+        engine._directory = directory
+        heads_path = os.path.join(directory, "branches.json")
+        if os.path.exists(heads_path):
+            with open(heads_path, "r", encoding="utf-8") as handle:
+                engine.branch_table = BranchTable.from_dict(json.load(handle))
+        return engine
+
+    def close(self) -> None:
+        """Persist branch heads (if durable) and close the store."""
+        if self._directory is not None:
+            heads_path = os.path.join(self._directory, "branches.json")
+            tmp = heads_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self.branch_table.to_dict(), handle, indent=2, sort_keys=True)
+            os.replace(tmp, heads_path)
+        self.store.close()
+
+    def __enter__(self) -> "ForkBase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- resolution helpers --------------------------------------------------------
+
+    def _resolve(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+    ) -> Uid:
+        """Resolve a (branch | version) reference to a version uid."""
+        if version is not None:
+            uid = Uid.parse(version) if isinstance(version, str) else version
+            if not self.graph.exists(uid):
+                raise UnknownKeyError(f"{key}@{uid.short(16)}")
+            return uid
+        branch = branch or DEFAULT_BRANCH
+        return self.branch_table.head(key, branch)
+
+    def _load_fnode(
+        self, key: str, branch: Optional[str], version: Optional[Union[Uid, str]]
+    ) -> FNode:
+        return self.graph.load(self._resolve(key, branch, version))
+
+    # -- core verbs -------------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        value: Union[PyValue, FObject],
+        branch: str = DEFAULT_BRANCH,
+        message: str = "",
+        author: Optional[str] = None,
+    ) -> VersionInfo:
+        """Store a new version of ``key`` on ``branch``.
+
+        The first Put on a branch creates it (from nothing for a new key).
+        Every Put is "stamped with a unique version that is appended to
+        the corresponding branch" (§III-C).
+        """
+        obj = wrap(self.store, value)
+        bases: Tuple[Uid, ...] = ()
+        if self.branch_table.has_branch(key, branch):
+            parent_uid = self.branch_table.head(key, branch)
+            parent = self.graph.load(parent_uid)
+            if parent.type_name != obj.TYPE_NAME:
+                raise TypeMismatchError(
+                    f"{key!r} is {parent.type_name}, cannot put {obj.TYPE_NAME}"
+                )
+            bases = (parent_uid,)
+        fnode = FNode(
+            key=key,
+            type_name=obj.TYPE_NAME,
+            value_root=obj.root,
+            bases=bases,
+            author=author or self.author,
+            message=message,
+            timestamp=float(self._clock()),
+        )
+        uid = self.graph.commit(fnode)
+        self.branch_table.set_head(key, branch, uid)
+        return VersionInfo(key, branch, uid, obj.TYPE_NAME, fnode.author, message)
+
+    def get(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+    ) -> FObject:
+        """Fetch the typed object at a branch head or explicit version."""
+        fnode = self._load_fnode(key, branch, version)
+        return load_object(self.store, fnode.type_name, fnode.value_root)
+
+    def get_value(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+    ) -> PyValue:
+        """Like :meth:`get` but materialized to a plain Python value."""
+        return unwrap(self.get(key, branch, version))
+
+    def head(self, key: str, branch: str = DEFAULT_BRANCH) -> Uid:
+        """Current head version of a branch."""
+        return self.branch_table.head(key, branch)
+
+    def latest(self, key: str) -> Dict[str, Uid]:
+        """All branch heads for a key."""
+        return self.branch_table.heads(key)
+
+    def keys(self) -> List[str]:
+        """All data keys (the List verb)."""
+        return self.branch_table.keys()
+
+    def exists(self, key: str, branch: Optional[str] = None) -> bool:
+        """Does the key (and optionally the branch) exist?"""
+        if branch is None:
+            return key in self.branch_table.keys()
+        return self.branch_table.has_branch(key, branch)
+
+    def branches(self, key: str) -> List[str]:
+        """Branch names for a key."""
+        if key not in self.branch_table.keys():
+            raise UnknownKeyError(key)
+        return self.branch_table.branches(key)
+
+    def branch(
+        self,
+        key: str,
+        new_branch: str,
+        from_branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+    ) -> Uid:
+        """Fork a branch from another branch's head or from a version."""
+        head = self._resolve(key, from_branch, version)
+        self.branch_table.create(key, new_branch, head)
+        return head
+
+    fork = branch  # the paper uses both words for the same operation
+
+    def rename_branch(self, key: str, old: str, new: str) -> None:
+        """Rename a branch (head preserved)."""
+        self.branch_table.rename(key, old, new)
+
+    def delete_branch(self, key: str, branch: str) -> None:
+        """Drop a branch head; its versions remain addressable."""
+        self.branch_table.delete(key, branch)
+
+    def rename(self, key: str, new_key: str) -> None:
+        """Rename a data key (branch heads move; history keeps old name)."""
+        self.branch_table.rename_key(key, new_key)
+
+    def history(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+        limit: Optional[int] = None,
+    ) -> List[FNode]:
+        """Versions reachable from a head, newest first."""
+        head = self._resolve(key, branch, version)
+        return list(self.graph.history(head, limit=limit))
+
+    def meta(self, key: str, branch: str = DEFAULT_BRANCH) -> Dict[str, object]:
+        """The Meta verb: descriptive facts about a branch head."""
+        head = self.branch_table.head(key, branch)
+        fnode = self.graph.load(head)
+        obj = load_object(self.store, fnode.type_name, fnode.value_root)
+        size: Optional[int]
+        if isinstance(obj, (FMap, FSet, FList)):
+            size = len(obj)
+        elif isinstance(obj, FBlob):
+            size = obj.size()
+        else:
+            size = None
+        return {
+            "key": key,
+            "branch": branch,
+            "version": head.base32(),
+            "type": fnode.type_name,
+            "author": fnode.author,
+            "message": fnode.message,
+            "timestamp": fnode.timestamp,
+            "bases": [base.base32() for base in fnode.bases],
+            "size": size,
+            "branches": self.branch_table.branches(key),
+        }
+
+    # -- diff / merge -------------------------------------------------------------------
+
+    def diff(
+        self,
+        key: str,
+        branch_a: Optional[str] = None,
+        branch_b: Optional[str] = None,
+        version_a: Optional[Union[Uid, str]] = None,
+        version_b: Optional[Union[Uid, str]] = None,
+    ) -> TreeDiff:
+        """Differential query between two branches/versions of one key.
+
+        Supported for map and set values (the POS-Tree-backed types); the
+        result prunes shared sub-trees, so cost is O(D log N).
+        """
+        fnode_a = self._load_fnode(key, branch_a, version_a)
+        fnode_b = self._load_fnode(key, branch_b, version_b)
+        if fnode_a.type_name != fnode_b.type_name:
+            raise TypeMismatchError(
+                f"cannot diff {fnode_a.type_name} against {fnode_b.type_name}"
+            )
+        obj_a = load_object(self.store, fnode_a.type_name, fnode_a.value_root)
+        obj_b = load_object(self.store, fnode_b.type_name, fnode_b.value_root)
+        if isinstance(obj_a, FMap):
+            return obj_a.diff(obj_b)
+        if isinstance(obj_a, FSet):
+            from repro.postree.diff import diff_trees
+
+            return diff_trees(obj_a._tree, obj_b._tree)
+        raise TypeMismatchError(
+            f"differential query unsupported for type {fnode_a.type_name}"
+        )
+
+    def merge(
+        self,
+        key: str,
+        from_branch: str,
+        into_branch: str = DEFAULT_BRANCH,
+        resolver: Optional[Resolver] = None,
+        message: str = "",
+        author: Optional[str] = None,
+    ) -> VersionInfo:
+        """Three-way merge of ``from_branch`` into ``into_branch``.
+
+        The merge base is the lowest common ancestor in the derivation
+        graph.  Fast-forwards are detected (head simply moves).  Map/set
+        values merge at sub-tree granularity; other types merge only when
+        one side is unchanged (or via ``resolver`` on whole values).
+        """
+        head_into = self.branch_table.head(key, into_branch)
+        head_from = self.branch_table.head(key, from_branch)
+        if head_into == head_from or self.graph.is_ancestor(head_from, head_into):
+            fnode = self.graph.load(head_into)
+            return VersionInfo(
+                key, into_branch, head_into, fnode.type_name, fnode.author,
+                "already up to date",
+            )
+        if self.graph.is_ancestor(head_into, head_from):
+            # Fast-forward: no new commit needed, the head just advances.
+            self.branch_table.set_head(key, into_branch, head_from)
+            fnode = self.graph.load(head_from)
+            return VersionInfo(
+                key, into_branch, head_from, fnode.type_name, fnode.author,
+                "fast-forward",
+            )
+
+        base_uid = self.graph.lowest_common_ancestor(head_into, head_from)
+        if base_uid is None:
+            raise EngineError(
+                f"no common ancestor between {into_branch!r} and {from_branch!r}"
+            )
+        fnode_base = self.graph.load(base_uid)
+        fnode_a = self.graph.load(head_into)
+        fnode_b = self.graph.load(head_from)
+        if not (fnode_a.type_name == fnode_b.type_name == fnode_base.type_name):
+            raise TypeMismatchError("cannot merge versions of different types")
+
+        merged_root = self._merge_values(fnode_base, fnode_a, fnode_b, resolver)
+        fnode = FNode(
+            key=key,
+            type_name=fnode_a.type_name,
+            value_root=merged_root,
+            bases=(head_into, head_from),
+            author=author or self.author,
+            message=message or f"merge {from_branch} into {into_branch}",
+            timestamp=float(self._clock()),
+        )
+        uid = self.graph.commit(fnode)
+        self.branch_table.set_head(key, into_branch, uid)
+        return VersionInfo(
+            key, into_branch, uid, fnode.type_name, fnode.author, fnode.message
+        )
+
+    def _merge_values(
+        self,
+        base: FNode,
+        side_a: FNode,
+        side_b: FNode,
+        resolver: Optional[Resolver],
+    ) -> Uid:
+        """Merge two value roots against a base; return the merged root."""
+        if side_a.value_root == side_b.value_root:
+            return side_a.value_root
+        if side_a.value_root == base.value_root:
+            return side_b.value_root
+        if side_b.value_root == base.value_root:
+            return side_a.value_root
+        obj_base = load_object(self.store, base.type_name, base.value_root)
+        obj_a = load_object(self.store, side_a.type_name, side_a.value_root)
+        obj_b = load_object(self.store, side_b.type_name, side_b.value_root)
+        if isinstance(obj_a, FMap):
+            merged, _ = obj_a.merge(obj_base, obj_b, resolver)
+            return merged.root
+        if isinstance(obj_a, FSet):
+            from repro.postree.merge import three_way_merge
+
+            result = three_way_merge(
+                obj_base._tree, obj_a._tree, obj_b._tree, resolver
+            )
+            return result.root
+        # Whole-value conflict for non-mergeable types.
+        conflict = MergeConflict(
+            key=base.key.encode("utf-8"),
+            base_value=bytes(base.value_root),
+            a_value=bytes(side_a.value_root),
+            b_value=bytes(side_b.value_root),
+        )
+        if resolver is None:
+            raise MergeConflictError([conflict])
+        choice = resolver(conflict)
+        if choice == conflict.a_value:
+            return side_a.value_root
+        if choice == conflict.b_value:
+            return side_b.value_root
+        raise MergeConflictError([conflict])
+
+    def diff_objects(
+        self,
+        key_a: str,
+        key_b: str,
+        branch_a: Optional[str] = None,
+        branch_b: Optional[str] = None,
+        version_a: Optional[Union[Uid, str]] = None,
+        version_b: Optional[Union[Uid, str]] = None,
+    ) -> TreeDiff:
+        """Differential query across two *different* keys.
+
+        The demo loads two near-identical CSVs as Dataset-1 and Dataset-2
+        and compares them; structural invariance makes this exactly as
+        cheap as a branch diff — the trees share pages purely by content.
+        """
+        fnode_a = self._load_fnode(key_a, branch_a, version_a)
+        fnode_b = self._load_fnode(key_b, branch_b, version_b)
+        if fnode_a.type_name != fnode_b.type_name:
+            raise TypeMismatchError(
+                f"cannot diff {fnode_a.type_name} against {fnode_b.type_name}"
+            )
+        obj_a = load_object(self.store, fnode_a.type_name, fnode_a.value_root)
+        obj_b = load_object(self.store, fnode_b.type_name, fnode_b.value_root)
+        if isinstance(obj_a, (FMap, FSet)):
+            from repro.postree.diff import diff_trees
+
+            return diff_trees(obj_a._tree, obj_b._tree)
+        raise TypeMismatchError(
+            f"differential query unsupported for type {fnode_a.type_name}"
+        )
+
+    # -- maintenance & integrity --------------------------------------------------------
+
+    def verify(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+        check_history: bool = True,
+    ):
+        """Client-side tamper-evidence validation of a head or version.
+
+        Returns a :class:`repro.security.verify.VerificationReport`.
+        """
+        from repro.security.verify import Verifier
+
+        uid = self._resolve(key, branch, version)
+        return Verifier(self.store).verify_version(uid, check_history=check_history)
+
+    def collect_garbage(self, dry_run: bool = False):
+        """Sweep chunks unreachable from any branch head (see
+        :mod:`repro.store.gc`)."""
+        from repro.store.gc import collect_garbage
+
+        return collect_garbage(self, dry_run=dry_run)
+
+    # -- storage accounting ----------------------------------------------------------
+
+    def storage_stats(self):
+        """The chunk store's accounting (Fig. 4 / Table I numbers)."""
+        return self.store.stats
+
+    def physical_size(self) -> int:
+        """Total materialized payload bytes."""
+        return self.store.physical_size()

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the ForkBase reproduction.
+
+Every error raised by this library derives from :class:`ForkBaseError`, so
+applications can catch one base type.  Sub-hierarchies mirror the layers of
+the system (chunk storage, POS-Tree, version control, engine, security,
+API); see DESIGN.md for the layer map.
+"""
+
+from __future__ import annotations
+
+
+class ForkBaseError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ChunkError(ForkBaseError):
+    """Base class for chunk-layer errors."""
+
+
+class ChunkNotFoundError(ChunkError, KeyError):
+    """A chunk id was not present in the physical store."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(uid)
+        self.uid = uid
+
+    def __str__(self) -> str:
+        return f"chunk not found: {self.uid}"
+
+
+class ChunkCorruptionError(ChunkError):
+    """A chunk's bytes do not hash to its id (tampering or bit rot)."""
+
+
+class ChunkEncodingError(ChunkError):
+    """A chunk payload could not be decoded."""
+
+
+class StoreError(ForkBaseError):
+    """Base class for physical-store errors."""
+
+
+class StoreClosedError(StoreError):
+    """Operation attempted on a closed store."""
+
+
+class TreeError(ForkBaseError):
+    """Base class for POS-Tree errors."""
+
+
+class KeyOrderError(TreeError):
+    """Entries supplied to a bulk build were not sorted/unique."""
+
+
+class VersionError(ForkBaseError):
+    """Base class for version-layer errors."""
+
+
+class UnknownVersionError(VersionError, KeyError):
+    """A version uid does not resolve to an FNode."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(uid)
+        self.uid = uid
+
+    def __str__(self) -> str:
+        return f"unknown version: {self.uid}"
+
+
+class UnknownBranchError(VersionError, KeyError):
+    """A branch name does not exist for the given key."""
+
+    def __init__(self, key: object, branch: object) -> None:
+        super().__init__((key, branch))
+        self.key = key
+        self.branch = branch
+
+    def __str__(self) -> str:
+        return f"unknown branch {self.branch!r} for key {self.key!r}"
+
+
+class BranchExistsError(VersionError):
+    """Attempted to create a branch that already exists."""
+
+
+class MergeConflictError(VersionError):
+    """A three-way merge found conflicting edits and no resolver."""
+
+    def __init__(self, conflicts: list) -> None:
+        super().__init__(f"{len(conflicts)} merge conflict(s)")
+        self.conflicts = conflicts
+
+
+class EngineError(ForkBaseError):
+    """Base class for engine-level errors."""
+
+
+class UnknownKeyError(EngineError, KeyError):
+    """A data key does not exist in the engine."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:
+        return f"unknown key: {self.key!r}"
+
+
+class TypeMismatchError(EngineError, TypeError):
+    """An operation was applied to an object of the wrong ForkBase type."""
+
+
+class TamperError(ForkBaseError):
+    """Integrity validation failed: the storage returned tampered content."""
+
+
+class AccessDeniedError(ForkBaseError):
+    """The principal lacks the permission required for the operation."""
+
+
+class SchemaError(ForkBaseError):
+    """A table/dataset schema was violated."""
+
+
+class ApiError(ForkBaseError):
+    """Base class for API-surface errors (CLI / REST router)."""
+
+    status = 400
+
+
+class NotFoundApiError(ApiError):
+    """REST-style 404."""
+
+    status = 404
+
+
+class ClusterError(ForkBaseError):
+    """Base class for simulated-cluster errors."""
+
+
+class NodeDownError(ClusterError):
+    """The chunk's replicas are all on failed nodes."""

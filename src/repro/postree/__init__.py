@@ -1,0 +1,37 @@
+"""POS-Tree — the Pattern-Oriented-Split Tree (paper §II-A).
+
+A probabilistically balanced search tree that is simultaneously a B+-tree
+(split keys guide lookups) and a Merkle tree (child pointers are SHA-256
+uids), with node boundaries chosen by content-defined slicing so the
+structure is *invariant*: it depends only on the record set, never on the
+order of edits.  This gives the three SIRI properties of Definition 1 and
+powers page-level deduplication, O(D log N) diff, and sub-tree-reusing
+three-way merge.
+
+Public surface:
+
+- :class:`~repro.postree.tree.PosTree` — ordered key/value tree.
+- :class:`~repro.postree.listtree.PositionalTree` — ordered sequence tree
+  (lists, blobs).
+- :func:`~repro.postree.diff.diff_trees` / :class:`~repro.postree.diff.TreeDiff`
+- :func:`~repro.postree.merge.three_way_merge` /
+  :class:`~repro.postree.merge.MergeStats`
+- :mod:`~repro.postree.siri` — checkers for the SIRI properties.
+"""
+
+from repro.postree.config import TreeConfig
+from repro.postree.diff import TreeDiff, diff_trees
+from repro.postree.listtree import PositionalTree
+from repro.postree.merge import MergeResult, MergeStats, three_way_merge
+from repro.postree.tree import PosTree
+
+__all__ = [
+    "TreeConfig",
+    "TreeDiff",
+    "diff_trees",
+    "PositionalTree",
+    "MergeResult",
+    "MergeStats",
+    "three_way_merge",
+    "PosTree",
+]

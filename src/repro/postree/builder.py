@@ -1,0 +1,113 @@
+"""Bulk construction of POS-Trees.
+
+The builder is the *reference semantics* of the structure: a POS-Tree is
+defined as "what :func:`bulk_build` produces for this record set under
+this config."  The incremental editor must reproduce it bit-for-bit; the
+property tests compare the two on random workloads.
+
+Construction follows §II-A: "the entire list of data entries is treated as
+a byte sequence, and the pattern detection process scans it from the
+beginning.  When a pattern occurs, a node is created from recently scanned
+bytes" — then the emitted nodes' index entries form the next level's entry
+sequence, recursively, until a single node remains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.chunk import Uid
+from repro.errors import KeyOrderError
+from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
+from repro.postree.node import (
+    IndexEntry,
+    IndexNode,
+    LeafEntry,
+    LeafNode,
+    empty_leaf,
+    encode_index_entry,
+    encode_leaf_entry,
+)
+from repro.rolling.chunker import EntryChunker
+from repro.store.base import ChunkStore
+
+
+def build_leaf_level(
+    store: ChunkStore,
+    entries: Iterable[LeafEntry],
+    config: TreeConfig,
+    check_order: bool = True,
+) -> List[IndexEntry]:
+    """Chunk sorted records into leaf nodes; return their descriptors."""
+    chunker = EntryChunker(config.leaf)
+    descriptors: List[IndexEntry] = []
+    buffer: List[LeafEntry] = []
+    previous_key = None
+    for entry in entries:
+        if check_order and previous_key is not None and entry.key <= previous_key:
+            raise KeyOrderError(
+                f"keys must be strictly increasing: {previous_key!r} then {entry.key!r}"
+            )
+        previous_key = entry.key
+        buffer.append(entry)
+        if chunker.push(encode_leaf_entry(entry)):
+            node = LeafNode(buffer)
+            store.put(node.to_chunk())
+            descriptors.append(node.descriptor())
+            buffer = []
+    if buffer:
+        node = LeafNode(buffer)
+        store.put(node.to_chunk())
+        descriptors.append(node.descriptor())
+    return descriptors
+
+
+def build_index_levels(
+    store: ChunkStore,
+    descriptors: List[IndexEntry],
+    config: TreeConfig,
+    first_level: int = 1,
+) -> Uid:
+    """Stack index levels over ``descriptors`` until a single root remains.
+
+    ``descriptors`` describe the nodes of level ``first_level - 1``; if
+    there is exactly one, it *is* the root (no index node is built over a
+    single child — bulk build and editor must agree on this).
+    """
+    level = first_level
+    while len(descriptors) > 1:
+        chunker = EntryChunker(config.index)
+        next_descriptors: List[IndexEntry] = []
+        buffer: List[IndexEntry] = []
+        for descriptor in descriptors:
+            buffer.append(descriptor)
+            if chunker.push(encode_index_entry(descriptor)):
+                node = IndexNode(level, buffer)
+                store.put(node.to_chunk())
+                next_descriptors.append(node.descriptor())
+                buffer = []
+        if buffer:
+            node = IndexNode(level, buffer)
+            store.put(node.to_chunk())
+            next_descriptors.append(node.descriptor())
+        descriptors = next_descriptors
+        level += 1
+    return descriptors[0].child
+
+
+def bulk_build(
+    store: ChunkStore,
+    entries: Iterable[LeafEntry],
+    config: TreeConfig = DEFAULT_TREE_CONFIG,
+    check_order: bool = True,
+) -> Uid:
+    """Build a POS-Tree over sorted, unique-keyed records; return its root.
+
+    An empty record set yields the canonical empty leaf.
+    """
+    descriptors = build_leaf_level(store, entries, config, check_order=check_order)
+    if not descriptors:
+        node = empty_leaf()
+        store.put(node.to_chunk())
+        return node.uid
+    return build_index_levels(store, descriptors, config)

@@ -1,0 +1,241 @@
+"""Fast differential queries between POS-Tree instances (paper §II-B).
+
+"Because two sub-trees with identical content must have the same root id,
+the Diff operation can be performed recursively by following the sub-trees
+with different ids, and pruning ones with the same ids.  The complexity of
+Diff is therefore O(D·log N)."
+
+The implementation walks both trees with *lazy* entry cursors: a cursor
+only loads a child node when the walk actually needs to look inside it.
+Whenever both cursors sit at the start of sub-trees with equal uids — at
+any level, even different levels on the two sides — the whole sub-tree is
+skipped without ever being fetched from storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chunk import Uid
+from repro.postree.node import IndexNode, LeafEntry, LeafNode
+
+
+@dataclass
+class TreeDiff:
+    """Key-level differences from tree A to tree B."""
+
+    #: Keys present only in B (key → B value).
+    added: Dict[bytes, bytes] = field(default_factory=dict)
+    #: Keys present only in A (key → A value).
+    removed: Dict[bytes, bytes] = field(default_factory=dict)
+    #: Keys in both with different values (key → (A value, B value)).
+    changed: Dict[bytes, Tuple[bytes, bytes]] = field(default_factory=dict)
+    #: Sub-trees skipped because their uids matched (the pruning win).
+    subtrees_pruned: int = 0
+    #: Node chunks actually loaded during the walk (the measured cost).
+    nodes_loaded: int = 0
+
+    @property
+    def edit_count(self) -> int:
+        """D: the number of differing keys."""
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+    def is_empty(self) -> bool:
+        """True when the trees hold identical record sets."""
+        return self.edit_count == 0
+
+    def as_edits(self) -> Tuple[Dict[bytes, bytes], List[bytes]]:
+        """Express the diff as (puts, deletes) that turn A into B."""
+        puts: Dict[bytes, bytes] = dict(self.added)
+        for key, (_, b_value) in self.changed.items():
+            puts[key] = b_value
+        return puts, list(self.removed)
+
+
+class _LazyCursor:
+    """Ordered record walk that loads nodes only when forced to look inside.
+
+    The frame stack runs root→downward; the deepest frame is the
+    *frontier*.  If the frontier node is an index node, its current child
+    has not been loaded yet — :meth:`pending` exposes that child's uid so
+    the diff can prune it against the other side before fetching.
+    """
+
+    __slots__ = ("_tree", "_frames", "done", "loads")
+
+    def __init__(self, tree) -> None:
+        self._tree = tree
+        self._frames: List[Tuple[object, int]] = []
+        self.done = False
+        self.loads = 0
+        root = self._load(tree.root)
+        if isinstance(root, LeafNode) and not root.entries:
+            self.done = True
+        elif isinstance(root, IndexNode) and not root.entries:
+            self.done = True
+        else:
+            self._frames.append((root, 0))
+
+    def _load(self, uid: Uid):
+        self.loads += 1
+        return self._tree.node(uid)
+
+    # -- frontier inspection ---------------------------------------------------
+
+    def leaf_ready(self) -> bool:
+        """True when the frontier points directly at a record."""
+        return isinstance(self._frames[-1][0], LeafNode)
+
+    def pending(self) -> Tuple[Uid, int]:
+        """(uid, level) of the unloaded child at the frontier."""
+        node, pos = self._frames[-1]
+        return node.entries[pos].child, node.level - 1
+
+    def expand(self) -> None:
+        """Load the frontier child and push it (one level of descent)."""
+        node, pos = self._frames[-1]
+        child = self._load(node.entries[pos].child)
+        self._frames.append((child, 0))
+
+    def entry(self) -> LeafEntry:
+        """The current record (frontier must be leaf-ready)."""
+        leaf, pos = self._frames[-1]
+        return leaf.entries[pos]
+
+    def aligned_subtrees(self) -> Dict[Uid, int]:
+        """Sub-trees whose first record is the current position.
+
+        Maps sub-tree uid → depth of the frame holding it (so skipping is
+        "advance that frame").  Topmost candidates iterate first.  The
+        frontier child itself is always aligned; higher children require
+        every deeper frame to sit at position 0.
+        """
+        out: Dict[Uid, int] = {}
+        frames = self._frames
+        # suffix_zero[d] := frames[d:] are all at position 0.
+        zero = True
+        suffix_zero = [False] * (len(frames) + 1)
+        suffix_zero[len(frames)] = True
+        for depth in range(len(frames) - 1, -1, -1):
+            if frames[depth][1] != 0:
+                zero = False
+            suffix_zero[depth] = zero
+        for depth, (node, pos) in enumerate(frames):
+            if isinstance(node, LeafNode):
+                break
+            if suffix_zero[depth + 1]:
+                out[node.entries[pos].child] = depth
+        return out
+
+    # -- movement ---------------------------------------------------------------
+
+    def _retreat(self) -> None:
+        """Pop exhausted frames; leave the cursor at an unvisited child."""
+        while self._frames:
+            node, pos = self._frames[-1]
+            if pos < len(node.entries):
+                return
+            self._frames.pop()
+            if self._frames:
+                parent, ppos = self._frames[-1]
+                self._frames[-1] = (parent, ppos + 1)
+        self.done = True
+
+    def advance(self) -> None:
+        """Step past the current record (frontier must be leaf-ready)."""
+        leaf, pos = self._frames[-1]
+        self._frames[-1] = (leaf, pos + 1)
+        self._retreat()
+
+    def skip_subtree(self, depth: int) -> None:
+        """Jump past the aligned sub-tree held by frame ``depth``."""
+        del self._frames[depth + 1 :]
+        node, pos = self._frames[-1]
+        self._frames[-1] = (node, pos + 1)
+        self._retreat()
+
+
+def diff_trees(tree_a, tree_b) -> TreeDiff:
+    """Compute the key-level diff from ``tree_a`` to ``tree_b``.
+
+    Cost is O(D·log N) node loads: identical sub-trees are pruned by uid
+    without being fetched.
+    """
+    diff = TreeDiff()
+    if tree_a.root == tree_b.root:
+        diff.subtrees_pruned = 1
+        return diff
+
+    cursor_a = _LazyCursor(tree_a)
+    cursor_b = _LazyCursor(tree_b)
+
+    while not cursor_a.done and not cursor_b.done:
+        subs_a = cursor_a.aligned_subtrees()
+        subs_b = cursor_b.aligned_subtrees()
+        common = None
+        for uid, depth_a in subs_a.items():  # topmost first
+            if uid in subs_b:
+                common = (depth_a, subs_b[uid])
+                break
+        if common is not None:
+            cursor_a.skip_subtree(common[0])
+            cursor_b.skip_subtree(common[1])
+            diff.subtrees_pruned += 1
+            continue
+        # No prune possible at the current frontiers: descend one level on
+        # the taller side (or both), re-checking for prunes as new child
+        # uids surface.
+        ready_a = cursor_a.leaf_ready()
+        ready_b = cursor_b.leaf_ready()
+        if not ready_a or not ready_b:
+            if not ready_a and not ready_b:
+                level_a = cursor_a.pending()[1]
+                level_b = cursor_b.pending()[1]
+                if level_a >= level_b:
+                    cursor_a.expand()
+                if level_b >= level_a:
+                    cursor_b.expand()
+            elif not ready_a:
+                cursor_a.expand()
+            else:
+                cursor_b.expand()
+            continue
+        entry_a = cursor_a.entry()
+        entry_b = cursor_b.entry()
+        if entry_a.key < entry_b.key:
+            diff.removed[entry_a.key] = entry_a.value
+            cursor_a.advance()
+        elif entry_a.key > entry_b.key:
+            diff.added[entry_b.key] = entry_b.value
+            cursor_b.advance()
+        else:
+            if entry_a.value != entry_b.value:
+                diff.changed[entry_a.key] = (entry_a.value, entry_b.value)
+            cursor_a.advance()
+            cursor_b.advance()
+
+    while not cursor_a.done:
+        if not cursor_a.leaf_ready():
+            cursor_a.expand()
+            continue
+        entry_a = cursor_a.entry()
+        diff.removed[entry_a.key] = entry_a.value
+        cursor_a.advance()
+    while not cursor_b.done:
+        if not cursor_b.leaf_ready():
+            cursor_b.expand()
+            continue
+        entry_b = cursor_b.entry()
+        diff.added[entry_b.key] = entry_b.value
+        cursor_b.advance()
+
+    diff.nodes_loaded = cursor_a.loads + cursor_b.loads
+    return diff
+
+
+def diff_keys(tree_a, tree_b) -> List[bytes]:
+    """Just the differing keys, sorted (convenience for renderers)."""
+    diff = diff_trees(tree_a, tree_b)
+    keys = set(diff.added) | set(diff.removed) | set(diff.changed)
+    return sorted(keys)

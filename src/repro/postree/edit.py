@@ -1,0 +1,355 @@
+"""Incremental POS-Tree editing.
+
+Applying a batch of upserts/deletes does **not** rebuild the tree.  At the
+leaf level we re-run the content-defined chunker only from the first
+affected leaf, and stop as soon as the emitted boundaries *resynchronize*
+with the old ones — from that point every following page is reused.  The
+replaced page range then propagates to the parent level, where the same
+splice repeats on index entries, up to the root.  Total cost is
+O((D + resync window) · log N) pages, independent of tree size.
+
+Structural invariance (SIRI Property 1) makes this safe to verify: the
+property tests assert that ``apply_edits`` yields a byte-identical root to
+bulk-building the edited record set from scratch.
+
+Limitation (documented, deliberate): a batch whose keys span a wide range
+re-chunks everything between the smallest and largest edited key in one
+splice.  Callers with scattered edits can apply them as several batches;
+content addressing guarantees the same final tree either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.chunk import Uid
+from repro.postree.builder import build_index_levels, bulk_build
+from repro.postree.node import (
+    IndexEntry,
+    IndexNode,
+    LeafEntry,
+    LeafNode,
+    empty_leaf,
+    encode_index_entry,
+    encode_leaf_entry,
+)
+from repro.rolling.chunker import EntryChunker
+
+# A path records, from the root downward, (index node, child position)
+# frames leading to — but not including — a node of interest.
+PathFrame = Tuple[IndexNode, int]
+Path = List[PathFrame]
+
+
+class _Walker:
+    """Left-to-right iterator over the nodes of one tree level.
+
+    Tracks the parent path of the current node so the editor knows which
+    index entries a consumed node occupies.
+    """
+
+    def __init__(self, tree, stack: Path, current) -> None:
+        self._tree = tree
+        self._stack = stack
+        self.current = current
+
+    @classmethod
+    def at_key(cls, tree, level: int, key: bytes) -> "_Walker":
+        """Descend from the root toward ``key``, stopping at ``level``."""
+        node = tree.root_node()
+        stack: Path = []
+        while isinstance(node, IndexNode) and node.level > level:
+            pos = node.child_for(key)
+            stack.append((node, pos))
+            node = tree.node(node.entries[pos].child)
+        return cls(tree, stack, node)
+
+    @classmethod
+    def from_path(cls, tree, path: Path) -> "_Walker":
+        """Position on the node addressed by an explicit parent path."""
+        if not path:
+            return cls(tree, [], tree.root_node())
+        parent, pos = path[-1]
+        node = tree.node(parent.entries[pos].child)
+        return cls(tree, list(path), node)
+
+    def path(self) -> Path:
+        """Copy of the current node's parent path."""
+        return list(self._stack)
+
+    def position_vector(self) -> Tuple[int, ...]:
+        """Positions along the path (for ordering comparisons)."""
+        return tuple(pos for _, pos in self._stack)
+
+    def advance(self) -> bool:
+        """Move to the next node at this level; False at the level's end."""
+        level = self.current.level if isinstance(self.current, IndexNode) else 0
+        while self._stack:
+            parent, pos = self._stack.pop()
+            pos += 1
+            if pos < len(parent.entries):
+                self._stack.append((parent, pos))
+                node = self._tree.node(parent.entries[pos].child)
+                while isinstance(node, IndexNode) and node.level > level:
+                    self._stack.append((node, 0))
+                    node = self._tree.node(node.entries[0].child)
+                self.current = node
+                return True
+        self.current = None
+        return False
+
+    def prev_tail(self, window: int) -> bytes:
+        """Entry-stream bytes preceding the current node (window seeding)."""
+        level = self.current.level if isinstance(self.current, IndexNode) else 0
+        for depth in range(len(self._stack) - 1, -1, -1):
+            parent, pos = self._stack[depth]
+            if pos > 0:
+                node = self._tree.node(parent.entries[pos - 1].child)
+                while isinstance(node, IndexNode) and node.level > level:
+                    node = self._tree.node(node.entries[-1].child)
+                return node.tail_bytes(window)
+        return b""
+
+
+class _Emitter:
+    """Shared boundary/buffer state machine for one level's splice."""
+
+    def __init__(self, tree, chunker: EntryChunker, level: int) -> None:
+        self._tree = tree
+        self._chunker = chunker
+        self._level = level
+        self.buffer: List = []
+        self.descriptors: List[IndexEntry] = []
+        self.bytes_since_edit: Optional[int] = None  # None: edit not reached
+
+    def emit(self, entry, encoded: bytes, edited: bool) -> None:
+        """Feed one entry through the chunker, flushing on boundaries."""
+        self.buffer.append(entry)
+        hit = self._chunker.push(encoded)
+        if edited:
+            self.bytes_since_edit = 0
+        elif self.bytes_since_edit is not None:
+            self.bytes_since_edit += len(encoded)
+        if hit:
+            self.flush()
+
+    def mark_edit_point(self) -> None:
+        """Note that the stream diverges here even with nothing emitted."""
+        self.bytes_since_edit = 0
+
+    def flush(self) -> None:
+        """Materialize the buffered entries as one node."""
+        if not self.buffer:
+            return
+        if self._level == 0:
+            node = LeafNode(self.buffer)
+        else:
+            node = IndexNode(self._level, self.buffer)
+        self._tree.store.put(node.to_chunk())
+        self.descriptors.append(node.descriptor())
+        self.buffer = []
+
+    def can_resync(self, window: int) -> bool:
+        """True when emitted boundaries have realigned with old ones."""
+        return (
+            not self.buffer
+            and self.bytes_since_edit is not None
+            and self.bytes_since_edit >= window
+        )
+
+
+def _splice_leaves(
+    tree,
+    ops: Sequence[Tuple[bytes, Optional[bytes]]],
+) -> Tuple[List[IndexEntry], Path, Path]:
+    """Re-chunk the leaf level across the edited key range.
+
+    ``ops`` is sorted by key; value None means delete.  Returns the new
+    leaves' descriptors plus the parent paths of the first and last
+    *consumed* (replaced) old leaves.
+    """
+    config = tree.config.leaf
+    walker = _Walker.at_key(tree, 0, ops[0][0])
+    chunker = EntryChunker(config)
+    tail = walker.prev_tail(config.window)
+    if tail:
+        chunker.seed(tail)
+    emitter = _Emitter(tree, chunker, level=0)
+
+    start_path = walker.path()
+    last_path = walker.path()
+    op_index = 0
+
+    while True:
+        leaf: LeafNode = walker.current
+        if op_index >= len(ops) and emitter.can_resync(config.window):
+            break  # every remaining leaf is reused verbatim
+        last_path = walker.path()
+        for entry in leaf.entries:
+            while op_index < len(ops) and ops[op_index][0] < entry.key:
+                key, value = ops[op_index]
+                op_index += 1
+                if value is None:
+                    emitter.mark_edit_point()  # delete of an absent key
+                else:
+                    emitter.emit(LeafEntry(key, value),
+                                 encode_leaf_entry(LeafEntry(key, value)), True)
+            if op_index < len(ops) and ops[op_index][0] == entry.key:
+                key, value = ops[op_index]
+                op_index += 1
+                if value is None:
+                    emitter.mark_edit_point()  # deletion: entry vanishes
+                else:
+                    emitter.emit(LeafEntry(key, value),
+                                 encode_leaf_entry(LeafEntry(key, value)), True)
+            else:
+                emitter.emit(entry, encode_leaf_entry(entry), False)
+        if not walker.advance():
+            # End of the tree: any remaining ops append past the max key.
+            while op_index < len(ops):
+                key, value = ops[op_index]
+                op_index += 1
+                if value is None:
+                    emitter.mark_edit_point()
+                else:
+                    emitter.emit(LeafEntry(key, value),
+                                 encode_leaf_entry(LeafEntry(key, value)), True)
+            emitter.flush()
+            break
+    return emitter.descriptors, start_path, last_path
+
+
+def _splice_index_level(
+    tree,
+    level: int,
+    start_path: Path,
+    end_path: Path,
+    replacements: List[IndexEntry],
+) -> Tuple[List[IndexEntry], Path, Path]:
+    """Replace an entry range at an index level and re-chunk it.
+
+    The range runs from entry ``start_path[-1].pos`` of the node addressed
+    by ``start_path`` through entry ``end_path[-1].pos`` of the node
+    addressed by ``end_path`` (inclusive); ``replacements`` are the new
+    child descriptors.  Same return convention as :func:`_splice_leaves`.
+    """
+    config = tree.config.index
+    start_parent_path = start_path[:-1]
+    start_pos = start_path[-1][1]
+    end_vector = tuple(pos for _, pos in end_path[:-1])
+    end_pos = end_path[-1][1]
+
+    walker = _Walker.from_path(tree, start_parent_path)
+    chunker = EntryChunker(config)
+    tail = walker.prev_tail(config.window)
+    if tail:
+        chunker.seed(tail)
+    emitter = _Emitter(tree, chunker, level=level)
+
+    new_start_path = walker.path()
+    last_path = walker.path()
+
+    # 1. Pre-edit entries of the start node (re-chunked but unchanged).
+    start_node: IndexNode = walker.current
+    for entry in start_node.entries[:start_pos]:
+        emitter.emit(entry, encode_index_entry(entry), False)
+
+    # 2. The replacement range.
+    emitter.mark_edit_point()
+    for entry in replacements:
+        emitter.emit(entry, encode_index_entry(entry), True)
+
+    # 3. Skip wholly-replaced nodes, then the end node's surviving tail.
+    while walker.position_vector() != end_vector:
+        if not walker.advance():
+            raise AssertionError("end node not found while splicing index level")
+        last_path = walker.path()
+    end_node: IndexNode = walker.current
+    for entry in end_node.entries[end_pos + 1 :]:
+        emitter.emit(entry, encode_index_entry(entry), False)
+
+    # 4. Subsequent nodes until boundaries resynchronize.
+    while True:
+        if not walker.advance():
+            emitter.flush()
+            break
+        if emitter.can_resync(config.window):
+            break
+        last_path = walker.path()
+        for entry in walker.current.entries:
+            emitter.emit(entry, encode_index_entry(entry), False)
+
+    return emitter.descriptors, new_start_path, last_path
+
+
+def _covers_whole_level(start_path: Path, end_path: Path) -> bool:
+    """True when the consumed node range spans its entire tree level."""
+    leftmost = all(pos == 0 for _, pos in start_path)
+    rightmost = all(pos == len(node.entries) - 1 for node, pos in end_path)
+    return leftmost and rightmost
+
+
+def apply_edits(
+    tree,
+    puts: Dict[bytes, bytes],
+    deletes: Set[bytes],
+) -> Uid:
+    """Apply a batch of edits; return the new root uid.
+
+    Keys present in both ``puts`` and ``deletes`` are treated as puts.
+    """
+    ops: List[Tuple[bytes, Optional[bytes]]] = []
+    for key in deletes:
+        if key not in puts:
+            ops.append((key, None))
+    for key, value in puts.items():
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("POS-Tree keys and values must be bytes")
+        ops.append((key, value))
+    if not ops:
+        return tree.root
+    ops.sort(key=lambda op: op[0])
+
+    root_node = tree.root_node()
+    if isinstance(root_node, LeafNode):
+        # Height-0 tree: merge directly and bulk build (already O(node)).
+        merged: Dict[bytes, bytes] = {e.key: e.value for e in root_node.entries}
+        for key, value in ops:
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        entries = [LeafEntry(k, merged[k]) for k in sorted(merged)]
+        return bulk_build(tree.store, entries, tree.config)
+
+    replacements, start_path, end_path = _splice_leaves(tree, ops)
+    level_below = 0
+    while len(start_path) > 1:
+        if _covers_whole_level(start_path, end_path):
+            # Every node of the level below was consumed: the tree above
+            # no longer constrains anything — rebuild it from scratch so
+            # the result matches bulk semantics (in particular, a single
+            # surviving node becomes the root instead of being wrapped).
+            if not replacements:
+                node = empty_leaf()
+                tree.store.put(node.to_chunk())
+                return node.uid
+            return build_index_levels(
+                tree.store, replacements, tree.config, first_level=level_below + 1
+            )
+        level = start_path[-1][0].level
+        replacements, start_path, end_path = _splice_index_level(
+            tree, level, start_path, end_path, replacements
+        )
+        level_below = level
+
+    # The paths now address children of the root: final assembly.
+    root: IndexNode = start_path[0][0]
+    start_pos = start_path[0][1]
+    end_pos = end_path[0][1]
+    entries = root.entries[:start_pos] + replacements + root.entries[end_pos + 1 :]
+    if not entries:
+        node = empty_leaf()
+        tree.store.put(node.to_chunk())
+        return node.uid
+    return build_index_levels(tree.store, entries, tree.config, first_level=root.level)

@@ -1,0 +1,248 @@
+"""POS-Tree node encodings.
+
+Exactly two node kinds exist in a keyed POS-Tree (Fig. 2 of the paper):
+
+- **data chunk** (leaf): a run of ``(key, value)`` entries, sorted by key;
+- **index chunk**: one entry per child, ``{⟨split-key, H({elements})⟩}`` —
+  the child's largest key, its uid (the cryptographic hash of the child
+  chunk, which is what makes the tree a Merkle tree), and the child
+  subtree's record count (for O(log N) size/rank queries).
+
+The *entry byte strings* defined here are also the stream the rolling-hash
+chunker scans, so the same serialization decides both node content and
+node boundaries — the heart of structural invariance.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer
+from repro.errors import ChunkEncodingError
+
+
+class LeafEntry(NamedTuple):
+    """A record stored in a data chunk."""
+
+    key: bytes
+    value: bytes
+
+
+class IndexEntry(NamedTuple):
+    """A child reference stored in an index chunk."""
+
+    split_key: bytes  # largest key in the child's subtree
+    child: Uid
+    count: int  # records in the child's subtree
+
+
+def encode_leaf_entry(entry: LeafEntry) -> bytes:
+    """Serialize one record (this is what the leaf-level chunker scans)."""
+    return Writer().blob(entry.key).blob(entry.value).getvalue()
+
+
+def encode_index_entry(entry: IndexEntry) -> bytes:
+    """Serialize one child reference (scanned by the index-level chunker)."""
+    return (
+        Writer()
+        .blob(entry.split_key)
+        .uid(entry.child)
+        .uvarint(entry.count)
+        .getvalue()
+    )
+
+
+class LeafNode:
+    """A data chunk: sorted run of records."""
+
+    __slots__ = ("entries", "_chunk")
+
+    def __init__(self, entries: List[LeafEntry]) -> None:
+        self.entries = entries
+        self._chunk: Optional[Chunk] = None
+
+    def to_chunk(self) -> Chunk:
+        """Encode (cached) into an immutable LEAF chunk."""
+        if self._chunk is None:
+            writer = Writer().uvarint(len(self.entries))
+            for entry in self.entries:
+                writer.raw(encode_leaf_entry(entry))
+            self._chunk = Chunk(ChunkType.LEAF, writer.getvalue())
+        return self._chunk
+
+    @classmethod
+    def from_chunk(cls, chunk: Chunk) -> "LeafNode":
+        """Decode a LEAF chunk."""
+        if chunk.type != ChunkType.LEAF:
+            raise ChunkEncodingError(f"expected LEAF chunk, got {chunk.type.name}")
+        reader = Reader(chunk.data)
+        count = reader.uvarint()
+        entries = [LeafEntry(reader.blob(), reader.blob()) for _ in range(count)]
+        reader.expect_end()
+        node = cls(entries)
+        node._chunk = chunk
+        return node
+
+    @property
+    def uid(self) -> Uid:
+        """Content address of the encoded node."""
+        return self.to_chunk().uid
+
+    @property
+    def count(self) -> int:
+        """Number of records in this leaf."""
+        return len(self.entries)
+
+    def split_key(self) -> bytes:
+        """Largest key (the entry keys are sorted)."""
+        return self.entries[-1].key if self.entries else b""
+
+    def descriptor(self) -> IndexEntry:
+        """The index entry a parent would hold for this node."""
+        return IndexEntry(self.split_key(), self.uid, self.count)
+
+    def entry_bytes(self) -> List[bytes]:
+        """Per-entry serializations, in order (chunker input)."""
+        return [encode_leaf_entry(entry) for entry in self.entries]
+
+    def tail_bytes(self, window: int) -> bytes:
+        """Last ``window`` bytes of the entry stream (window seeding)."""
+        tail = b""
+        for entry in reversed(self.entries):
+            tail = encode_leaf_entry(entry) + tail
+            if len(tail) >= window:
+                break
+        return tail[-window:]
+
+    def find(self, key: bytes) -> Optional[bytes]:
+        """Binary-search the run for ``key``; return its value or None."""
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid].key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.entries) and self.entries[lo].key == key:
+            return self.entries[lo].value
+        return None
+
+    def __repr__(self) -> str:
+        return f"LeafNode({self.count} entries, {self.uid.short()}…)"
+
+
+class IndexNode:
+    """An index chunk: one entry per child node."""
+
+    __slots__ = ("level", "entries", "_chunk")
+
+    def __init__(self, level: int, entries: List[IndexEntry]) -> None:
+        if level < 1:
+            raise ValueError("index nodes live at level >= 1")
+        self.level = level
+        self.entries = entries
+        self._chunk: Optional[Chunk] = None
+
+    def to_chunk(self) -> Chunk:
+        """Encode (cached) into an immutable INDEX chunk."""
+        if self._chunk is None:
+            writer = Writer().uvarint(self.level).uvarint(len(self.entries))
+            for entry in self.entries:
+                writer.raw(encode_index_entry(entry))
+            self._chunk = Chunk(ChunkType.INDEX, writer.getvalue())
+        return self._chunk
+
+    @classmethod
+    def from_chunk(cls, chunk: Chunk) -> "IndexNode":
+        """Decode an INDEX chunk."""
+        if chunk.type != ChunkType.INDEX:
+            raise ChunkEncodingError(f"expected INDEX chunk, got {chunk.type.name}")
+        reader = Reader(chunk.data)
+        level = reader.uvarint()
+        count = reader.uvarint()
+        entries = [
+            IndexEntry(reader.blob(), reader.uid(), reader.uvarint())
+            for _ in range(count)
+        ]
+        reader.expect_end()
+        node = cls(level, entries)
+        node._chunk = chunk
+        return node
+
+    @property
+    def uid(self) -> Uid:
+        """Content address of the encoded node."""
+        return self.to_chunk().uid
+
+    @property
+    def count(self) -> int:
+        """Total records beneath this node."""
+        return sum(entry.count for entry in self.entries)
+
+    def split_key(self) -> bytes:
+        """Largest key beneath this node."""
+        return self.entries[-1].split_key if self.entries else b""
+
+    def descriptor(self) -> IndexEntry:
+        """The index entry a parent would hold for this node."""
+        return IndexEntry(self.split_key(), self.uid, self.count)
+
+    def entry_bytes(self) -> List[bytes]:
+        """Per-entry serializations, in order (chunker input)."""
+        return [encode_index_entry(entry) for entry in self.entries]
+
+    def tail_bytes(self, window: int) -> bytes:
+        """Last ``window`` bytes of the entry stream (window seeding)."""
+        tail = b""
+        for entry in reversed(self.entries):
+            tail = encode_index_entry(entry) + tail
+            if len(tail) >= window:
+                break
+        return tail[-window:]
+
+    def child_for(self, key: bytes) -> int:
+        """Index of the child whose subtree may contain ``key``.
+
+        Children are ordered and ``split_key`` is each child's maximum, so
+        the right child is the first with ``split_key >= key``; keys past
+        the end route to the last child (insertion point).
+        """
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid].split_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self.entries):
+            lo -= 1
+        return lo
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexNode(level={self.level}, {len(self.entries)} children, "
+            f"{self.uid.short()}…)"
+        )
+
+
+def load_node(chunk: Chunk):
+    """Decode either node kind from a chunk."""
+    if chunk.type == ChunkType.LEAF:
+        return LeafNode.from_chunk(chunk)
+    if chunk.type == ChunkType.INDEX:
+        return IndexNode.from_chunk(chunk)
+    raise ChunkEncodingError(f"not a POS-Tree node chunk: {chunk.type.name}")
+
+
+#: The canonical empty tree: a leaf with no entries.
+def empty_leaf() -> LeafNode:
+    """The canonical empty-tree root."""
+    return LeafNode([])
+
+
+def node_level(node) -> int:
+    """Level of a decoded node (leaves are level 0)."""
+    return node.level if isinstance(node, IndexNode) else 0
+
+
+Entry = Tuple[bytes, bytes]

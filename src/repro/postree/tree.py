@@ -1,0 +1,269 @@
+"""The POS-Tree handle: reads, scans, and immutable-style updates.
+
+A :class:`PosTree` is a *view* — (store, root uid, config).  All mutating
+operations return a new handle on a new root; every chunk ever written
+stays materialized, which is exactly the paper's immutability story (old
+versions remain addressable and share pages with new ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.chunk import Uid
+from repro.errors import TreeError
+from repro.postree.builder import bulk_build
+from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
+from repro.postree.node import (
+    IndexNode,
+    LeafEntry,
+    LeafNode,
+    load_node,
+    node_level,
+)
+from repro.store.base import ChunkStore
+
+Node = Union[LeafNode, IndexNode]
+
+
+class PosTree:
+    """Ordered key→value POS-Tree over a chunk store."""
+
+    __slots__ = ("store", "root", "config")
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        root: Uid,
+        config: TreeConfig = DEFAULT_TREE_CONFIG,
+    ) -> None:
+        self.store = store
+        self.root = root
+        self.config = config
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(
+        cls, store: ChunkStore, config: TreeConfig = DEFAULT_TREE_CONFIG
+    ) -> "PosTree":
+        """A tree with no records (canonical empty leaf root)."""
+        return cls(store, bulk_build(store, [], config), config)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        store: ChunkStore,
+        pairs: Iterable[Tuple[bytes, bytes]],
+        config: TreeConfig = DEFAULT_TREE_CONFIG,
+        presorted: bool = False,
+    ) -> "PosTree":
+        """Bulk-build from (key, value) pairs; sorts and dedups by default.
+
+        With duplicates, the last value for a key wins (load semantics).
+        """
+        if presorted:
+            entries = [LeafEntry(k, v) for k, v in pairs]
+        else:
+            merged: Dict[bytes, bytes] = {}
+            for key, value in pairs:
+                merged[key] = value
+            entries = [LeafEntry(k, merged[k]) for k in sorted(merged)]
+        return cls(store, bulk_build(store, entries, config), config)
+
+    def with_root(self, root: Uid) -> "PosTree":
+        """Same store/config, different root (cheap version switch)."""
+        return PosTree(self.store, root, self.config)
+
+    # -- node access ---------------------------------------------------------
+
+    def node(self, uid: Uid) -> Node:
+        """Load and decode a node chunk."""
+        return load_node(self.store.get(uid))
+
+    def root_node(self) -> Node:
+        """The decoded root."""
+        return self.node(self.root)
+
+    def height(self) -> int:
+        """Levels above the leaves (0 for a leaf-only tree)."""
+        return node_level(self.root_node())
+
+    # -- point reads ---------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up one key, following split keys down (B+-tree descent)."""
+        node = self.root_node()
+        while isinstance(node, IndexNode):
+            if not node.entries:
+                return None
+            node = self.node(node.entries[node.child_for(key)].child)
+        return node.find(key)
+
+    def has(self, key: bytes) -> bool:
+        """Membership test."""
+        return self.get(key) is not None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.has(key)
+
+    def __len__(self) -> int:
+        """Record count (O(1): aggregated in the root)."""
+        return self.root_node().count
+
+    # -- scans ----------------------------------------------------------------
+
+    def leaves(self, start_key: Optional[bytes] = None) -> Iterator[LeafNode]:
+        """Yield leaf nodes left-to-right, starting at the leaf that would
+        contain ``start_key`` (or the leftmost)."""
+        stack: List[Tuple[IndexNode, int]] = []
+        node = self.root_node()
+        while isinstance(node, IndexNode):
+            if not node.entries:
+                return
+            pos = node.child_for(start_key) if start_key is not None else 0
+            stack.append((node, pos))
+            node = self.node(node.entries[pos].child)
+        yield node
+        while stack:
+            parent, pos = stack.pop()
+            pos += 1
+            if pos >= len(parent.entries):
+                continue
+            stack.append((parent, pos))
+            child = self.node(parent.entries[pos].child)
+            while isinstance(child, IndexNode):
+                stack.append((child, 0))
+                child = self.node(child.entries[0].child)
+            yield child
+
+    def iter_entries(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> Iterator[LeafEntry]:
+        """Yield records with ``start <= key < end`` in key order."""
+        for leaf in self.leaves(start_key=start):
+            for entry in leaf.entries:
+                if start is not None and entry.key < start:
+                    continue
+                if end is not None and entry.key >= end:
+                    return
+                yield entry
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs in key order."""
+        for entry in self.iter_entries():
+            yield (entry.key, entry.value)
+
+    def keys(self) -> Iterator[bytes]:
+        """All keys in order."""
+        for entry in self.iter_entries():
+            yield entry.key
+
+    # -- structure inspection --------------------------------------------------
+
+    def page_uids(self) -> Set[Uid]:
+        """The set P(I) of all pages reachable from the root (SIRI Def. 1).
+
+        O(N); meant for tests, SIRI checkers and storage accounting.
+        """
+        pages: Set[Uid] = set()
+        stack = [self.root]
+        while stack:
+            uid = stack.pop()
+            if uid in pages:
+                continue
+            pages.add(uid)
+            node = self.node(uid)
+            if isinstance(node, IndexNode):
+                stack.extend(entry.child for entry in node.entries)
+        return pages
+
+    def node_count_by_level(self) -> Dict[int, int]:
+        """How many distinct pages exist per level (diagnostics)."""
+        counts: Dict[int, int] = {}
+        seen: Set[Uid] = set()
+        stack = [self.root]
+        while stack:
+            uid = stack.pop()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            node = self.node(uid)
+            level = node_level(node)
+            counts[level] = counts.get(level, 0) + 1
+            if isinstance(node, IndexNode):
+                stack.extend(entry.child for entry in node.entries)
+        return counts
+
+    def check_structure(self) -> None:
+        """Validate invariants: key order, split keys, counts, levels.
+
+        Raises :class:`TreeError` on the first violation; used heavily by
+        the test suite after every editing operation.
+        """
+        previous_key: Optional[bytes] = None
+        root = self.root_node()
+        expected_level = node_level(root)
+
+        def visit(uid: Uid, level: int) -> Tuple[bytes, int]:
+            nonlocal previous_key
+            node = self.node(uid)
+            if node_level(node) != level:
+                raise TreeError(
+                    f"node {uid.short()} at level {node_level(node)}, expected {level}"
+                )
+            if isinstance(node, LeafNode):
+                for entry in node.entries:
+                    if previous_key is not None and entry.key <= previous_key:
+                        raise TreeError(
+                            f"key order violated at {entry.key!r} (after {previous_key!r})"
+                        )
+                    previous_key = entry.key
+                return node.split_key(), node.count
+            total = 0
+            for entry in node.entries:
+                child_max, child_count = visit(entry.child, level - 1)
+                if child_max != entry.split_key:
+                    raise TreeError(
+                        f"split key mismatch under {uid.short()}: "
+                        f"{entry.split_key!r} vs child max {child_max!r}"
+                    )
+                if child_count != entry.count:
+                    raise TreeError(
+                        f"count mismatch under {uid.short()}: "
+                        f"{entry.count} vs child count {child_count}"
+                    )
+                total += child_count
+            return node.split_key(), total
+
+        visit(self.root, expected_level)
+
+    # -- updates (immutable style) ----------------------------------------------
+
+    def update(
+        self,
+        puts: Optional[Dict[bytes, bytes]] = None,
+        deletes: Optional[Iterable[bytes]] = None,
+    ) -> "PosTree":
+        """Apply a batch of upserts and deletions; return the new tree.
+
+        Uses the incremental splice editor (boundary-resynchronizing), so
+        cost is proportional to the touched region, not the tree size.
+        """
+        from repro.postree.edit import apply_edits
+
+        new_root = apply_edits(self, puts or {}, set(deletes or ()))
+        return self.with_root(new_root)
+
+    def put(self, key: bytes, value: bytes) -> "PosTree":
+        """Upsert one record."""
+        return self.update(puts={key: value})
+
+    def delete(self, key: bytes) -> "PosTree":
+        """Remove one record (no-op if absent)."""
+        return self.update(deletes=[key])
+
+    def __repr__(self) -> str:
+        return f"PosTree({len(self)} records, root={self.root.short()}…)"

@@ -1,0 +1,36 @@
+"""Content-defined slicing (paper §II-A).
+
+POS-Tree node boundaries are "patterns detected from the contained entries":
+a rolling hash :math:`\\Phi` is computed over a sliding k-byte window and a
+boundary occurs wherever :math:`\\Phi \\bmod 2^q = 0`.  This package provides
+
+- :class:`~repro.rolling.hashes.CyclicPolynomialHash` — the exact
+  recurrence from the paper (buzhash),
+- :class:`~repro.rolling.hashes.RabinKarpHash` — a classical alternative
+  used by the ablation benchmarks,
+- :class:`~repro.rolling.detector.PatternDetector` — boundary detection
+  with min/max-size clamps,
+- :mod:`~repro.rolling.chunker` — byte-stream and entry-stream chunkers
+  (entry streams extend a mid-entry pattern to the entry boundary, as the
+  paper specifies).
+"""
+
+from repro.rolling.chunker import (
+    ChunkerConfig,
+    chunk_bytes,
+    chunk_entries,
+    iter_chunk_spans,
+)
+from repro.rolling.detector import PatternDetector
+from repro.rolling.hashes import CyclicPolynomialHash, RabinKarpHash, RollingHash
+
+__all__ = [
+    "ChunkerConfig",
+    "chunk_bytes",
+    "chunk_entries",
+    "iter_chunk_spans",
+    "PatternDetector",
+    "CyclicPolynomialHash",
+    "RabinKarpHash",
+    "RollingHash",
+]

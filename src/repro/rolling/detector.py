@@ -1,0 +1,113 @@
+"""Boundary detection over rolling-hash streams.
+
+A *pattern* occurs at a byte position when the rolling hash of the k-byte
+window ending there satisfies ``Φ mod 2^q == 0`` (paper §II-A).  The
+detector adds the two standard guards from content-defined-chunking
+practice: a minimum chunk size (patterns inside the first ``min_size``
+bytes after a boundary are ignored) and a maximum size (a boundary is
+forced), bounding degenerate inputs without breaking resynchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.rolling.hashes import CyclicPolynomialHash, RabinKarpHash, RollingHash
+
+
+def make_hash(algorithm: str, window: int, bits: int, seed: bytes) -> RollingHash:
+    """Instantiate a rolling hash by name (``cyclic`` or ``rabin-karp``)."""
+    if algorithm == "cyclic":
+        return CyclicPolynomialHash(window=window, bits=bits, seed=seed)
+    if algorithm == "rabin-karp":
+        return RabinKarpHash(window=window, bits=bits)
+    raise ValueError(f"unknown rolling hash algorithm: {algorithm!r}")
+
+
+class PatternDetector:
+    """Streaming pattern detector with min/max-size clamps.
+
+    Feed bytes with :meth:`step`; it returns True when the byte closes a
+    chunk (pattern hit past ``min_size``, or ``max_size`` reached).  The
+    rolling window is continuous across boundaries — only the size counter
+    resets — so boundary positions resynchronize shortly after any edit,
+    which is what makes page-level deduplication effective.
+    """
+
+    __slots__ = (
+        "pattern_mask",
+        "min_size",
+        "max_size",
+        "_hash",
+        "_window",
+        "_backlog",
+        "_since_boundary",
+    )
+
+    def __init__(
+        self,
+        hash_: RollingHash,
+        pattern_bits: int,
+        min_size: int = 1,
+        max_size: Optional[int] = None,
+    ) -> None:
+        if pattern_bits < 1:
+            raise ValueError("pattern_bits must be >= 1")
+        if min_size < 1:
+            raise ValueError("min_size must be >= 1")
+        if max_size is not None and max_size < min_size:
+            raise ValueError("max_size must be >= min_size")
+        self.pattern_mask = (1 << pattern_bits) - 1
+        self.min_size = min_size
+        self.max_size = max_size
+        self._hash = hash_
+        self._window = hash_.window
+        self._backlog = bytearray(self._window)  # zero pre-fill
+        self._since_boundary = 0
+
+    def seed(self, preceding: bytes) -> None:
+        """Prime the window with bytes that precede the stream.
+
+        Used when re-chunking from the middle of an entry sequence during
+        incremental POS-Tree edits: the window state must match what a
+        full build would have had at that position.
+        """
+        for byte in preceding:
+            self._slide(byte)
+        self._since_boundary = 0
+
+    def _slide(self, byte: int) -> int:
+        backlog = self._backlog
+        outgoing = backlog[0]
+        del backlog[0]
+        backlog.append(byte)
+        return self._hash.update(byte, outgoing)
+
+    def step(self, byte: int) -> bool:
+        """Consume one byte; return True if it closes a chunk."""
+        value = self._slide(byte)
+        self._since_boundary += 1
+        if self._since_boundary < self.min_size:
+            return False
+        if value & self.pattern_mask == 0:
+            self._since_boundary = 0
+            return True
+        if self.max_size is not None and self._since_boundary >= self.max_size:
+            self._since_boundary = 0
+            return True
+        return False
+
+    def mark_boundary(self) -> None:
+        """Externally reset the size counter (entry-extended boundaries)."""
+        self._since_boundary = 0
+
+    def scan(self, data: bytes) -> Iterator[int]:
+        """Yield 0-based offsets of bytes that close chunks in ``data``."""
+        for index, byte in enumerate(data):
+            if self.step(byte):
+                yield index
+
+    def feed_all(self, data: Iterable[int]) -> None:
+        """Consume bytes without reporting boundaries."""
+        for byte in data:
+            self._slide(byte)

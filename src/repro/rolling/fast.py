@@ -1,0 +1,129 @@
+"""Vectorized content-defined chunking (optional numpy fast path).
+
+Pure-Python byte loops cap blob ingestion at a few MB/s; this module
+computes the cyclic-polynomial hash for *every* position of a buffer with
+k vectorized passes (one per window offset):
+
+    value[i] = ⊕_{j=0..k-1} δ^j( Γ(data[i-j]) )
+
+then replays the min/max-size state machine only over the sparse pattern
+candidates.  The produced spans are **bit-identical** to
+:func:`repro.rolling.chunker.iter_chunk_spans` — asserted by equivalence
+tests — so the fast path can be swapped in freely wherever raw bytes are
+chunked (blob ingestion being the hot case).
+
+If numpy is unavailable the module degrades to the pure implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.rolling.chunker import BLOB_CONFIG, ChunkerConfig, iter_chunk_spans
+from repro.rolling.hashes import CyclicPolynomialHash, gamma_table
+
+try:  # pragma: no cover - exercised implicitly by which path runs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def numpy_available() -> bool:
+    """True when the vectorized path can run."""
+    return _np is not None
+
+
+_TABLE_CACHE = {}
+
+
+def _rotated_tables(config: ChunkerConfig):
+    """Per-offset pre-rotated Γ tables: ROT_j[b] = δ^j(Γ(b))."""
+    key = (config.window, config.hash_bits, config.seed)
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    bits = config.hash_bits
+    mask = (1 << bits) - 1
+    base = gamma_table(bits, config.seed)
+
+    def rotl(value: int, count: int) -> int:
+        count %= bits
+        if count == 0:
+            return value
+        return ((value << count) | (value >> (bits - count))) & mask
+
+    tables = _np.empty((config.window, 256), dtype=_np.uint64)
+    for offset in range(config.window):
+        tables[offset] = [rotl(value, offset) for value in base]
+    _TABLE_CACHE[key] = tables
+    return tables
+
+
+def fast_chunk_spans(
+    data: bytes,
+    config: ChunkerConfig = BLOB_CONFIG,
+    preceding: bytes = b"",
+) -> List[Tuple[int, int]]:
+    """Spans identical to ``list(iter_chunk_spans(data, config, preceding))``.
+
+    Only the cyclic-polynomial algorithm is vectorized; other algorithms
+    (and numpy-less environments) fall back to the reference path.
+    """
+    if _np is None or config.algorithm != "cyclic" or not data:
+        return list(iter_chunk_spans(data, config, preceding))
+
+    window = config.window
+    # Prepend the conceptual prefix: zero pre-fill plus any preceding tail,
+    # so position arithmetic matches the streaming chunker's window state.
+    tail = preceding[-window:] if preceding else b""
+    prefix = b"\x00" * (window - len(tail)) + tail
+    buffer = _np.frombuffer(prefix + data, dtype=_np.uint8)
+    n = len(data)
+
+    tables = _rotated_tables(config)
+    values = _np.zeros(n, dtype=_np.uint64)
+    # value[i] covers the window ending at absolute index window + i.
+    for offset in range(window):
+        # Byte at distance `offset` behind the window end gets rotation
+        # δ^offset.  The window ending at data[i] sits at buffer index
+        # window + i, so that byte lives at buffer[window + i - offset].
+        segment = buffer[window - offset : window - offset + n]
+        values ^= tables[offset][segment]
+
+    pattern_mask = _np.uint64((1 << config.pattern_bits) - 1)
+    candidates = _np.nonzero((values & pattern_mask) == 0)[0]
+
+    # Replay the min/max state machine over candidates + forced boundaries.
+    spans: List[Tuple[int, int]] = []
+    min_size = config.min_size
+    max_size = config.max_size
+    start = 0
+    cand_index = 0
+    total_candidates = len(candidates)
+    while start < n:
+        # Next pattern at or after start + min_size - 1 (0-based position
+        # of the byte that completes min_size bytes).
+        earliest = start + min_size - 1
+        cand_index = int(_np.searchsorted(candidates, earliest)) if total_candidates else 0
+        if cand_index < total_candidates:
+            position = int(candidates[cand_index])
+        else:
+            position = n  # no more patterns
+        forced = start + max_size - 1
+        boundary = min(position, forced)
+        end = boundary + 1
+        if end >= n:
+            spans.append((start, n))
+            break
+        spans.append((start, end))
+        start = end
+    return spans
+
+
+def fast_chunk_bytes(
+    data: bytes,
+    config: ChunkerConfig = BLOB_CONFIG,
+    preceding: bytes = b"",
+) -> List[bytes]:
+    """Materialized fast-path chunks."""
+    return [data[s:e] for s, e in fast_chunk_spans(data, config, preceding)]

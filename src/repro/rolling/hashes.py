@@ -1,0 +1,175 @@
+"""Rolling hash functions.
+
+The paper (§II-A) specifies the cyclic polynomial hash
+
+    Φ(b1…bk) = δ(Φ(b0…bk−1)) ⊕ δ^k(Γ(b0)) ⊕ δ^0(Γ(bk))
+
+where Γ maps a byte to an integer in [0, 2^q), δ rotates its input left by
+one bit within q bits, and ⊕ is XOR.  Each step drops the oldest byte of the
+window and admits the newest.  :class:`CyclicPolynomialHash` implements this
+recurrence verbatim; :class:`RabinKarpHash` is the classical polynomial
+alternative kept for ablation comparisons.
+
+Both hashes are deterministic across runs and platforms: the Γ table is
+derived from SHA-256 of a fixed seed, never from :mod:`random` global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+
+def gamma_table(bits: int, seed: bytes = b"forkbase-gamma") -> List[int]:
+    """Deterministic Γ: byte → pseudo-random integer in [0, 2**bits).
+
+    The table is expanded from SHA-256 in counter mode so two processes
+    always agree on it — a prerequisite for structural invariance across
+    independently built stores.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    mask = (1 << bits) - 1
+    table: List[int] = []
+    counter = 0
+    while len(table) < 256:
+        block = hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        for offset in range(0, len(block) - 7, 8):
+            if len(table) == 256:
+                break
+            value = int.from_bytes(block[offset : offset + 8], "big") & mask
+            table.append(value)
+        counter += 1
+    return table
+
+
+class RollingHash:
+    """Interface for rolling hashes over a fixed-width byte window.
+
+    Subclasses maintain O(1) state and update it per byte; ``value`` is the
+    current hash of the last ``window`` bytes fed in.
+    """
+
+    #: Window width k in bytes.
+    window: int
+    #: Current hash value.
+    value: int
+
+    def reset(self) -> None:
+        """Forget all fed bytes."""
+        raise NotImplementedError
+
+    def update(self, incoming: int, outgoing: int) -> int:
+        """Slide the window: admit ``incoming``, retire ``outgoing``.
+
+        Returns the new hash value.  ``outgoing`` must be the byte that
+        entered the window exactly ``self.window`` updates ago (0 while the
+        window is still filling).
+        """
+        raise NotImplementedError
+
+    def feed(self, data: bytes) -> int:
+        """Convenience: slide over ``data`` byte-by-byte, return final value."""
+        backlog = bytearray()
+        for byte in data:
+            outgoing = backlog[-self.window] if len(backlog) >= self.window else 0
+            self.update(byte, outgoing)
+            backlog.append(byte)
+        return self.value
+
+
+class CyclicPolynomialHash(RollingHash):
+    """The paper's cyclic polynomial (buzhash) rolling hash.
+
+    State is a ``bits``-wide integer; δ is a 1-bit left rotation within
+    ``bits`` bits ("shifts its input by 1 bit to the left, and then pushes
+    the q-th bit back to the lowest position").
+    """
+
+    __slots__ = ("window", "bits", "value", "_mask", "_table", "_out_rot", "_zero_init")
+
+    def __init__(self, window: int = 16, bits: int = 31, seed: bytes = b"forkbase-gamma") -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._table = gamma_table(bits, seed)
+        # Pre-rotate Γ by k for the outgoing byte: δ^k(Γ(b)).
+        rot = window % bits
+        self._out_rot = [self._rotl(v, rot) for v in self._table]
+        # The window is conceptually pre-filled with k zero bytes, so that
+        # callers may pass outgoing=0 while the window is still filling.
+        self._zero_init = 0
+        for index in range(window):
+            self._zero_init ^= self._rotl(self._table[0], index)
+        self.value = self._zero_init
+
+    def _rotl(self, value: int, count: int) -> int:
+        count %= self.bits
+        if count == 0:
+            return value
+        return ((value << count) | (value >> (self.bits - count))) & self._mask
+
+    def reset(self) -> None:
+        self.value = self._zero_init
+
+    def update(self, incoming: int, outgoing: int) -> int:
+        # δ(previous) ⊕ δ^k(Γ(outgoing)) ⊕ Γ(incoming)
+        value = self.value
+        value = ((value << 1) | (value >> (self.bits - 1))) & self._mask
+        value ^= self._out_rot[outgoing]
+        value ^= self._table[incoming]
+        self.value = value
+        return value
+
+
+class RabinKarpHash(RollingHash):
+    """Classical Rabin–Karp polynomial rolling hash (ablation baseline).
+
+    ``h = (h * base + b_in - b_out * base**k) mod 2**bits``.
+    """
+
+    __slots__ = ("window", "bits", "value", "_mask", "_base", "_base_k")
+
+    def __init__(self, window: int = 16, bits: int = 31, base: int = 257) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._base = base
+        self._base_k = pow(base, window, 1 << bits)
+        self.value = 0
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def update(self, incoming: int, outgoing: int) -> int:
+        value = (self.value * self._base + incoming - outgoing * self._base_k) & self._mask
+        self.value = value
+        return value
+
+
+def direct_cyclic_hash(
+    data: Sequence[int], bits: int = 31, seed: bytes = b"forkbase-gamma"
+) -> int:
+    """Non-rolling reference: hash an entire window from scratch.
+
+    Used by tests to verify the O(1) recurrence agrees with the definition
+    Φ(b1…bk) = δ^{k-1}(Γ(b1)) ⊕ δ^{k-2}(Γ(b2)) ⊕ … ⊕ Γ(bk).
+    """
+    table = gamma_table(bits, seed)
+    mask = (1 << bits) - 1
+
+    def rotl(value: int, count: int) -> int:
+        count %= bits
+        if count == 0:
+            return value
+        return ((value << count) | (value >> (bits - count))) & mask
+
+    result = 0
+    k = len(data)
+    for index, byte in enumerate(data):
+        result ^= rotl(table[byte], k - 1 - index)
+    return result

@@ -1,0 +1,178 @@
+"""Branch-based access control (the "Access Control: branch-based" box in
+Fig. 1).
+
+Grants are (principal, key pattern, branch pattern, permission).  A
+pattern is an exact name or ``*``.  :class:`SecuredForkBase` wraps the
+engine and checks every verb against the caller's grants — e.g. Admin A
+may write ``master`` of Dataset-1 while Admin B may only write the
+``vendorX`` branch, the multi-tenant setup of the demo.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.chunk import Uid
+from repro.db.engine import ForkBase, VersionInfo
+from repro.errors import AccessDeniedError
+from repro.vcs.branches import DEFAULT_BRANCH
+
+
+class Permission(enum.IntEnum):
+    """Ordered permission levels; higher levels imply lower ones."""
+
+    READ = 1
+    WRITE = 2
+    ADMIN = 3
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One access rule."""
+
+    principal: str
+    key_pattern: str  # exact key or "*"
+    branch_pattern: str  # exact branch or "*"
+    permission: Permission
+
+    def matches(self, principal: str, key: str, branch: str) -> bool:
+        """Does this grant apply to the request?"""
+        return (
+            self.principal == principal
+            and self.key_pattern in ("*", key)
+            and self.branch_pattern in ("*", branch)
+        )
+
+
+class AccessController:
+    """Holds grants and answers permission checks."""
+
+    def __init__(self) -> None:
+        self._grants: List[Grant] = []
+
+    def grant(
+        self,
+        principal: str,
+        permission: Permission,
+        key: str = "*",
+        branch: str = "*",
+    ) -> None:
+        """Add a rule."""
+        self._grants.append(Grant(principal, key, branch, permission))
+
+    def revoke(self, principal: str, key: str = "*", branch: str = "*") -> None:
+        """Remove matching rules."""
+        self._grants = [
+            grant
+            for grant in self._grants
+            if not (
+                grant.principal == principal
+                and grant.key_pattern == key
+                and grant.branch_pattern == branch
+            )
+        ]
+
+    def level(self, principal: str, key: str, branch: str) -> int:
+        """Highest permission the principal holds for (key, branch)."""
+        levels = [
+            grant.permission
+            for grant in self._grants
+            if grant.matches(principal, key, branch)
+        ]
+        return max(levels) if levels else 0
+
+    def check(
+        self, principal: str, permission: Permission, key: str, branch: str
+    ) -> None:
+        """Raise :class:`AccessDeniedError` unless permitted."""
+        if self.level(principal, key, branch) < permission:
+            raise AccessDeniedError(
+                f"{principal!r} lacks {permission.name} on {key!r}@{branch}"
+            )
+
+    def grants_for(self, principal: str) -> List[Grant]:
+        """Rules mentioning the principal."""
+        return [grant for grant in self._grants if grant.principal == principal]
+
+
+class SecuredForkBase:
+    """An engine view bound to one principal, enforcing the ACL.
+
+    Only the verbs that make sense under access control are exposed; each
+    checks before delegating to the wrapped :class:`ForkBase`.
+    """
+
+    def __init__(
+        self, engine: ForkBase, acl: AccessController, principal: str
+    ) -> None:
+        self.engine = engine
+        self.acl = acl
+        self.principal = principal
+
+    def put(
+        self,
+        key: str,
+        value,
+        branch: str = DEFAULT_BRANCH,
+        message: str = "",
+    ) -> VersionInfo:
+        """Write (requires WRITE on the target branch)."""
+        self.acl.check(self.principal, Permission.WRITE, key, branch)
+        return self.engine.put(
+            key, value, branch=branch, message=message, author=self.principal
+        )
+
+    def get(
+        self,
+        key: str,
+        branch: Optional[str] = None,
+        version: Optional[Union[Uid, str]] = None,
+    ):
+        """Read (requires READ on the branch)."""
+        self.acl.check(self.principal, Permission.READ, key, branch or DEFAULT_BRANCH)
+        return self.engine.get(key, branch=branch, version=version)
+
+    def diff(self, key: str, branch_a: str, branch_b: str):
+        """Differential query (READ on both branches)."""
+        self.acl.check(self.principal, Permission.READ, key, branch_a)
+        self.acl.check(self.principal, Permission.READ, key, branch_b)
+        return self.engine.diff(key, branch_a=branch_a, branch_b=branch_b)
+
+    def branch(self, key: str, new_branch: str, from_branch: str = DEFAULT_BRANCH):
+        """Fork (READ on source, WRITE on the new branch name)."""
+        self.acl.check(self.principal, Permission.READ, key, from_branch)
+        self.acl.check(self.principal, Permission.WRITE, key, new_branch)
+        return self.engine.branch(key, new_branch, from_branch=from_branch)
+
+    def merge(
+        self,
+        key: str,
+        from_branch: str,
+        into_branch: str = DEFAULT_BRANCH,
+        resolver=None,
+        message: str = "",
+    ) -> VersionInfo:
+        """Merge (READ on source, WRITE on target)."""
+        self.acl.check(self.principal, Permission.READ, key, from_branch)
+        self.acl.check(self.principal, Permission.WRITE, key, into_branch)
+        return self.engine.merge(
+            key,
+            from_branch=from_branch,
+            into_branch=into_branch,
+            resolver=resolver,
+            message=message,
+            author=self.principal,
+        )
+
+    def delete_branch(self, key: str, branch: str) -> None:
+        """Drop a branch head (requires ADMIN)."""
+        self.acl.check(self.principal, Permission.ADMIN, key, branch)
+        self.engine.delete_branch(key, branch)
+
+    def rename_branch(self, key: str, old: str, new: str) -> None:
+        """Rename a branch (requires ADMIN on both names)."""
+        self.acl.check(self.principal, Permission.ADMIN, key, old)
+        self.acl.check(self.principal, Permission.ADMIN, key, new)
+        self.engine.rename_branch(key, old, new)

@@ -1,0 +1,90 @@
+"""Malicious-storage simulator.
+
+Wraps an honest chunk store and lets a test or benchmark act as the
+adversary of the paper's threat model: return modified bytes for a known
+uid, swap one chunk's content for another's, or drop chunks entirely.
+The wrapper keeps returning the *claimed* uid with the wrong payload —
+exactly what client-side verification must catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.store.base import ChunkStore
+
+
+class TamperingStore(ChunkStore):
+    """A chunk store under adversarial control."""
+
+    def __init__(self, backing: ChunkStore) -> None:
+        super().__init__(verify_reads=False)
+        self.backing = backing
+        self._overrides: Dict[Uid, Chunk] = {}
+        self._dropped: Set[Uid] = set()
+
+    # -- adversary actions -------------------------------------------------------
+
+    def corrupt_chunk(self, uid: Uid, new_data: bytes) -> None:
+        """Serve ``new_data`` for ``uid`` while claiming the old identity."""
+        original = self.backing.get(uid)
+        self._overrides[uid] = Chunk(original.type, new_data, uid=uid)
+
+    def flip_byte(self, uid: Uid, offset: int = 0) -> None:
+        """Flip one payload byte (classic silent-corruption model)."""
+        original = self.backing.get(uid)
+        data = bytearray(original.data)
+        if not data:
+            data = bytearray(b"\x01")
+        else:
+            data[offset % len(data)] ^= 0xFF
+        self._overrides[uid] = Chunk(original.type, bytes(data), uid=uid)
+
+    def substitute(self, uid: Uid, other: Uid) -> None:
+        """Serve another chunk's content under this uid (replay attack)."""
+        donor = self.backing.get(other)
+        self._overrides[uid] = Chunk(donor.type, donor.data, uid=uid)
+
+    def drop_chunk(self, uid: Uid) -> None:
+        """Pretend the chunk was never stored (withholding attack)."""
+        self._dropped.add(uid)
+
+    def heal(self, uid: Optional[Uid] = None) -> None:
+        """Undo tampering for one uid (or everything)."""
+        if uid is None:
+            self._overrides.clear()
+            self._dropped.clear()
+        else:
+            self._overrides.pop(uid, None)
+            self._dropped.discard(uid)
+
+    @property
+    def tampered_uids(self) -> Set[Uid]:
+        """Uids currently being lied about."""
+        return set(self._overrides) | set(self._dropped)
+
+    # -- ChunkStore primitives -----------------------------------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        self.backing.put(chunk)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        if uid in self._dropped:
+            return None
+        if uid in self._overrides:
+            return self._overrides[uid]
+        return self.backing.get_maybe(uid)
+
+    def _contains(self, uid: Uid) -> bool:
+        if uid in self._dropped:
+            return False
+        return uid in self._overrides or self.backing.has(uid)
+
+    def _ids(self) -> Iterator[Uid]:
+        for uid in self.backing.ids():
+            if uid not in self._dropped:
+                yield uid
+
+    def close(self) -> None:
+        self.backing.close()

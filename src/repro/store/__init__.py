@@ -1,0 +1,25 @@
+"""Physical chunk storage.
+
+The key-value physical layer of Fig. 1: "chunks are materialized into the
+key-value based physical storage so that each distinct chunk is stored
+exactly once" (§II-C).  All stores share a :class:`~repro.store.base.ChunkStore`
+interface and a :class:`~repro.store.stats.StoreStats` accounting object —
+the stats are what the Fig. 4 / Table I benchmarks read to report logical
+vs physical bytes and dedup hits.
+
+Implementations:
+
+- :class:`~repro.store.memory.InMemoryStore` — dict-backed, the default.
+- :class:`~repro.store.filestore.FileStore` — append-only segment files
+  with a persisted index; survives close/reopen.
+- :class:`~repro.store.cached.CachedStore` — LRU read-through cache over
+  any other store.
+"""
+
+from repro.store.base import ChunkStore
+from repro.store.cached import CachedStore
+from repro.store.filestore import FileStore
+from repro.store.memory import InMemoryStore
+from repro.store.stats import StoreStats
+
+__all__ = ["ChunkStore", "CachedStore", "FileStore", "InMemoryStore", "StoreStats"]

@@ -1,0 +1,106 @@
+"""Abstract chunk store.
+
+Subclasses implement the four raw primitives (``_insert``, ``_fetch``,
+``_contains``, ``_ids``); the base class layers uniform accounting,
+optional read verification, and batch helpers on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.chunk import Chunk, Uid
+from repro.errors import ChunkNotFoundError
+from repro.store.stats import StoreStats
+
+
+class ChunkStore:
+    """Content-addressed key-value store for immutable chunks.
+
+    ``put`` is idempotent: storing an already-present chunk is a no-op that
+    is counted as a dedup hit.  ``verify_reads=True`` makes every ``get``
+    recompute the SHA-256 of the returned chunk — the client-side defence
+    the tamper-evidence demo (§III-C) relies on.
+    """
+
+    def __init__(self, verify_reads: bool = False) -> None:
+        self.stats = StoreStats()
+        self.verify_reads = verify_reads
+
+    # -- primitives to implement -------------------------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        raise NotImplementedError
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        raise NotImplementedError
+
+    def _contains(self, uid: Uid) -> bool:
+        raise NotImplementedError
+
+    def _ids(self) -> Iterator[Uid]:
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------------
+
+    def put(self, chunk: Chunk) -> bool:
+        """Store ``chunk`` if absent; return True if newly materialized."""
+        new = not self._contains(chunk.uid)
+        if new:
+            self._insert(chunk)
+        self.stats.record_put(chunk.type.name, chunk.size(), new)
+        return new
+
+    def put_many(self, chunks: Iterable[Chunk]) -> int:
+        """Store several chunks; return how many were new."""
+        return sum(1 for chunk in chunks if self.put(chunk))
+
+    def get(self, uid: Uid) -> Chunk:
+        """Fetch a chunk or raise :class:`ChunkNotFoundError`."""
+        chunk = self._fetch(uid)
+        self.stats.record_get(chunk is not None)
+        if chunk is None:
+            raise ChunkNotFoundError(uid)
+        if self.verify_reads:
+            chunk.verify()
+        return chunk
+
+    def get_maybe(self, uid: Uid) -> Optional[Chunk]:
+        """Fetch a chunk or return None."""
+        chunk = self._fetch(uid)
+        self.stats.record_get(chunk is not None)
+        if chunk is not None and self.verify_reads:
+            chunk.verify()
+        return chunk
+
+    def has(self, uid: Uid) -> bool:
+        """True if the chunk is materialized here."""
+        return self._contains(uid)
+
+    def ids(self) -> List[Uid]:
+        """All chunk ids currently materialized (unspecified order)."""
+        return list(self._ids())
+
+    def __contains__(self, uid: Uid) -> bool:
+        return self._contains(uid)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._ids())
+
+    def physical_size(self) -> int:
+        """Total payload bytes currently materialized."""
+        total = 0
+        for uid in self._ids():
+            chunk = self._fetch(uid)
+            if chunk is not None:
+                total += chunk.size()
+        return total
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    def __enter__(self) -> "ChunkStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

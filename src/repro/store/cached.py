@@ -1,0 +1,72 @@
+"""LRU read-through cache over another chunk store.
+
+Chunks are immutable, so the cache never needs invalidation — the single
+nicest systems consequence of content addressing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.chunk import Chunk, Uid
+from repro.store.base import ChunkStore
+
+
+class CachedStore(ChunkStore):
+    """Wraps a backing store with an LRU cache of decoded chunks."""
+
+    def __init__(self, backing: ChunkStore, capacity: int = 4096) -> None:
+        super().__init__(verify_reads=False)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.backing = backing
+        self.capacity = capacity
+        self._cache: "OrderedDict[Uid, Chunk]" = OrderedDict()
+        self.hits = 0
+        self.lookups = 0
+
+    def _remember(self, chunk: Chunk) -> None:
+        cache = self._cache
+        cache[chunk.uid] = chunk
+        cache.move_to_end(chunk.uid)
+        while len(cache) > self.capacity:
+            cache.popitem(last=False)
+
+    def _insert(self, chunk: Chunk) -> None:
+        self.backing.put(chunk)
+        self._remember(chunk)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        self.lookups += 1
+        cached = self._cache.get(uid)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(uid)
+            return cached
+        chunk = self.backing.get_maybe(uid)
+        if chunk is not None:
+            self._remember(chunk)
+        return chunk
+
+    def _contains(self, uid: Uid) -> bool:
+        return uid in self._cache or self.backing.has(uid)
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(self.backing.ids())
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches served from cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def physical_size(self) -> int:
+        return self.backing.physical_size()
+
+    def close(self) -> None:
+        self.backing.close()

@@ -1,0 +1,199 @@
+"""Append-only file-backed chunk store.
+
+Layout under the store directory::
+
+    segments/seg-000000.dat   length-prefixed records: [tag][len][payload]
+    index.dat                 uid -> (segment, offset) snapshot
+
+Chunks are immutable, so segments are strictly append-only; the index file
+is rewritten on close and reconstructed by scanning segments if missing or
+stale (crash tolerance).  A new segment is rolled when the active one
+exceeds ``segment_limit`` bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.errors import StoreClosedError, StoreError
+from repro.store.base import ChunkStore
+
+_RECORD_HEADER = struct.Struct(">BI")  # type tag, payload length
+_INDEX_ENTRY = struct.Struct(">32sII")  # digest, segment number, offset
+_INDEX_MAGIC = b"FBIX0001"
+
+
+class FileStore(ChunkStore):
+    """Durable chunk store over append-only segment files."""
+
+    def __init__(
+        self,
+        directory: str,
+        verify_reads: bool = False,
+        segment_limit: int = 64 * 1024 * 1024,
+    ) -> None:
+        super().__init__(verify_reads=verify_reads)
+        self._dir = directory
+        self._seg_dir = os.path.join(directory, "segments")
+        self._segment_limit = segment_limit
+        self._index: Dict[Uid, Tuple[int, int]] = {}
+        self._closed = False
+        os.makedirs(self._seg_dir, exist_ok=True)
+        self._segments = sorted(
+            int(name[4:10])
+            for name in os.listdir(self._seg_dir)
+            if name.startswith("seg-") and name.endswith(".dat")
+        )
+        if not self._segments:
+            self._segments = [0]
+            open(self._segment_path(0), "ab").close()
+        self._active = self._segments[-1]
+        self._writer = open(self._segment_path(self._active), "ab")
+        if not self._load_index():
+            self._rebuild_index()
+
+    def _segment_path(self, number: int) -> str:
+        return os.path.join(self._seg_dir, f"seg-{number:06d}.dat")
+
+    def _index_path(self) -> str:
+        return os.path.join(self._dir, "index.dat")
+
+    # -- index persistence --------------------------------------------------
+
+    def _load_index(self) -> bool:
+        """Load the index snapshot; False if absent or stale."""
+        path = self._index_path()
+        if not os.path.exists(path):
+            return False
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(len(_INDEX_MAGIC))
+                if magic != _INDEX_MAGIC:
+                    return False
+                sizes_blob = handle.read(8)
+                (count,) = struct.unpack(">Q", sizes_blob)
+                for _ in range(count):
+                    raw = handle.read(_INDEX_ENTRY.size)
+                    if len(raw) != _INDEX_ENTRY.size:
+                        return False
+                    digest, segment, offset = _INDEX_ENTRY.unpack(raw)
+                    self._index[Uid(digest)] = (segment, offset)
+        except (OSError, struct.error):
+            self._index.clear()
+            return False
+        # Staleness check: every indexed segment must still exist, and the
+        # active segment may contain records past the index (crash) — scan
+        # any tail records in all segments to be safe.
+        self._scan_unindexed()
+        return True
+
+    def _rebuild_index(self) -> None:
+        """Reconstruct the index by scanning every segment file."""
+        self._index.clear()
+        for segment in self._segments:
+            self._scan_segment(segment)
+
+    def _scan_unindexed(self) -> None:
+        """Pick up records written after the last index snapshot."""
+        indexed_offsets: Dict[int, int] = {}
+        for segment, offset in self._index.values():
+            indexed_offsets[segment] = max(indexed_offsets.get(segment, -1), offset)
+        for segment in self._segments:
+            start = indexed_offsets.get(segment)
+            if start is None:
+                self._scan_segment(segment)
+            else:
+                # Resume after the last indexed record in this segment.
+                self._scan_segment(segment, resume_after=start)
+
+    def _scan_segment(self, segment: int, resume_after: int = -1) -> None:
+        path = self._segment_path(segment)
+        with open(path, "rb") as handle:
+            offset = 0
+            if resume_after >= 0:
+                handle.seek(resume_after)
+                header = handle.read(_RECORD_HEADER.size)
+                if len(header) != _RECORD_HEADER.size:
+                    return
+                _, length = _RECORD_HEADER.unpack(header)
+                handle.seek(length, os.SEEK_CUR)
+                offset = resume_after + _RECORD_HEADER.size + length
+            while True:
+                header = handle.read(_RECORD_HEADER.size)
+                if len(header) < _RECORD_HEADER.size:
+                    break  # clean EOF or torn header: ignore tail
+                tag, length = _RECORD_HEADER.unpack(header)
+                payload = handle.read(length)
+                if len(payload) < length:
+                    break  # torn record from a crash: ignore tail
+                try:
+                    chunk = Chunk(ChunkType(tag), payload)
+                except ValueError:
+                    break  # unknown tag: treat as corruption tail
+                self._index[chunk.uid] = (segment, offset)
+                offset += _RECORD_HEADER.size + length
+
+    def _save_index(self) -> None:
+        path = self._index_path()
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_INDEX_MAGIC)
+            handle.write(struct.pack(">Q", len(self._index)))
+            for uid, (segment, offset) in self._index.items():
+                handle.write(_INDEX_ENTRY.pack(uid.digest, segment, offset))
+        os.replace(tmp, path)
+
+    # -- primitives ----------------------------------------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+        offset = self._writer.tell()
+        if offset >= self._segment_limit:
+            self._writer.close()
+            self._active += 1
+            self._segments.append(self._active)
+            self._writer = open(self._segment_path(self._active), "ab")
+            offset = 0
+        self._writer.write(_RECORD_HEADER.pack(int(chunk.type), len(chunk.data)))
+        self._writer.write(chunk.data)
+        self._writer.flush()
+        self._index[chunk.uid] = (self._active, offset)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+        location = self._index.get(uid)
+        if location is None:
+            return None
+        segment, offset = location
+        with open(self._segment_path(segment), "rb") as handle:
+            handle.seek(offset)
+            header = handle.read(_RECORD_HEADER.size)
+            if len(header) != _RECORD_HEADER.size:
+                raise StoreError(f"torn record for {uid.short()}")
+            tag, length = _RECORD_HEADER.unpack(header)
+            payload = handle.read(length)
+        if len(payload) != length:
+            raise StoreError(f"torn record for {uid.short()}")
+        return Chunk(ChunkType(tag), payload, uid=uid)
+
+    def _contains(self, uid: Uid) -> bool:
+        return uid in self._index
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(list(self._index.keys()))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._writer.flush()
+        self._writer.close()
+        self._save_index()
+        self._closed = True

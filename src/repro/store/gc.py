@@ -1,0 +1,153 @@
+"""Mark-and-sweep garbage collection for chunk stores.
+
+Immutability means nothing is ever overwritten, so space is reclaimed the
+Git way: chunks unreachable from any live root (branch heads, plus their
+full histories and value trees) can be swept.  Because all references are
+content addresses, the marker only needs to know how to enumerate each
+chunk type's children — there are no back-references or ref-counts to
+maintain on the write path.
+
+Typical use::
+
+    from repro.store.gc import collect_garbage
+    report = collect_garbage(engine)            # sweep in place
+    report = collect_garbage(engine, dry_run=True)   # just measure
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.chunk import Chunk, ChunkType, Reader, Uid
+from repro.errors import StoreError
+from repro.postree.listtree import ListIndexNode
+from repro.postree.node import IndexNode, load_node
+from repro.store.base import ChunkStore
+from repro.store.memory import InMemoryStore
+from repro.vcs.fnode import FNode
+
+
+def chunk_children(chunk: Chunk) -> List[Uid]:
+    """The uids a chunk references (its Merkle children)."""
+    if chunk.type == ChunkType.INDEX:
+        return [entry.child for entry in IndexNode.from_chunk(chunk).entries]
+    if chunk.type == ChunkType.LIST_INDEX:
+        return [entry.child for entry in ListIndexNode.from_chunk(chunk).entries]
+    if chunk.type == ChunkType.FNODE:
+        fnode = FNode.decode(chunk)
+        return [fnode.value_root, *fnode.bases]
+    # LEAF / LIST_LEAF / BLOB / PRIMITIVE / SCHEMA / META are terminal.
+    return []
+
+
+@dataclass
+class GcReport:
+    """Outcome of one collection."""
+
+    live_chunks: int
+    live_bytes: int
+    swept_chunks: int
+    swept_bytes: int
+    dry_run: bool
+
+    @property
+    def reclaim_fraction(self) -> float:
+        """Share of bytes that were (or would be) reclaimed."""
+        total = self.live_bytes + self.swept_bytes
+        if total == 0:
+            return 0.0
+        return self.swept_bytes / total
+
+
+def mark_live(store: ChunkStore, roots: Iterable[Uid]) -> Set[Uid]:
+    """Every chunk reachable from ``roots`` (missing chunks are skipped)."""
+    live: Set[Uid] = set()
+    stack = list(roots)
+    while stack:
+        uid = stack.pop()
+        if uid in live:
+            continue
+        chunk = store.get_maybe(uid)
+        if chunk is None:
+            continue
+        live.add(uid)
+        stack.extend(chunk_children(chunk))
+    return live
+
+
+def collect_garbage(
+    engine,
+    extra_roots: Iterable[Uid] = (),
+    dry_run: bool = False,
+) -> GcReport:
+    """Sweep chunks unreachable from the engine's branch heads.
+
+    Only :class:`InMemoryStore`-backed engines support in-place sweeping;
+    other stores should use :func:`compact_into` (copy-live-out), which
+    matches how append-only storage actually reclaims space.
+    """
+    store = engine.store
+    roots = [head for _, _, head in engine.branch_table.all_heads()]
+    roots.extend(extra_roots)
+    live = mark_live(store, roots)
+
+    live_bytes = 0
+    swept_chunks = 0
+    swept_bytes = 0
+    doomed: List[Uid] = []
+    for uid in store.ids():
+        chunk = store.get_maybe(uid)
+        if chunk is None:
+            continue
+        if uid in live:
+            live_bytes += chunk.size()
+        else:
+            doomed.append(uid)
+            swept_chunks += 1
+            swept_bytes += chunk.size()
+
+    if not dry_run and doomed:
+        if not isinstance(store, InMemoryStore):
+            raise StoreError(
+                "in-place sweep requires an InMemoryStore; use compact_into()"
+            )
+        for uid in doomed:
+            del store._chunks[uid]
+
+    return GcReport(
+        live_chunks=len(live),
+        live_bytes=live_bytes,
+        swept_chunks=swept_chunks,
+        swept_bytes=swept_bytes,
+        dry_run=dry_run,
+    )
+
+
+def compact_into(engine, target: ChunkStore, extra_roots: Iterable[Uid] = ()) -> GcReport:
+    """Copy every live chunk into ``target`` (append-only reclamation).
+
+    The engine keeps working against its old store; callers swap stores
+    (or reopen) once compaction finishes — the same offline-compaction
+    pattern log-structured stores use.
+    """
+    store = engine.store
+    roots = [head for _, _, head in engine.branch_table.all_heads()]
+    roots.extend(extra_roots)
+    live = mark_live(store, roots)
+
+    live_bytes = 0
+    for uid in live:
+        chunk = store.get_maybe(uid)
+        if chunk is not None:
+            target.put(chunk)
+            live_bytes += chunk.size()
+
+    total_bytes = store.physical_size()
+    return GcReport(
+        live_chunks=len(live),
+        live_bytes=live_bytes,
+        swept_chunks=max(0, len(store.ids()) - len(live)),
+        swept_bytes=max(0, total_bytes - live_bytes),
+        dry_run=True,  # the source store is untouched
+    )

@@ -1,0 +1,38 @@
+"""Dict-backed chunk store (the default substrate for tests and benches)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.chunk import Chunk, Uid
+from repro.store.base import ChunkStore
+
+
+class InMemoryStore(ChunkStore):
+    """Chunks held in a process-local dict keyed by uid."""
+
+    def __init__(self, verify_reads: bool = False) -> None:
+        super().__init__(verify_reads=verify_reads)
+        self._chunks: Dict[Uid, Chunk] = {}
+
+    def _insert(self, chunk: Chunk) -> None:
+        self._chunks[chunk.uid] = chunk
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        return self._chunks.get(uid)
+
+    def _contains(self, uid: Uid) -> bool:
+        return uid in self._chunks
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(list(self._chunks.keys()))
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def physical_size(self) -> int:
+        return sum(chunk.size() for chunk in self._chunks.values())
+
+    def clear(self) -> None:
+        """Drop every chunk (testing helper; violates immutability on purpose)."""
+        self._chunks.clear()

@@ -1,0 +1,101 @@
+"""Storage accounting.
+
+Every benchmark number about storage efficiency in this reproduction comes
+from here: Fig. 4's "+338.54 KB then +0.04 KB" is
+``delta(physical_bytes)`` across two loads, and Table I's dedup comparison
+is ``dedup_ratio`` across systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StoreStats:
+    """Counters maintained by every :class:`~repro.store.base.ChunkStore`."""
+
+    #: put() calls that inserted a new chunk.
+    puts_new: int = 0
+    #: put() calls whose chunk already existed (deduplicated writes).
+    puts_dup: int = 0
+    #: Bytes of new chunk payloads actually materialized.
+    physical_bytes: int = 0
+    #: Bytes offered across all put() calls (new + duplicate).
+    logical_bytes: int = 0
+    #: get() calls that found the chunk.
+    gets: int = 0
+    #: get() calls that missed.
+    misses: int = 0
+    #: New-chunk counts per ChunkType name (where do bytes go?).
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record_put(self, type_name: str, size: int, new: bool) -> None:
+        """Account one put() of ``size`` payload bytes."""
+        self.logical_bytes += size
+        if new:
+            self.puts_new += 1
+            self.physical_bytes += size
+            self.by_type[type_name] = self.by_type.get(type_name, 0) + 1
+        else:
+            self.puts_dup += 1
+
+    def record_get(self, hit: bool) -> None:
+        """Account one get()."""
+        if hit:
+            self.gets += 1
+        else:
+            self.misses += 1
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical / physical bytes; 1.0 means no sharing at all."""
+        if self.physical_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.physical_bytes
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of put() calls that were absorbed by deduplication."""
+        total = self.puts_new + self.puts_dup
+        if total == 0:
+            return 0.0
+        return self.puts_dup / total
+
+    def snapshot(self) -> "StoreStats":
+        """Copy the counters (for before/after deltas)."""
+        return StoreStats(
+            puts_new=self.puts_new,
+            puts_dup=self.puts_dup,
+            physical_bytes=self.physical_bytes,
+            logical_bytes=self.logical_bytes,
+            gets=self.gets,
+            misses=self.misses,
+            by_type=dict(self.by_type),
+        )
+
+    def delta(self, earlier: "StoreStats") -> "StoreStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        by_type = {
+            name: count - earlier.by_type.get(name, 0)
+            for name, count in self.by_type.items()
+            if count - earlier.by_type.get(name, 0)
+        }
+        return StoreStats(
+            puts_new=self.puts_new - earlier.puts_new,
+            puts_dup=self.puts_dup - earlier.puts_dup,
+            physical_bytes=self.physical_bytes - earlier.physical_bytes,
+            logical_bytes=self.logical_bytes - earlier.logical_bytes,
+            gets=self.gets - earlier.gets,
+            misses=self.misses - earlier.misses,
+            by_type=by_type,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"physical={self.physical_bytes}B logical={self.logical_bytes}B "
+            f"dedup_ratio={self.dedup_ratio:.2f} "
+            f"new={self.puts_new} dup={self.puts_dup}"
+        )

@@ -1,0 +1,13 @@
+"""Relational semantic view (Fig. 1 top layer; the demo's Dataset pages).
+
+A *dataset* is a relational table stored as a map object: one entry per
+row, keyed by primary key, with the schema stored under a reserved key.
+Because the map is a POS-Tree, datasets inherit page-level deduplication
+(Fig. 4), O(D log N) branch diffs (Fig. 5) and tamper-evident versions
+(Fig. 6) with no table-specific machinery.
+"""
+
+from repro.table.dataset import DataTable, LoadReport, RowDiff, TableDiff
+from repro.table.schema import Schema
+
+__all__ = ["DataTable", "LoadReport", "RowDiff", "TableDiff", "Schema"]

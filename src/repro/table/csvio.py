@@ -1,0 +1,42 @@
+"""CSV import/export for datasets (the demo's load/export flows)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+def parse_csv(text: str) -> Tuple[List[str], List[Dict[str, str]]]:
+    """Parse CSV text into (header, row dicts)."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise ValueError("empty CSV")
+    header = rows[0]
+    out: List[Dict[str, str]] = []
+    for line_no, values in enumerate(rows[1:], start=2):
+        if not values:
+            continue
+        if len(values) != len(header):
+            raise ValueError(
+                f"CSV line {line_no}: expected {len(header)} fields, got {len(values)}"
+            )
+        out.append(dict(zip(header, values)))
+    return header, out
+
+
+def render_csv(header: Sequence[str], rows: Iterator[Dict[str, str]]) -> str:
+    """Serialize row dicts back to CSV text (columns in ``header`` order)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(header))
+    for row in rows:
+        writer.writerow([row[column] for column in header])
+    return buffer.getvalue()
+
+
+def read_csv_file(path: str) -> Tuple[List[str], List[Dict[str, str]]]:
+    """Parse a CSV file from disk."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        return parse_csv(handle.read())

@@ -1,0 +1,33 @@
+"""Typed immutable objects (the Data Access API layer of Fig. 1).
+
+"Supported data types include primitives (string, number, boolean), blob,
+map, set and list, as well as composite data structures built on them
+(e.g., relational table)."
+
+Every type is a thin immutable wrapper over a Merkle-rooted representation
+in a chunk store: primitives are single chunks, blobs are BlobTrees, and
+map/set/list are POS-Trees.  Objects compare equal iff their roots match,
+which — by structural invariance — means iff their logical content
+matches.
+"""
+
+from repro.types.base import FObject, load_object, register_type, type_for_python
+from repro.types.blob import FBlob
+from repro.types.flist import FList
+from repro.types.fmap import FMap
+from repro.types.fset import FSet
+from repro.types.primitives import FBool, FNumber, FString
+
+__all__ = [
+    "FObject",
+    "load_object",
+    "register_type",
+    "type_for_python",
+    "FBlob",
+    "FList",
+    "FMap",
+    "FSet",
+    "FBool",
+    "FNumber",
+    "FString",
+]

@@ -1,0 +1,71 @@
+"""Conversions between plain Python values and ForkBase typed objects."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import TypeMismatchError
+from repro.store.base import ChunkStore
+from repro.types.base import FObject
+from repro.types.blob import FBlob
+from repro.types.flist import FList
+from repro.types.fmap import FMap
+from repro.types.fset import FSet
+from repro.types.primitives import FBool, FNumber, FString
+
+PyValue = Union[str, bytes, int, float, bool, dict, set, frozenset, list, tuple]
+
+
+def _as_bytes(value: Union[str, bytes]) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise TypeMismatchError(
+        f"map/set/list elements must be str or bytes, got {type(value).__name__}"
+    )
+
+
+def wrap(store: ChunkStore, value: Union[PyValue, FObject]) -> FObject:
+    """Store a Python value as the matching ForkBase type.
+
+    dict → map, set → set, list/tuple → list, bytes → blob, str → string,
+    bool → bool, int/float → number.  FObjects pass through.
+    """
+    if isinstance(value, FObject):
+        return value
+    if isinstance(value, bool):
+        return FBool(store, value)
+    if isinstance(value, (int, float)):
+        return FNumber(store, value)
+    if isinstance(value, str):
+        return FString(store, value)
+    if isinstance(value, (bytes, bytearray)):
+        return FBlob.from_bytes(store, bytes(value))
+    if isinstance(value, dict):
+        pairs = {_as_bytes(k): _as_bytes(v) for k, v in value.items()}
+        return FMap.from_dict(store, pairs)
+    if isinstance(value, (set, frozenset)):
+        return FSet.from_iterable(store, (_as_bytes(m) for m in sorted(value)))
+    if isinstance(value, (list, tuple)):
+        return FList.from_items(store, (_as_bytes(i) for i in value))
+    raise TypeMismatchError(f"no ForkBase type for {type(value).__name__}")
+
+
+def unwrap(obj: FObject) -> PyValue:
+    """Materialize a typed object back into a plain Python value.
+
+    Maps/sets/lists come back with ``bytes`` elements (callers own the
+    text codec); blobs come back as ``bytes``.
+    """
+    if isinstance(obj, (FString, FNumber, FBool)):
+        return obj.value
+    if isinstance(obj, FBlob):
+        return obj.read()
+    if isinstance(obj, FMap):
+        return obj.to_dict()
+    if isinstance(obj, FSet):
+        return obj.to_set()
+    if isinstance(obj, FList):
+        return obj.to_list()
+    raise TypeMismatchError(f"cannot unwrap {type(obj).__name__}")

@@ -1,0 +1,111 @@
+"""Primitive values: string, number, boolean.
+
+Each primitive is one PRIMITIVE chunk whose payload is a kind byte plus
+the canonical encoding of the value, so equal primitives share a chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer
+from repro.errors import ChunkEncodingError
+from repro.store.base import ChunkStore
+from repro.types.base import FObject, register_type
+
+_KIND_STRING = 1
+_KIND_INT = 2
+_KIND_FLOAT = 3
+_KIND_BOOL = 4
+
+
+def _store_primitive(store: ChunkStore, payload: bytes) -> Uid:
+    chunk = Chunk(ChunkType.PRIMITIVE, payload)
+    store.put(chunk)
+    return chunk.uid
+
+
+@register_type
+class FString(FObject):
+    """An immutable UTF-8 string value."""
+
+    TYPE_NAME = "string"
+    __slots__ = ("store", "root", "_value")
+
+    def __init__(self, store: ChunkStore, value: str) -> None:
+        self.store = store
+        self._value = value
+        payload = Writer().uvarint(_KIND_STRING).text(value).getvalue()
+        self.root = _store_primitive(store, payload)
+
+    @property
+    def value(self) -> str:
+        """The wrapped string."""
+        return self._value
+
+    @classmethod
+    def load(cls, store: ChunkStore, root: Uid) -> "FString":
+        reader = Reader(store.get(root).data)
+        if reader.uvarint() != _KIND_STRING:
+            raise ChunkEncodingError("primitive chunk is not a string")
+        return cls(store, reader.text())
+
+
+@register_type
+class FNumber(FObject):
+    """An immutable numeric value (int or float, kept distinct)."""
+
+    TYPE_NAME = "number"
+    __slots__ = ("store", "root", "_value")
+
+    def __init__(self, store: ChunkStore, value: Union[int, float]) -> None:
+        if isinstance(value, bool):
+            raise TypeError("use FBool for booleans")
+        self.store = store
+        self._value = value
+        if isinstance(value, int):
+            payload = Writer().uvarint(_KIND_INT).svarint(value).getvalue()
+        else:
+            payload = Writer().uvarint(_KIND_FLOAT).float64(value).getvalue()
+        self.root = _store_primitive(store, payload)
+
+    @property
+    def value(self) -> Union[int, float]:
+        """The wrapped number."""
+        return self._value
+
+    @classmethod
+    def load(cls, store: ChunkStore, root: Uid) -> "FNumber":
+        reader = Reader(store.get(root).data)
+        kind = reader.uvarint()
+        if kind == _KIND_INT:
+            return cls(store, reader.svarint())
+        if kind == _KIND_FLOAT:
+            return cls(store, reader.float64())
+        raise ChunkEncodingError("primitive chunk is not a number")
+
+
+@register_type
+class FBool(FObject):
+    """An immutable boolean value."""
+
+    TYPE_NAME = "bool"
+    __slots__ = ("store", "root", "_value")
+
+    def __init__(self, store: ChunkStore, value: bool) -> None:
+        self.store = store
+        self._value = bool(value)
+        payload = Writer().uvarint(_KIND_BOOL).uvarint(1 if value else 0).getvalue()
+        self.root = _store_primitive(store, payload)
+
+    @property
+    def value(self) -> bool:
+        """The wrapped boolean."""
+        return self._value
+
+    @classmethod
+    def load(cls, store: ChunkStore, root: Uid) -> "FBool":
+        reader = Reader(store.get(root).data)
+        if reader.uvarint() != _KIND_BOOL:
+            raise ChunkEncodingError("primitive chunk is not a bool")
+        return cls(store, reader.uvarint() == 1)

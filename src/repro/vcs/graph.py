@@ -1,0 +1,101 @@
+"""The version derivation graph: FNode storage and ancestry queries."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.chunk import ChunkType, Uid
+from repro.errors import ChunkNotFoundError, UnknownVersionError
+from repro.store.base import ChunkStore
+from repro.vcs.fnode import FNode
+
+
+class VersionGraph:
+    """Reads and writes FNodes in a chunk store and answers DAG queries."""
+
+    def __init__(self, store: ChunkStore) -> None:
+        self.store = store
+
+    def commit(self, fnode: FNode) -> Uid:
+        """Materialize an FNode; returns its uid (idempotent)."""
+        chunk = fnode.encode()
+        self.store.put(chunk)
+        return chunk.uid
+
+    def load(self, uid: Uid) -> FNode:
+        """Fetch an FNode or raise :class:`UnknownVersionError`."""
+        try:
+            chunk = self.store.get(uid)
+        except ChunkNotFoundError:
+            raise UnknownVersionError(uid) from None
+        if chunk.type != ChunkType.FNODE:
+            raise UnknownVersionError(uid)
+        return FNode.decode(chunk)
+
+    def exists(self, uid: Uid) -> bool:
+        """True if ``uid`` resolves to a stored FNode."""
+        chunk = self.store.get_maybe(uid)
+        return chunk is not None and chunk.type == ChunkType.FNODE
+
+    def history(self, head: Uid, limit: Optional[int] = None) -> Iterator[FNode]:
+        """Walk ancestors newest-first (first parent order, BFS on merges)."""
+        seen: Set[Uid] = set()
+        queue = deque([head])
+        emitted = 0
+        while queue:
+            uid = queue.popleft()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            fnode = self.load(uid)
+            yield fnode
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+            queue.extend(fnode.bases)
+
+    def ancestors(self, head: Uid) -> Set[Uid]:
+        """Every version reachable from ``head`` (inclusive)."""
+        return {fnode.uid for fnode in self.history(head)}
+
+    def is_ancestor(self, maybe_ancestor: Uid, head: Uid) -> bool:
+        """True if ``maybe_ancestor`` is reachable from ``head``."""
+        if maybe_ancestor == head:
+            return True
+        for fnode in self.history(head):
+            if fnode.uid == maybe_ancestor:
+                return True
+        return False
+
+    def lowest_common_ancestor(self, a: Uid, b: Uid) -> Optional[Uid]:
+        """Merge base: the first version reachable from both heads.
+
+        Interleaved BFS, so the nearest common ancestor wins on chains.
+        """
+        if a == b:
+            return a
+        seen_a: Set[Uid] = set()
+        seen_b: Set[Uid] = set()
+        queue_a = deque([a])
+        queue_b = deque([b])
+        while queue_a or queue_b:
+            if queue_a:
+                uid = queue_a.popleft()
+                if uid in seen_b:
+                    return uid
+                if uid not in seen_a:
+                    seen_a.add(uid)
+                    queue_a.extend(self.load(uid).bases)
+            if queue_b:
+                uid = queue_b.popleft()
+                if uid in seen_a:
+                    return uid
+                if uid not in seen_b:
+                    seen_b.add(uid)
+                    queue_b.extend(self.load(uid).bases)
+        return None
+
+    def chain_length(self, head: Uid) -> int:
+        """Number of versions reachable from ``head``."""
+        return sum(1 for _ in self.history(head))

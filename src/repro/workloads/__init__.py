@@ -1,0 +1,28 @@
+"""Synthetic workload generators for the benchmarks and examples.
+
+Everything is seeded and deterministic: the same parameters always
+produce the same CSVs, edit scripts and version chains, so benchmark
+output is reproducible run to run.
+"""
+
+from repro.workloads.csvgen import (
+    generate_csv,
+    generate_rows,
+    mutate_csv_one_word,
+    rows_to_csv,
+)
+from repro.workloads.edits import EditScript, make_edit_script
+from repro.workloads.versions import make_branching_history, make_version_chain
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "generate_csv",
+    "generate_rows",
+    "mutate_csv_one_word",
+    "rows_to_csv",
+    "EditScript",
+    "make_edit_script",
+    "make_branching_history",
+    "make_version_chain",
+    "ZipfSampler",
+]

@@ -1,0 +1,76 @@
+"""Deterministic synthetic CSV datasets.
+
+The generated "sales" table mimics the vendor datasets of the demo UI:
+an id primary key plus a few text/numeric columns.  Sizes are tunable so
+the Fig. 4 benchmark can build a ~330 KB file like the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.table.csvio import render_csv
+
+SALES_COLUMNS = ["id", "vendor", "product", "region", "quantity", "price", "note"]
+
+_VENDORS = ["acme", "globex", "initech", "umbrella", "hooli", "stark", "wayne"]
+_PRODUCTS = [
+    "widget", "gadget", "sprocket", "gizmo", "doohickey", "contraption",
+    "apparatus", "device", "instrument", "mechanism",
+]
+_REGIONS = ["north", "south", "east", "west", "central"]
+_WORDS = [
+    "prompt", "delivery", "delayed", "stock", "approved", "pending", "priority",
+    "standard", "fragile", "bulk", "sample", "returned", "verified", "flagged",
+]
+
+
+def generate_rows(count: int, seed: int = 0) -> List[Dict[str, str]]:
+    """``count`` deterministic sales rows."""
+    rng = random.Random(seed)
+    rows: List[Dict[str, str]] = []
+    for index in range(count):
+        rows.append(
+            {
+                "id": f"{index:07d}",
+                "vendor": rng.choice(_VENDORS),
+                "product": rng.choice(_PRODUCTS),
+                "region": rng.choice(_REGIONS),
+                "quantity": str(rng.randint(1, 500)),
+                "price": f"{rng.uniform(0.5, 999.0):.2f}",
+                "note": " ".join(rng.choice(_WORDS) for _ in range(4)),
+            }
+        )
+    return rows
+
+
+def rows_to_csv(rows: List[Dict[str, str]]) -> str:
+    """Render rows with the standard sales header."""
+    return render_csv(SALES_COLUMNS, iter(rows))
+
+
+def generate_csv(row_count: int, seed: int = 0) -> str:
+    """A full synthetic CSV (≈66 bytes/row; 5200 rows ≈ 330 KB)."""
+    return rows_to_csv(generate_rows(row_count, seed))
+
+
+def mutate_csv_one_word(csv_text: str, seed: int = 1) -> str:
+    """Change exactly one word somewhere in the body (the Fig. 4 edit).
+
+    Picks a data line deterministically and swaps one ``note`` word for a
+    marker token, leaving everything else byte-identical.
+    """
+    lines = csv_text.splitlines(keepends=True)
+    if len(lines) < 2:
+        raise ValueError("CSV too small to mutate")
+    rng = random.Random(seed)
+    target = rng.randrange(1, len(lines))
+    line = lines[target]
+    for word in _WORDS:
+        if word in line:
+            lines[target] = line.replace(word, "CHANGEDWORD", 1)
+            break
+    else:
+        lines[target] = line.rstrip("\n") + "X\n"
+    return "".join(lines)

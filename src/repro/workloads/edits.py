@@ -1,0 +1,83 @@
+"""Deterministic edit scripts over row dictionaries."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class EditScript:
+    """A batch of row-level edits applicable to a dataset state."""
+
+    updates: Dict[str, Dict[str, str]] = field(default_factory=dict)  # pk -> cell changes
+    inserts: List[Dict[str, str]] = field(default_factory=list)
+    deletes: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of edited rows (the D of the diff benchmarks)."""
+        return len(self.updates) + len(self.inserts) + len(self.deletes)
+
+    def apply(self, rows: List[Dict[str, str]], pk_column: str = "id") -> List[Dict[str, str]]:
+        """Produce the edited dataset state (input untouched)."""
+        by_pk = {row[pk_column]: dict(row) for row in rows}
+        for pk in self.deletes:
+            by_pk.pop(pk, None)
+        for pk, changes in self.updates.items():
+            if pk in by_pk:
+                by_pk[pk].update(changes)
+        for row in self.inserts:
+            by_pk[row[pk_column]] = dict(row)
+        return [by_pk[pk] for pk in sorted(by_pk)]
+
+
+def make_edit_script(
+    rows: List[Dict[str, str]],
+    updates: int = 0,
+    inserts: int = 0,
+    deletes: int = 0,
+    seed: int = 0,
+    pk_column: str = "id",
+    clustered: bool = True,
+) -> EditScript:
+    """Build a deterministic edit script against ``rows``.
+
+    ``clustered=True`` picks update/delete targets from one contiguous
+    key range (the cheap case for splice editing); ``False`` scatters
+    them uniformly.
+    """
+    rng = random.Random(seed)
+    pks = sorted(row[pk_column] for row in rows)
+    script = EditScript()
+
+    candidates: List[str]
+    needed = updates + deletes
+    if needed > len(pks):
+        raise ValueError("not enough rows for the requested edits")
+    if clustered and needed:
+        start = rng.randrange(0, len(pks) - needed + 1)
+        candidates = pks[start : start + needed]
+    else:
+        candidates = rng.sample(pks, needed) if needed else []
+
+    for pk in candidates[:updates]:
+        script.updates[pk] = {"note": f"edited-{rng.randrange(10**6)}"}
+    script.deletes = list(candidates[updates:])
+
+    max_id = max((int(pk) for pk in pks), default=-1)
+    for offset in range(inserts):
+        new_id = f"{max_id + 1 + offset:07d}"
+        script.inserts.append(
+            {
+                "id": new_id,
+                "vendor": "newvendor",
+                "product": "newproduct",
+                "region": "north",
+                "quantity": str(rng.randint(1, 500)),
+                "price": f"{rng.uniform(0.5, 999.0):.2f}",
+                "note": f"inserted-{rng.randrange(10**6)}",
+            }
+        )
+    return script

@@ -1,0 +1,66 @@
+"""Version-history generators: linear chains and branching trees."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.csvgen import generate_rows
+from repro.workloads.edits import make_edit_script
+
+
+def make_version_chain(
+    base_rows: int,
+    versions: int,
+    edits_per_version: int = 10,
+    seed: int = 0,
+) -> List[List[Dict[str, str]]]:
+    """A linear history: v0 plus ``versions - 1`` successive edited states.
+
+    Each step applies ``edits_per_version`` row updates (plus one insert
+    and one delete for realism) to the previous state.
+    """
+    if versions < 1:
+        raise ValueError("need at least one version")
+    states = [generate_rows(base_rows, seed=seed)]
+    for step in range(1, versions):
+        script = make_edit_script(
+            states[-1],
+            updates=edits_per_version,
+            inserts=1,
+            deletes=1,
+            seed=seed * 1000 + step,
+        )
+        states.append(script.apply(states[-1]))
+    return states
+
+
+def make_branching_history(
+    base_rows: int,
+    branches: int,
+    versions_per_branch: int,
+    edits_per_version: int = 10,
+    seed: int = 0,
+) -> Tuple[List[Dict[str, str]], Dict[str, List[List[Dict[str, str]]]]]:
+    """A base state plus ``branches`` independent edit chains from it.
+
+    Returns ``(base_state, {branch name: [state1, state2, ...]})`` — the
+    multi-admin collaboration shape of the demo (master + vendor forks).
+    """
+    base = generate_rows(base_rows, seed=seed)
+    tree: Dict[str, List[List[Dict[str, str]]]] = {}
+    for branch_index in range(branches):
+        name = f"branch-{branch_index}"
+        state = base
+        chain: List[List[Dict[str, str]]] = []
+        for step in range(versions_per_branch):
+            script = make_edit_script(
+                state,
+                updates=edits_per_version,
+                inserts=1,
+                deletes=1,
+                seed=seed * 10000 + branch_index * 100 + step,
+            )
+            state = script.apply(state)
+            chain.append(state)
+        tree[name] = chain
+    return base, tree

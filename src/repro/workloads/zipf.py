@@ -1,0 +1,44 @@
+"""Zipf-distributed key sampling (skewed access patterns)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s."""
+
+    def __init__(self, n: int, s: float = 1.0, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if s < 0:
+            raise ValueError("s must be >= 0")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cdf.append(total)
+        self._total = total
+
+    def sample(self) -> int:
+        """One rank draw."""
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point)
+
+    def sample_many(self, count: int) -> List[int]:
+        """``count`` independent draws."""
+        return [self.sample() for _ in range(count)]
+
+    def pick(self, items: Sequence[T]) -> T:
+        """Draw an element from ``items`` (must have length n)."""
+        if len(items) != self.n:
+            raise ValueError("items length must equal n")
+        return items[self.sample()]

@@ -1,0 +1,159 @@
+"""Tests for the collaborative curation pipeline (repro.apps.curation)."""
+
+import pytest
+
+from repro.apps import CurationPipeline
+from repro.errors import ForkBaseError, MergeConflictError
+from repro.table import DataTable
+
+CSV = """id,name,region,score
+1,alpha,north,10
+2,beta,SOUTH,20
+3,gamma,east,-5
+4,delta,west,30
+"""
+
+
+@pytest.fixture
+def pipeline(engine):
+    DataTable.load_csv(engine, "survey", CSV, primary_key="id")
+    return CurationPipeline(engine, "survey")
+
+
+def normalize_region(row):
+    row["region"] = row["region"].lower()
+    return row
+
+
+def drop_negative_scores(row):
+    return None if int(row["score"]) < 0 else row
+
+
+class TestProposals:
+    def test_propose_creates_branch(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        assert branch == "proposal/cleanup"
+        assert branch in pipeline.proposals()
+
+    def test_apply_step_edits_rows(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        step = pipeline.apply_step(branch, "normalize-region",
+                                   normalize_region, curator="carol")
+        assert step.rows_changed == 1  # only SOUTH was non-lowercase
+        assert pipeline.table.get_row("2", branch=branch)["region"] == "south"
+        # master untouched.
+        assert pipeline.table.get_row("2")["region"] == "SOUTH"
+
+    def test_apply_step_drops_rows(self, pipeline):
+        branch = pipeline.propose("filter", curator="carol")
+        step = pipeline.apply_step(branch, "drop-negatives",
+                                   drop_negative_scores, curator="carol")
+        assert step.rows_changed == 1
+        assert pipeline.table.get_row("3", branch=branch) is None
+        assert pipeline.table.row_count(branch=branch) == 3
+
+    def test_step_is_one_commit(self, pipeline):
+        branch = pipeline.propose("combo", curator="carol")
+        before = len(pipeline.engine.history("survey", branch=branch))
+
+        def combo(row):
+            if int(row["score"]) < 0:
+                return None
+            return normalize_region(row)
+
+        pipeline.apply_step(branch, "combo", combo, curator="carol")
+        after = len(pipeline.engine.history("survey", branch=branch))
+        assert after == before + 1
+
+    def test_bad_transform_rejected(self, pipeline):
+        branch = pipeline.propose("broken", curator="carol")
+
+        def bad(row):
+            return {"unexpected": "columns"}
+
+        with pytest.raises(ForkBaseError):
+            pipeline.apply_step(branch, "bad", bad, curator="carol")
+
+
+class TestReviewAndMerge:
+    def test_review_shows_changes(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        pipeline.apply_step(branch, "normalize-region", normalize_region,
+                            curator="carol")
+        diff = pipeline.review(branch)
+        assert len(diff.changed) == 1
+        assert diff.changed[0].pk == "2"
+        assert diff.changed[0].changed_columns == ("region",)
+
+    def test_accept_merges_into_master(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        pipeline.apply_step(branch, "normalize-region", normalize_region,
+                            curator="carol")
+        version = pipeline.accept(branch, reviewer="owner")
+        assert len(version) == 52
+        assert pipeline.table.get_row("2")["region"] == "south"
+
+    def test_reject_drops_branch(self, pipeline):
+        branch = pipeline.propose("doomed", curator="carol")
+        pipeline.apply_step(branch, "drop-negatives", drop_negative_scores,
+                            curator="carol")
+        pipeline.reject(branch)
+        assert branch not in pipeline.proposals()
+        assert pipeline.table.get_row("3") is not None  # master unaffected
+
+    def test_concurrent_disjoint_proposals_both_merge(self, pipeline):
+        b1 = pipeline.propose("regions", curator="carol")
+        b2 = pipeline.propose("filter", curator="dave")
+        pipeline.apply_step(b1, "normalize-region", normalize_region,
+                            curator="carol")
+        pipeline.apply_step(b2, "drop-negatives", drop_negative_scores,
+                            curator="dave")
+        pipeline.accept(b1, reviewer="owner")
+        pipeline.accept(b2, reviewer="owner")
+        assert pipeline.table.get_row("2")["region"] == "south"
+        assert pipeline.table.get_row("3") is None
+
+    def test_conflicting_proposals_flagged(self, pipeline):
+        b1 = pipeline.propose("one", curator="carol")
+        b2 = pipeline.propose("two", curator="dave")
+
+        def bump(amount):
+            def transform(row):
+                if row["id"] == "1":
+                    row["score"] = str(int(row["score"]) + amount)
+                return row
+            return transform
+
+        pipeline.apply_step(b1, "bump-1", bump(1), curator="carol")
+        pipeline.apply_step(b2, "bump-2", bump(2), curator="dave")
+        pipeline.accept(b1, reviewer="owner")
+        with pytest.raises(MergeConflictError):
+            pipeline.accept(b2, reviewer="owner")
+
+
+class TestLineage:
+    def test_lineage_records_steps(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        pipeline.apply_step(branch, "normalize-region", normalize_region,
+                            curator="carol")
+        pipeline.apply_step(branch, "drop-negatives", drop_negative_scores,
+                            curator="carol")
+        steps = pipeline.lineage(branch)
+        assert [s.step for s in steps] == ["normalize-region", "drop-negatives"]
+        assert all(s.curator == "carol" for s in steps)
+        assert all(len(s.version) == 52 for s in steps)
+
+    def test_lineage_survives_merge(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        pipeline.apply_step(branch, "normalize-region", normalize_region,
+                            curator="carol")
+        pipeline.accept(branch, reviewer="owner")
+        steps = pipeline.lineage()  # master lineage, via the merge commit
+        assert any(s.step == "normalize-region" for s in steps)
+
+    def test_audit_after_curation(self, pipeline):
+        branch = pipeline.propose("cleanup", curator="carol")
+        pipeline.apply_step(branch, "normalize-region", normalize_region,
+                            curator="carol")
+        pipeline.accept(branch, reviewer="owner")
+        assert pipeline.audit().ok

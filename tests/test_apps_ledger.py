@@ -1,0 +1,178 @@
+"""Tests for the tamper-evident ledger application (repro.apps.ledger)."""
+
+import pytest
+
+from repro.apps import InsufficientFunds, Ledger
+from repro.db import ForkBase
+from repro.errors import ForkBaseError, MergeConflictError
+from repro.security import TamperingStore
+from repro.store import InMemoryStore
+
+
+@pytest.fixture
+def ledger():
+    engine = ForkBase(author="node-0", clock=lambda: 0.0)
+    ledger = Ledger(engine)
+    ledger.genesis({"alice": 1000, "bob": 500, "treasury": 10_000})
+    return ledger
+
+
+class TestBasics:
+    def test_genesis_balances(self, ledger):
+        assert ledger.balance("alice") == 1000
+        assert ledger.balance("bob") == 500
+        assert ledger.balance("nobody") == 0
+        assert ledger.height() == 0
+        assert ledger.total_supply() == 11_500
+
+    def test_double_genesis_rejected(self, ledger):
+        with pytest.raises(ForkBaseError):
+            ledger.genesis({"x": 1})
+
+    def test_negative_genesis_rejected(self):
+        bad = Ledger(ForkBase(clock=lambda: 0.0))
+        with pytest.raises(ValueError):
+            bad.genesis({"x": -5})
+
+    def test_transfer_and_commit(self, ledger):
+        ledger.transfer("alice", "bob", 300)
+        block = ledger.commit_block(proposer="node-1")
+        assert block.height == 1
+        assert len(block.transactions) == 1
+        assert ledger.balance("alice") == 700
+        assert ledger.balance("bob") == 800
+        assert ledger.total_supply() == 11_500
+
+    def test_multiple_txns_per_block(self, ledger):
+        ledger.transfer("alice", "bob", 100)
+        ledger.transfer("bob", "carol", 550)  # uses funds received above
+        block = ledger.commit_block()
+        assert ledger.balance("carol") == 550
+        assert ledger.balance("bob") == 50
+        assert len(block.transactions) == 2
+
+    def test_overdraft_rejected_atomically(self, ledger):
+        ledger.transfer("alice", "bob", 100)
+        ledger.transfer("alice", "bob", 10_000)  # would overdraw
+        with pytest.raises(InsufficientFunds):
+            ledger.commit_block()
+        # Nothing applied: the block is atomic.
+        assert ledger.balance("alice") == 1000
+        assert ledger.height() == 0
+
+    def test_invalid_amount_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.transfer("alice", "bob", 0)
+        with pytest.raises(ValueError):
+            ledger.transfer("alice", "bob", -5)
+
+    def test_pending_cleared_after_commit(self, ledger):
+        ledger.transfer("alice", "bob", 1)
+        ledger.commit_block()
+        assert ledger.pending == []
+
+
+class TestChain:
+    def test_chain_grows_and_links(self, ledger):
+        for round_ in range(3):
+            ledger.transfer("treasury", "alice", 10)
+            ledger.commit_block(proposer=f"node-{round_}")
+        chain = ledger.chain()
+        assert [block.height for block in chain] == [0, 1, 2, 3]
+        hashes = [block.block_hash for block in chain]
+        assert len(set(hashes)) == 4  # all distinct
+        assert chain[2].proposer == "node-1"
+
+    def test_historical_balance(self, ledger):
+        ledger.transfer("alice", "bob", 100)
+        ledger.commit_block()
+        ledger.transfer("alice", "bob", 200)
+        ledger.commit_block()
+        assert ledger.balance("alice", height=0) == 1000
+        assert ledger.balance("alice", height=1) == 900
+        assert ledger.balance("alice", height=2) == 700
+
+    def test_block_at_bounds(self, ledger):
+        with pytest.raises(IndexError):
+            ledger.block_at(5)
+
+    def test_state_roots_differ_per_block(self, ledger):
+        ledger.transfer("alice", "bob", 1)
+        ledger.commit_block()
+        chain = ledger.chain()
+        assert chain[0].state_root != chain[1].state_root
+
+
+class TestForks:
+    def test_fork_and_fast_forward_adoption(self, ledger):
+        ledger.fork("competitor")
+        ledger.transfer("alice", "bob", 50)
+        ledger.commit_block(branch="competitor")
+        assert ledger.height("master") == 0
+        assert ledger.height("competitor") == 1
+        ledger.adopt_fork("competitor")
+        assert ledger.height("master") == 1
+        assert ledger.balance("alice", branch="master") == 950
+
+    def test_disjoint_forks_merge(self, ledger):
+        ledger.fork("side")
+        # master moves alice's money; side moves treasury's.
+        ledger.transfer("alice", "bob", 100)
+        ledger.commit_block(branch="master")
+        ledger.transfer("treasury", "carol", 999)
+        ledger.commit_block(branch="side")
+        block = ledger.merge_fork("side")
+        assert ledger.balance("alice") == 900
+        assert ledger.balance("carol") == 999
+        assert ledger.total_supply() == 11_500  # conservation across merge
+        node = ledger.engine.graph.load(block.block_hash)
+        assert node.is_merge()
+
+    def test_conflicting_forks_refuse_to_merge(self, ledger):
+        ledger.fork("side")
+        ledger.transfer("alice", "bob", 100)
+        ledger.commit_block(branch="master")
+        ledger.transfer("alice", "carol", 200)  # alice's balance conflicts
+        ledger.commit_block(branch="side")
+        with pytest.raises(MergeConflictError):
+            ledger.merge_fork("side")
+
+    def test_adopt_requires_fast_forward(self, ledger):
+        ledger.fork("side")
+        ledger.transfer("alice", "bob", 1)
+        ledger.commit_block(branch="master")
+        ledger.transfer("treasury", "bob", 1)
+        ledger.commit_block(branch="side")
+        with pytest.raises(ForkBaseError):
+            ledger.adopt_fork("side")
+
+
+class TestAudit:
+    def test_clean_chain_audits(self, ledger):
+        ledger.transfer("alice", "bob", 10)
+        ledger.commit_block()
+        report = ledger.audit()
+        assert report.ok
+        assert report.fnodes_checked == 2
+
+    def test_tampered_state_detected(self):
+        provider = TamperingStore(InMemoryStore())
+        engine = ForkBase(store=provider, clock=lambda: 0.0)
+        ledger = Ledger(engine)
+        ledger.genesis({"alice": 100})
+        ledger.transfer("alice", "alice", 1)
+        block = ledger.commit_block()
+        provider.flip_byte(block.state_root)
+        assert not ledger.audit().ok
+
+    def test_history_rewrite_detected(self):
+        """An adversary rewriting the genesis allocation is caught from
+        the current head alone — the block-chain property."""
+        provider = TamperingStore(InMemoryStore())
+        engine = ForkBase(store=provider, clock=lambda: 0.0)
+        ledger = Ledger(engine)
+        genesis = ledger.genesis({"alice": 100, "mallory": 1})
+        ledger.transfer("alice", "mallory", 5)
+        ledger.commit_block()
+        provider.flip_byte(genesis.block_hash)
+        assert not ledger.audit().ok

@@ -1,0 +1,69 @@
+"""Tests for typed chunks (repro.chunk.chunk)."""
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.errors import ChunkCorruptionError
+
+
+class TestIdentity:
+    def test_uid_depends_on_payload(self):
+        a = Chunk(ChunkType.BLOB, b"one")
+        b = Chunk(ChunkType.BLOB, b"two")
+        assert a.uid != b.uid
+
+    def test_uid_depends_on_type(self):
+        """Equal bytes under different type tags must not collide."""
+        a = Chunk(ChunkType.BLOB, b"same")
+        b = Chunk(ChunkType.LEAF, b"same")
+        assert a.uid != b.uid
+
+    def test_uid_is_deterministic(self):
+        assert Chunk(ChunkType.META, b"x").uid == Chunk(ChunkType.META, b"x").uid
+
+    def test_equality_by_uid(self):
+        assert Chunk(ChunkType.BLOB, b"p") == Chunk(ChunkType.BLOB, b"p")
+        assert Chunk(ChunkType.BLOB, b"p") != Chunk(ChunkType.BLOB, b"q")
+
+    def test_hashable(self):
+        chunks = {Chunk(ChunkType.BLOB, b"p"), Chunk(ChunkType.BLOB, b"p")}
+        assert len(chunks) == 1
+
+
+class TestVerification:
+    def test_honest_chunk_verifies(self):
+        chunk = Chunk(ChunkType.BLOB, b"data")
+        chunk.verify()  # no raise
+        assert chunk.is_valid()
+
+    def test_forged_uid_detected(self):
+        forged = Chunk(ChunkType.BLOB, b"evil", uid=Uid.of(b"claimed"))
+        assert not forged.is_valid()
+        with pytest.raises(ChunkCorruptionError):
+            forged.verify()
+
+    def test_size_and_len(self):
+        chunk = Chunk(ChunkType.BLOB, b"12345")
+        assert chunk.size() == 5
+        assert len(chunk) == 5
+
+    def test_empty_payload_allowed(self):
+        chunk = Chunk(ChunkType.BLOB, b"")
+        assert chunk.size() == 0
+        assert chunk.is_valid()
+
+    def test_payload_is_defensively_copied(self):
+        source = bytearray(b"mutable")
+        chunk = Chunk(ChunkType.BLOB, source)
+        source[0] = 0
+        assert chunk.data == b"mutable"
+
+
+class TestChunkType:
+    def test_all_types_distinct_tags(self):
+        tags = {t.tag() for t in ChunkType}
+        assert len(tags) == len(ChunkType)
+
+    def test_tag_is_single_byte(self):
+        for type_ in ChunkType:
+            assert len(type_.tag()) == 1

@@ -1,0 +1,126 @@
+"""Tests for the canonical binary codec (repro.chunk.codec)."""
+
+import pytest
+
+from repro.chunk import Reader, Uid, Writer
+from repro.errors import ChunkEncodingError
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**14, 2**21, 2**63])
+    def test_round_trip(self, value):
+        data = Writer().uvarint(value).getvalue()
+        assert Reader(data).uvarint() == value
+
+    def test_small_values_are_one_byte(self):
+        assert len(Writer().uvarint(127).getvalue()) == 1
+        assert len(Writer().uvarint(128).getvalue()) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ChunkEncodingError):
+            Writer().uvarint(-1)
+
+    def test_truncated_raises(self):
+        data = Writer().uvarint(300).getvalue()
+        with pytest.raises(ChunkEncodingError):
+            Reader(data[:1]).uvarint()
+
+
+class TestSvarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 63, -64, 2**31, -(2**31), 2**61, -(2**61)]
+    )
+    def test_round_trip(self, value):
+        data = Writer().svarint(value).getvalue()
+        assert Reader(data).svarint() == value
+
+    @pytest.mark.parametrize("value", [2**90, -(2**90), 2**62, -(2**63)])
+    def test_bigint_fallback(self, value):
+        data = Writer().svarint(value).getvalue()
+        assert Reader(data).svarint() == value
+
+    def test_distinct_encodings(self):
+        assert Writer().svarint(1).getvalue() != Writer().svarint(-1).getvalue()
+
+
+class TestOtherScalars:
+    @pytest.mark.parametrize("value", [0.0, 1.5, -2.25, 1e300, -1e-300])
+    def test_float_round_trip(self, value):
+        data = Writer().float64(value).getvalue()
+        assert Reader(data).float64() == value
+
+    def test_float_is_8_bytes(self):
+        assert len(Writer().float64(3.14).getvalue()) == 8
+
+    @pytest.mark.parametrize("value", ["", "hello", "héllo wörld", "日本語"])
+    def test_text_round_trip(self, value):
+        data = Writer().text(value).getvalue()
+        assert Reader(data).text() == value
+
+    @pytest.mark.parametrize("value", [b"", b"abc", bytes(range(256))])
+    def test_blob_round_trip(self, value):
+        data = Writer().blob(value).getvalue()
+        assert Reader(data).blob() == value
+
+    def test_uid_round_trip(self):
+        uid = Uid.of(b"x")
+        data = Writer().uid(uid).getvalue()
+        assert Reader(data).uid() == uid
+
+
+class TestComposites:
+    def test_uid_list_round_trip(self):
+        uids = [Uid.of(bytes([i])) for i in range(5)]
+        data = Writer().uid_list(uids).getvalue()
+        assert Reader(data).uid_list() == uids
+
+    def test_empty_uid_list(self):
+        data = Writer().uid_list([]).getvalue()
+        assert Reader(data).uid_list() == []
+
+    def test_text_list_round_trip(self):
+        items = ["a", "bb", "", "日本"]
+        data = Writer().text_list(items).getvalue()
+        assert Reader(data).text_list() == items
+
+    def test_mixed_sequence(self):
+        uid = Uid.of(b"m")
+        writer = (
+            Writer().uvarint(7).text("name").blob(b"\x00\x01").uid(uid).svarint(-5)
+        )
+        reader = Reader(writer.getvalue())
+        assert reader.uvarint() == 7
+        assert reader.text() == "name"
+        assert reader.blob() == b"\x00\x01"
+        assert reader.uid() == uid
+        assert reader.svarint() == -5
+        reader.expect_end()
+
+
+class TestReaderDiscipline:
+    def test_expect_end_raises_on_trailing(self):
+        reader = Reader(b"\x01\x02")
+        reader.uvarint()
+        with pytest.raises(ChunkEncodingError):
+            reader.expect_end()
+
+    def test_remaining_and_at_end(self):
+        reader = Reader(b"\x05")
+        assert reader.remaining() == 1
+        assert not reader.at_end()
+        reader.uvarint()
+        assert reader.at_end()
+
+    def test_truncated_blob_raises(self):
+        data = Writer().blob(b"abcdef").getvalue()
+        with pytest.raises(ChunkEncodingError):
+            Reader(data[:3]).blob()
+
+    def test_determinism(self):
+        """Same logical content must always produce identical bytes."""
+        build = lambda: Writer().text("k").uvarint(5).blob(b"v").getvalue()  # noqa: E731
+        assert build() == build()
+
+    def test_writer_len(self):
+        writer = Writer().blob(b"abc")
+        assert len(writer) == len(writer.getvalue())

@@ -1,0 +1,98 @@
+"""Tests for engine extensions: cross-key diff, verify, GC wiring,
+and cross-dataset table diffs."""
+
+import pytest
+
+from repro.db import ForkBase
+from repro.errors import SchemaError, TypeMismatchError
+from repro.security import TamperingStore
+from repro.store import InMemoryStore
+from repro.table import DataTable
+from repro.workloads import generate_csv, mutate_csv_one_word
+
+
+class TestDiffObjects:
+    def test_cross_key_diff(self, engine):
+        engine.put("left", {"a": "1", "b": "2"})
+        engine.put("right", {"a": "1", "b": "3", "c": "4"})
+        diff = engine.diff_objects("left", "right")
+        assert diff.changed == {b"b": (b"2", b"3")}
+        assert diff.added == {b"c": b"4"}
+
+    def test_cross_key_diff_prunes(self, engine):
+        state = {f"k{i:05d}": "v" for i in range(5000)}
+        engine.put("left", state)
+        engine.put("right", {**state, "k00001": "edited"})
+        diff = engine.diff_objects("left", "right")
+        assert diff.edit_count == 1
+        assert diff.nodes_loaded < 40
+
+    def test_type_mismatch(self, engine):
+        engine.put("m", {"a": "1"})
+        engine.put("s", "text")
+        with pytest.raises(TypeMismatchError):
+            engine.diff_objects("m", "s")
+
+    def test_with_branches_and_versions(self, engine):
+        v1 = engine.put("x", {"a": "1"})
+        engine.put("x", {"a": "2"})
+        engine.put("y", {"a": "1"})
+        diff = engine.diff_objects("x", "y", version_a=v1.uid)
+        assert diff.is_empty()  # identical content, different keys
+
+
+class TestEngineVerify:
+    def test_verify_clean(self, engine):
+        engine.put("k", {"a": "1"})
+        assert engine.verify("k").ok
+
+    def test_verify_detects(self):
+        provider = TamperingStore(InMemoryStore())
+        engine = ForkBase(store=provider, clock=lambda: 0.0)
+        engine.put("k", {"a": "1"})
+        fnode = engine.graph.load(engine.head("k"))
+        provider.flip_byte(fnode.value_root)
+        assert not engine.verify("k").ok
+
+    def test_verify_specific_version(self, engine):
+        v1 = engine.put("k", {"a": "1"})
+        engine.put("k", {"a": "2"})
+        assert engine.verify("k", version=v1.uid).ok
+
+
+class TestEngineGc:
+    def test_collect_garbage_wiring(self, engine):
+        engine.put("keep", {"a": "1"})
+        engine.put("drop", {"b": "x" * 100})
+        engine.delete_branch("drop", "master")
+        report = engine.collect_garbage(dry_run=True)
+        assert report.swept_chunks > 0
+        engine.collect_garbage()
+        assert engine.get_value("keep") == {b"a": b"1"}
+        assert engine.collect_garbage().swept_chunks == 0
+
+
+class TestCrossDatasetDiff:
+    def test_fig4_datasets_compare(self, engine):
+        """The demo loads Dataset-1 and Dataset-2 and compares them."""
+        csv_1 = generate_csv(800, seed=1)
+        csv_2 = mutate_csv_one_word(csv_1, seed=2)
+        t1, _ = DataTable.load_csv(engine, "Dataset-1", csv_1, primary_key="id")
+        t2, _ = DataTable.load_csv(engine, "Dataset-2", csv_2, primary_key="id")
+        diff = t1.diff_against(t2)
+        assert len(diff.changed) == 1
+        assert len(diff.added) == 0 and len(diff.removed) == 0
+        assert diff.changed[0].changed_columns == ("note",)
+        assert diff.subtrees_pruned > 0
+
+    def test_schema_mismatch_rejected(self, engine):
+        DataTable.load_csv(engine, "a", "id,x\n1,2\n", primary_key="id")
+        DataTable.load_csv(engine, "b", "id,y\n1,2\n", primary_key="id")
+        with pytest.raises(SchemaError):
+            DataTable(engine, "a").diff_against(DataTable(engine, "b"))
+
+    def test_identical_datasets_empty_diff(self, engine):
+        csv = generate_csv(100, seed=3)
+        t1, _ = DataTable.load_csv(engine, "d1", csv, primary_key="id")
+        t2, _ = DataTable.load_csv(engine, "d2", csv, primary_key="id")
+        assert t1.diff_against(t2).is_empty()

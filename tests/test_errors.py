@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+from repro.chunk import Uid
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.ChunkError,
+            errors.ChunkNotFoundError,
+            errors.ChunkCorruptionError,
+            errors.ChunkEncodingError,
+            errors.StoreError,
+            errors.StoreClosedError,
+            errors.TreeError,
+            errors.KeyOrderError,
+            errors.VersionError,
+            errors.UnknownVersionError,
+            errors.UnknownBranchError,
+            errors.BranchExistsError,
+            errors.MergeConflictError,
+            errors.EngineError,
+            errors.UnknownKeyError,
+            errors.TypeMismatchError,
+            errors.TamperError,
+            errors.AccessDeniedError,
+            errors.SchemaError,
+            errors.ApiError,
+            errors.NotFoundApiError,
+            errors.ClusterError,
+            errors.NodeDownError,
+        ],
+    )
+    def test_everything_derives_from_forkbase_error(self, cls):
+        assert issubclass(cls, errors.ForkBaseError)
+
+    def test_lookup_errors_are_also_keyerrors(self):
+        """Callers can catch either the domain error or the std type."""
+        assert issubclass(errors.ChunkNotFoundError, KeyError)
+        assert issubclass(errors.UnknownVersionError, KeyError)
+        assert issubclass(errors.UnknownBranchError, KeyError)
+        assert issubclass(errors.UnknownKeyError, KeyError)
+        assert issubclass(errors.TypeMismatchError, TypeError)
+
+    def test_one_base_catches_the_world(self, engine):
+        with pytest.raises(errors.ForkBaseError):
+            engine.get("never-put")
+
+
+class TestMessages:
+    def test_chunk_not_found_carries_uid(self):
+        uid = Uid.of(b"x")
+        error = errors.ChunkNotFoundError(uid)
+        assert error.uid == uid
+        assert "chunk not found" in str(error)
+
+    def test_unknown_branch_names_both_parts(self):
+        error = errors.UnknownBranchError("mykey", "dev")
+        assert error.key == "mykey" and error.branch == "dev"
+        assert "dev" in str(error) and "mykey" in str(error)
+
+    def test_merge_conflict_carries_conflicts(self):
+        error = errors.MergeConflictError([1, 2, 3])
+        assert error.conflicts == [1, 2, 3]
+        assert "3" in str(error)
+
+    def test_api_error_status_codes(self):
+        assert errors.ApiError.status == 400
+        assert errors.NotFoundApiError.status == 404

@@ -1,0 +1,117 @@
+"""Tests for the pruned tree diff (repro.postree.diff)."""
+
+import random
+
+import pytest
+
+from repro.postree import PosTree, diff_trees
+from repro.postree.diff import diff_keys
+
+
+def _dict_diff(a: dict, b: dict):
+    added = {k: v for k, v in b.items() if k not in a}
+    removed = {k: v for k, v in a.items() if k not in b}
+    changed = {k: (a[k], b[k]) for k in a.keys() & b.keys() if a[k] != b[k]}
+    return added, removed, changed
+
+
+class TestCorrectness:
+    def test_identical_trees(self, store, sample_pairs):
+        tree = PosTree.from_pairs(store, sample_pairs.items())
+        diff = diff_trees(tree, tree)
+        assert diff.is_empty()
+        assert diff.nodes_loaded == 0  # pruned at the root
+
+    def test_single_change(self, store, sample_pairs):
+        tree_a = PosTree.from_pairs(store, sample_pairs.items())
+        tree_b = tree_a.put(b"key00500", b"changed")
+        diff = diff_trees(tree_a, tree_b)
+        assert diff.changed == {b"key00500": (sample_pairs[b"key00500"], b"changed")}
+        assert not diff.added and not diff.removed
+        assert diff.edit_count == 1
+
+    def test_add_and_remove(self, store, small_pairs):
+        tree_a = PosTree.from_pairs(store, small_pairs.items())
+        tree_b = tree_a.update(puts={b"zzz": b"new"}, deletes=[b"k010"])
+        diff = diff_trees(tree_a, tree_b)
+        assert diff.added == {b"zzz": b"new"}
+        assert diff.removed == {b"k010": small_pairs[b"k010"]}
+
+    def test_direction_matters(self, store, small_pairs):
+        tree_a = PosTree.from_pairs(store, small_pairs.items())
+        tree_b = tree_a.put(b"zzz", b"new")
+        forward = diff_trees(tree_a, tree_b)
+        backward = diff_trees(tree_b, tree_a)
+        assert forward.added == {b"zzz": b"new"}
+        assert backward.removed == {b"zzz": b"new"}
+
+    def test_diff_vs_empty(self, store, small_pairs):
+        tree = PosTree.from_pairs(store, small_pairs.items())
+        empty = PosTree.empty(store)
+        assert len(diff_trees(empty, tree).added) == len(small_pairs)
+        assert len(diff_trees(tree, empty).removed) == len(small_pairs)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_against_dict_oracle(self, store, sample_pairs, seed):
+        rng = random.Random(seed)
+        tree_a = PosTree.from_pairs(store, sample_pairs.items())
+        keys = rng.sample(sorted(sample_pairs), 30)
+        puts = {k: b"edit-%d" % i for i, k in enumerate(keys[:15])}
+        puts[b"fresh-%d" % seed] = b"added"
+        deletes = keys[15:]
+        tree_b = tree_a.update(puts=puts, deletes=deletes)
+        state_b = dict(sample_pairs)
+        state_b.update(puts)
+        for key in deletes:
+            state_b.pop(key, None)
+        diff = diff_trees(tree_a, tree_b)
+        added, removed, changed = _dict_diff(sample_pairs, state_b)
+        assert diff.added == added
+        assert diff.removed == removed
+        assert diff.changed == changed
+
+    def test_as_edits_round_trips(self, store, sample_pairs):
+        tree_a = PosTree.from_pairs(store, sample_pairs.items())
+        tree_b = tree_a.update(
+            puts={b"key00010": b"x", b"new": b"y"}, deletes=[b"key00020"]
+        )
+        puts, deletes = diff_trees(tree_a, tree_b).as_edits()
+        rebuilt = tree_a.update(puts=puts, deletes=deletes)
+        assert rebuilt.root == tree_b.root
+
+    def test_diff_keys_sorted(self, store, small_pairs):
+        tree_a = PosTree.from_pairs(store, small_pairs.items())
+        tree_b = tree_a.update(puts={b"zz": b"1", b"aa": b"2"})
+        assert diff_keys(tree_a, tree_b) == [b"aa", b"zz"]
+
+
+class TestPruning:
+    def test_point_diff_loads_logarithmic(self, store):
+        pairs = {b"n%06d" % i: b"val-%d" % i for i in range(30_000)}
+        tree_a = PosTree.from_pairs(store, pairs.items())
+        tree_b = tree_a.put(b"n015000", b"poke")
+        diff = diff_trees(tree_a, tree_b)
+        total_nodes = sum(tree_a.node_count_by_level().values())
+        assert diff.edit_count == 1
+        assert diff.nodes_loaded < total_nodes / 10
+        assert diff.subtrees_pruned > 0
+
+    def test_load_count_scales_with_d_not_n(self, store):
+        pairs = {b"m%06d" % i: b"v" for i in range(20_000)}
+        tree = PosTree.from_pairs(store, pairs.items())
+        keys = sorted(pairs)
+        small = tree.update(puts={keys[5000]: b"a"})
+        large = tree.update(puts={keys[i]: b"b" for i in range(0, 20_000, 400)})
+        loads_small = diff_trees(tree, small).nodes_loaded
+        loads_large = diff_trees(tree, large).nodes_loaded
+        assert loads_small < loads_large
+
+    def test_disjoint_subtree_edits_prune_middle(self, store):
+        pairs = {b"p%05d" % i: b"v" for i in range(10_000)}
+        tree = PosTree.from_pairs(store, pairs.items())
+        keys = sorted(pairs)
+        edited = tree.update(puts={keys[10]: b"x", keys[-10]: b"y"})
+        diff = diff_trees(tree, edited)
+        assert diff.edit_count == 2
+        # The untouched middle must be pruned, not enumerated.
+        assert diff.nodes_loaded < 60

@@ -1,0 +1,160 @@
+"""Tests for incremental POS-Tree editing (repro.postree.edit).
+
+The central oracle: the splice editor must produce a root byte-identical
+to bulk-building the edited record set from scratch (SIRI Property 1).
+"""
+
+import random
+
+import pytest
+
+from repro.postree import PosTree
+
+
+def _reference(store, mapping):
+    return PosTree.from_pairs(store, mapping.items())
+
+
+class TestPointEdits:
+    def test_update_existing_key(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        edited = tree.put(b"key00100", b"NEW")
+        assert edited.get(b"key00100") == b"NEW"
+        assert tree.get(b"key00100") == sample_pairs[b"key00100"]  # immutability
+        expected = {**sample_pairs, b"key00100": b"NEW"}
+        assert edited.root == _reference(store, expected).root
+
+    def test_insert_middle(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        edited = tree.put(b"key01000x", b"mid")  # between key01000 and key01001
+        expected = {**sample_pairs, b"key01000x": b"mid"}
+        assert edited.get(b"key01000x") == b"mid"
+        assert edited.root == _reference(store, expected).root
+
+    def test_insert_before_first(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        edited = tree.put(b"aaa", b"first")
+        expected = {**sample_pairs, b"aaa": b"first"}
+        assert edited.root == _reference(store, expected).root
+        assert next(edited.keys()) == b"aaa"
+
+    def test_append_after_last(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        edited = tree.put(b"zzz", b"last")
+        expected = {**sample_pairs, b"zzz": b"last"}
+        assert edited.root == _reference(store, expected).root
+
+    def test_delete_first_middle_last(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        keys = sorted(sample_pairs)
+        for key in (keys[0], keys[len(keys) // 2], keys[-1]):
+            edited = tree.delete(key)
+            expected = {k: v for k, v in sample_pairs.items() if k != key}
+            assert edited.root == _reference(store, expected).root
+
+    def test_delete_missing_is_identity(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        assert tree.delete(b"not-there").root == tree.root
+
+    def test_overwrite_same_value_is_identity(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        key = sorted(sample_pairs)[7]
+        assert tree.put(key, sample_pairs[key]).root == tree.root
+
+    def test_empty_batch_is_identity(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        assert tree.update().root == tree.root
+
+
+class TestBatchEdits:
+    def test_random_batches_match_bulk(self, store, sample_pairs):
+        rng = random.Random(99)
+        current = dict(sample_pairs)
+        tree = _reference(store, current)
+        for round_ in range(8):
+            keys = rng.sample(sorted(current), 6)
+            puts = {k: b"round-%d" % round_ for k in keys[:4]}
+            puts[b"inserted-%03d" % round_] = b"fresh"
+            deletes = keys[4:]
+            tree = tree.update(puts=puts, deletes=deletes)
+            current.update(puts)
+            for key in deletes:
+                current.pop(key, None)
+            assert tree.root == _reference(store, current).root, f"round {round_}"
+            tree.check_structure()
+
+    def test_large_clustered_batch(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        keys = sorted(sample_pairs)[300:500]
+        puts = {k: b"bulkedit" for k in keys}
+        edited = tree.update(puts=puts)
+        expected = {**sample_pairs, **puts}
+        assert edited.root == _reference(store, expected).root
+
+    def test_delete_contiguous_range(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        doomed = sorted(sample_pairs)[800:900]
+        edited = tree.update(deletes=doomed)
+        expected = {k: v for k, v in sample_pairs.items() if k not in set(doomed)}
+        assert edited.root == _reference(store, expected).root
+        assert len(edited) == len(sample_pairs) - 100
+
+    def test_put_and_delete_same_key_put_wins(self, store, small_pairs):
+        tree = _reference(store, small_pairs)
+        edited = tree.update(puts={b"k005": b"kept"}, deletes=[b"k005"])
+        assert edited.get(b"k005") == b"kept"
+
+    def test_grow_from_empty(self, store, sample_pairs):
+        tree = PosTree.empty(store)
+        items = sorted(sample_pairs.items())
+        for start in range(0, len(items), 250):
+            tree = tree.update(puts=dict(items[start : start + 250]))
+        assert tree.root == _reference(store, sample_pairs).root
+
+    def test_shrink_to_empty(self, store, small_pairs):
+        tree = _reference(store, small_pairs)
+        tree = tree.update(deletes=list(small_pairs))
+        assert len(tree) == 0
+        assert tree.root == PosTree.empty(store).root
+
+    def test_replace_everything(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        replacement = {b"x%04d" % i: b"y" for i in range(500)}
+        tree = tree.update(puts=replacement, deletes=list(sample_pairs))
+        assert tree.root == _reference(store, replacement).root
+
+    def test_non_bytes_rejected(self, store, small_pairs):
+        tree = _reference(store, small_pairs)
+        with pytest.raises(TypeError):
+            tree.update(puts={"str-key": b"v"})  # type: ignore[dict-item]
+        with pytest.raises(TypeError):
+            tree.update(puts={b"k": "str-value"})  # type: ignore[dict-item]
+
+
+class TestEditEfficiency:
+    def test_point_edit_dirties_few_pages(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        edited = tree.put(sorted(sample_pairs)[1000], b"dirty")
+        new_pages = edited.page_uids() - tree.page_uids()
+        # One leaf + its root path (+ occasional boundary neighbour).
+        assert len(new_pages) <= tree.height() + 3
+
+    def test_point_edit_chunk_writes_bounded(self, store, sample_pairs):
+        tree = _reference(store, sample_pairs)
+        before = store.stats.snapshot()
+        tree.put(sorted(sample_pairs)[1500], b"x")
+        delta = store.stats.delta(before)
+        assert delta.puts_new <= tree.height() + 3
+
+    def test_height_grows_and_shrinks(self, store):
+        tree = PosTree.empty(store)
+        assert tree.height() == 0
+        big = {b"g%05d" % i: b"v" * 20 for i in range(3000)}
+        tree = tree.update(puts=big)
+        assert tree.height() >= 1
+        tree = tree.update(deletes=list(big)[:-5])
+        assert len(tree) == 5
+        survivors = {k: v for k, v in big.items() if tree.get(k) is not None}
+        reference = PosTree.from_pairs(store, survivors.items())
+        assert tree.root == reference.root
+        assert tree.height() == reference.height() == 0

@@ -1,0 +1,148 @@
+"""Tests for positional trees and blob trees (repro.postree.listtree)."""
+
+import os
+import random
+
+import pytest
+
+from repro.postree.listtree import BlobTree, PositionalTree
+
+
+def _items(n, seed=0):
+    rng = random.Random(seed)
+    return [b"item-%05d-%s" % (i, bytes([97 + rng.randrange(26)]) * rng.randrange(12))
+            for i in range(n)]
+
+
+class TestPositionalTree:
+    def test_round_trip(self, store):
+        items = _items(2500)
+        tree = PositionalTree.from_items(store, items)
+        assert len(tree) == 2500
+        assert tree.items() == items
+
+    def test_empty(self, store):
+        tree = PositionalTree.from_items(store, [])
+        assert len(tree) == 0
+        assert tree.items() == []
+
+    def test_get_by_position(self, store):
+        items = _items(1000)
+        tree = PositionalTree.from_items(store, items)
+        for position in (0, 1, 499, 998, 999):
+            assert tree.get(position) == items[position]
+
+    def test_negative_indexing(self, store):
+        items = _items(100)
+        tree = PositionalTree.from_items(store, items)
+        assert tree.get(-1) == items[-1]
+        assert tree.get(-100) == items[0]
+
+    def test_out_of_range(self, store):
+        tree = PositionalTree.from_items(store, _items(10))
+        with pytest.raises(IndexError):
+            tree.get(10)
+        with pytest.raises(IndexError):
+            tree.get(-11)
+
+    def test_iter_window(self, store):
+        items = _items(1000)
+        tree = PositionalTree.from_items(store, items)
+        assert list(tree.iter_items(200, 210)) == items[200:210]
+        assert list(tree.iter_items(995)) == items[995:]
+        assert list(tree.iter_items(5, 5)) == []
+
+    def test_structural_invariance(self, store):
+        items = _items(1500, seed=1)
+        direct = PositionalTree.from_items(store, items)
+        grown = PositionalTree.from_items(store, items[:700]).extend(items[700:])
+        assert direct.root == grown.root
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t, items: (t.append(b"TAIL"), items + [b"TAIL"]),
+            lambda t, items: (t.insert(0, b"HEAD"), [b"HEAD"] + items),
+            lambda t, items: (t.insert(500, b"MID"), items[:500] + [b"MID"] + items[500:]),
+            lambda t, items: (t.delete(500), items[:500] + items[501:]),
+            lambda t, items: (t.set(500, b"SET"), items[:500] + [b"SET"] + items[501:]),
+        ],
+    )
+    def test_edit_operations_match_reference(self, store, op):
+        items = _items(1000, seed=2)
+        tree = PositionalTree.from_items(store, items)
+        edited, expected = op(tree, items)
+        assert edited.items() == expected
+        assert edited.root == PositionalTree.from_items(store, expected).root
+
+    def test_splice_range(self, store):
+        items = _items(800, seed=3)
+        tree = PositionalTree.from_items(store, items)
+        edited = tree.splice(100, 200, [b"ONE", b"TWO"])
+        expected = items[:100] + [b"ONE", b"TWO"] + items[200:]
+        assert edited.items() == expected
+
+    def test_splice_bounds_checked(self, store):
+        tree = PositionalTree.from_items(store, _items(10))
+        with pytest.raises(IndexError):
+            tree.splice(5, 3)
+        with pytest.raises(IndexError):
+            tree.splice(0, 11)
+
+    def test_edit_storage_locality(self, store):
+        items = _items(3000, seed=4)
+        tree = PositionalTree.from_items(store, items)
+        edited = tree.set(1500, b"POKE")
+        shared = tree.page_uids() & edited.page_uids()
+        assert len(shared) >= 0.8 * len(tree.page_uids())
+
+
+class TestBlobTree:
+    def test_round_trip(self, store):
+        data = os.urandom(150_000)
+        blob = BlobTree.from_bytes(store, data)
+        assert blob.read() == data
+        assert blob.size() == len(data)
+
+    def test_empty_blob(self, store):
+        blob = BlobTree.from_bytes(store, b"")
+        assert blob.read() == b""
+        assert blob.size() == 0
+
+    def test_small_blob_single_chunk(self, store):
+        blob = BlobTree.from_bytes(store, b"tiny")
+        assert blob.read() == b"tiny"
+
+    def test_read_at(self, store):
+        data = os.urandom(80_000)
+        blob = BlobTree.from_bytes(store, data)
+        assert blob.read_at(0, 10) == data[:10]
+        assert blob.read_at(40_000, 1000) == data[40_000:41_000]
+        assert blob.read_at(79_990, 100) == data[79_990:]
+
+    def test_splice_replaces_bytes(self, store):
+        data = os.urandom(100_000)
+        blob = BlobTree.from_bytes(store, data)
+        edited = blob.splice(500, 600, b"REPLACEMENT")
+        assert edited.read() == data[:500] + b"REPLACEMENT" + data[600:]
+
+    def test_one_byte_edit_shares_chunks(self, store):
+        data = os.urandom(200_000)
+        blob = BlobTree.from_bytes(store, data)
+        edited = blob.splice(100_000, 100_001, b"Z")
+        shared = blob.page_uids() & edited.page_uids()
+        assert len(shared) >= 0.7 * len(blob.page_uids())
+
+    def test_structural_invariance_via_splice(self, store):
+        data = os.urandom(60_000)
+        edited = data[:30_000] + b"X" + data[30_000:]
+        direct = BlobTree.from_bytes(store, edited)
+        spliced = BlobTree.from_bytes(store, data).splice(30_000, 30_000, b"X")
+        assert direct.root == spliced.root
+
+    def test_identical_blobs_share_all_pages(self, store):
+        data = os.urandom(50_000)
+        blob_1 = BlobTree.from_bytes(store, data)
+        blob_2 = BlobTree.from_bytes(store, bytes(data))
+        assert blob_1.root == blob_2.root
+        assert blob_1.page_uids() == blob_2.page_uids()

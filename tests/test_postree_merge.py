@@ -1,0 +1,134 @@
+"""Tests for three-way merge (repro.postree.merge)."""
+
+import pytest
+
+from repro.errors import MergeConflictError
+from repro.postree import PosTree, three_way_merge
+from repro.postree.merge import MergeConflict, resolve_ours, resolve_theirs
+
+
+@pytest.fixture
+def base(store, sample_pairs):
+    return PosTree.from_pairs(store, sample_pairs.items())
+
+
+class TestDisjointMerges:
+    def test_disjoint_edits_combine(self, store, base, sample_pairs):
+        keys = sorted(sample_pairs)
+        side_a = base.put(keys[10], b"from-a")
+        side_b = base.put(keys[-10], b"from-b")
+        result = three_way_merge(base, side_a, side_b)
+        merged = base.with_root(result.root)
+        assert merged.get(keys[10]) == b"from-a"
+        assert merged.get(keys[-10]) == b"from-b"
+        assert not result.conflicts
+
+    def test_merge_matches_sequential_application(self, store, base, sample_pairs):
+        keys = sorted(sample_pairs)
+        side_a = base.update(puts={keys[5]: b"a"}, deletes=[keys[6]])
+        side_b = base.update(puts={b"new-key": b"b"})
+        result = three_way_merge(base, side_a, side_b)
+        reference = base.update(
+            puts={keys[5]: b"a", b"new-key": b"b"}, deletes=[keys[6]]
+        )
+        assert result.root == reference.root
+
+    def test_merge_with_unchanged_side(self, store, base, sample_pairs):
+        side_b = base.put(b"only-b", b"x")
+        result = three_way_merge(base, base, side_b)
+        assert result.root == side_b.root
+
+    def test_identical_edits_no_conflict(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[3]
+        side_a = base.put(key, b"same")
+        side_b = base.put(key, b"same")
+        result = three_way_merge(base, side_a, side_b)
+        assert not result.conflicts
+        assert base.with_root(result.root).get(key) == b"same"
+
+    def test_both_delete_same_key(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[4]
+        side_a = base.delete(key)
+        side_b = base.delete(key)
+        result = three_way_merge(base, side_a, side_b)
+        assert base.with_root(result.root).get(key) is None
+        assert not result.conflicts
+
+
+class TestConflicts:
+    def test_conflicting_values_raise(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[8]
+        side_a = base.put(key, b"left")
+        side_b = base.put(key, b"right")
+        with pytest.raises(MergeConflictError) as excinfo:
+            three_way_merge(base, side_a, side_b)
+        assert len(excinfo.value.conflicts) == 1
+        conflict = excinfo.value.conflicts[0]
+        assert conflict.key == key
+        assert conflict.a_value == b"left"
+        assert conflict.b_value == b"right"
+
+    def test_update_vs_delete_conflicts(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[9]
+        side_a = base.put(key, b"kept")
+        side_b = base.delete(key)
+        with pytest.raises(MergeConflictError):
+            three_way_merge(base, side_a, side_b)
+
+    def test_resolver_ours(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[8]
+        side_a = base.put(key, b"left")
+        side_b = base.put(key, b"right")
+        result = three_way_merge(base, side_a, side_b, resolver=resolve_ours)
+        assert base.with_root(result.root).get(key) == b"left"
+        assert result.stats.conflicts == 1
+
+    def test_resolver_theirs(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[8]
+        side_a = base.put(key, b"left")
+        side_b = base.put(key, b"right")
+        result = three_way_merge(base, side_a, side_b, resolver=resolve_theirs)
+        assert base.with_root(result.root).get(key) == b"right"
+
+    def test_custom_resolver(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[8]
+        side_a = base.put(key, b"left")
+        side_b = base.put(key, b"right")
+
+        def combine(conflict: MergeConflict):
+            return (conflict.a_value or b"") + b"+" + (conflict.b_value or b"")
+
+        result = three_way_merge(base, side_a, side_b, resolver=combine)
+        assert base.with_root(result.root).get(key) == b"left+right"
+
+    def test_resolver_can_delete(self, store, base, sample_pairs):
+        key = sorted(sample_pairs)[8]
+        side_a = base.put(key, b"left")
+        side_b = base.delete(key)
+        result = three_way_merge(base, side_a, side_b, resolver=lambda c: None)
+        assert base.with_root(result.root).get(key) is None
+
+
+class TestSubtreeReuse:
+    def test_merge_reuses_disjoint_subtrees(self, store, base, sample_pairs):
+        """Fig. 3: disjointly modified sub-trees are physically reused."""
+        keys = sorted(sample_pairs)
+        side_a = base.update(puts={k: b"a" for k in keys[:20]})
+        side_b = base.update(puts={k: b"b" for k in keys[-20:]})
+        result = three_way_merge(base, side_a, side_b)
+        merged_pages = base.with_root(result.root).page_uids()
+        a_pages = side_a.page_uids()
+        b_pages = side_b.page_uids()
+        reused = merged_pages & (a_pages | b_pages)
+        # Nearly every merged page already existed on one side.
+        assert len(reused) >= 0.9 * len(merged_pages)
+
+    def test_merge_stats_accounting(self, store, base, sample_pairs):
+        keys = sorted(sample_pairs)
+        side_a = base.put(keys[0], b"a")
+        side_b = base.put(keys[-1], b"b")
+        result = three_way_merge(base, side_a, side_b)
+        assert result.stats.subtrees_pruned > 0
+        assert result.stats.edits_from_a == 1
+        assert result.stats.edits_from_b == 1
+        assert result.stats.chunks_created <= base.height() + 3

@@ -1,0 +1,138 @@
+"""Tests for POS-Tree node encodings (repro.postree.node)."""
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.errors import ChunkEncodingError
+from repro.postree.node import (
+    IndexEntry,
+    IndexNode,
+    LeafEntry,
+    LeafNode,
+    empty_leaf,
+    encode_index_entry,
+    encode_leaf_entry,
+    load_node,
+    node_level,
+)
+
+
+def _uid(n: int) -> Uid:
+    return Uid.of(b"child-%d" % n)
+
+
+class TestLeafNode:
+    def test_round_trip(self):
+        entries = [LeafEntry(b"a", b"1"), LeafEntry(b"b", b"2")]
+        node = LeafNode(entries)
+        decoded = LeafNode.from_chunk(node.to_chunk())
+        assert decoded.entries == entries
+
+    def test_uid_stable_across_encodes(self):
+        node = LeafNode([LeafEntry(b"k", b"v")])
+        assert node.uid == LeafNode([LeafEntry(b"k", b"v")]).uid
+
+    def test_count_and_split_key(self):
+        node = LeafNode([LeafEntry(b"a", b""), LeafEntry(b"z", b"")])
+        assert node.count == 2
+        assert node.split_key() == b"z"
+
+    def test_descriptor(self):
+        node = LeafNode([LeafEntry(b"m", b"v")])
+        descriptor = node.descriptor()
+        assert descriptor.split_key == b"m"
+        assert descriptor.child == node.uid
+        assert descriptor.count == 1
+
+    def test_find_binary_search(self):
+        entries = [LeafEntry(b"k%02d" % i, b"v%d" % i) for i in range(50)]
+        node = LeafNode(entries)
+        assert node.find(b"k25") == b"v25"
+        assert node.find(b"k00") == b"v0"
+        assert node.find(b"k49") == b"v49"
+        assert node.find(b"nope") is None
+
+    def test_empty_leaf(self):
+        node = empty_leaf()
+        assert node.count == 0
+        assert node.split_key() == b""
+        assert LeafNode.from_chunk(node.to_chunk()).entries == []
+
+    def test_entry_bytes_match_encoder(self):
+        entry = LeafEntry(b"k", b"v")
+        node = LeafNode([entry])
+        assert node.entry_bytes() == [encode_leaf_entry(entry)]
+
+    def test_tail_bytes(self):
+        entries = [LeafEntry(b"a" * 10, b"b" * 10) for _ in range(3)]
+        node = LeafNode(entries)
+        stream = b"".join(node.entry_bytes())
+        assert node.tail_bytes(16) == stream[-16:]
+        assert node.tail_bytes(10_000) == stream[-10_000:]
+
+    def test_wrong_chunk_type_rejected(self):
+        with pytest.raises(ChunkEncodingError):
+            LeafNode.from_chunk(Chunk(ChunkType.BLOB, b"raw"))
+
+
+class TestIndexNode:
+    def _node(self, level=1, n=3):
+        entries = [IndexEntry(b"k%02d" % (i * 10), _uid(i), 5) for i in range(n)]
+        return IndexNode(level, entries)
+
+    def test_round_trip(self):
+        node = self._node()
+        decoded = IndexNode.from_chunk(node.to_chunk())
+        assert decoded.level == node.level
+        assert decoded.entries == node.entries
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            IndexNode(0, [])
+
+    def test_count_aggregates_children(self):
+        assert self._node(n=4).count == 20
+
+    def test_child_for_routing(self):
+        node = self._node(n=3)  # split keys k00, k10, k20
+        assert node.child_for(b"k00") == 0
+        assert node.child_for(b"k05") == 1
+        assert node.child_for(b"k10") == 1
+        assert node.child_for(b"k11") == 2
+        assert node.child_for(b"k20") == 2
+        # Keys beyond the last split route to the last child (insert pos).
+        assert node.child_for(b"zzz") == 2
+
+    def test_entry_bytes_match_encoder(self):
+        node = self._node(n=2)
+        assert node.entry_bytes() == [
+            encode_index_entry(entry) for entry in node.entries
+        ]
+
+    def test_descriptor(self):
+        node = self._node(n=3)
+        descriptor = node.descriptor()
+        assert descriptor.split_key == b"k20"
+        assert descriptor.count == 15
+
+    def test_levels_hash_differently(self):
+        entries = [IndexEntry(b"k", _uid(0), 1)]
+        assert IndexNode(1, entries).uid != IndexNode(2, entries).uid
+
+
+class TestLoadNode:
+    def test_dispatches_by_type(self):
+        leaf = LeafNode([LeafEntry(b"a", b"b")])
+        index = IndexNode(1, [IndexEntry(b"a", leaf.uid, 1)])
+        assert isinstance(load_node(leaf.to_chunk()), LeafNode)
+        assert isinstance(load_node(index.to_chunk()), IndexNode)
+
+    def test_rejects_non_node(self):
+        with pytest.raises(ChunkEncodingError):
+            load_node(Chunk(ChunkType.FNODE, b"x"))
+
+    def test_node_level(self):
+        leaf = LeafNode([])
+        index = IndexNode(3, [IndexEntry(b"a", leaf.uid, 0)])
+        assert node_level(leaf) == 0
+        assert node_level(index) == 3

@@ -1,0 +1,55 @@
+"""Tests for the SIRI property checkers (repro.postree.siri)."""
+
+import pytest
+
+from repro.postree import siri
+
+
+@pytest.fixture
+def records():
+    return {b"rec%05d" % i: b"payload-%d" % i for i in range(600)}
+
+
+class TestStructuralInvariance:
+    def test_holds_for_postree(self, store, records):
+        report = siri.check_structural_invariance(store, records, orders=4)
+        assert report.holds
+        assert report.distinct_roots == 1
+
+    def test_reports_page_count(self, store, records):
+        report = siri.check_structural_invariance(store, records, orders=2)
+        assert report.pages > 1
+
+    def test_empty_records(self, store):
+        report = siri.check_structural_invariance(store, {}, orders=2)
+        assert report.holds
+
+
+class TestRecursiveIdentity:
+    def test_holds_for_postree(self, store, records):
+        report = siri.check_recursive_identity(
+            store, records, b"zzz-new-record", b"value"
+        )
+        assert report.holds
+        assert report.new_pages < report.shared_pages
+
+    def test_new_pages_bounded_by_path(self, store, records):
+        report = siri.check_recursive_identity(store, records, b"rec00500x", b"v")
+        # Inserting one record dirties ~ one root-to-leaf path.
+        assert report.new_pages <= 5
+
+    def test_rejects_existing_key(self, store, records):
+        with pytest.raises(ValueError):
+            siri.check_recursive_identity(store, records, b"rec00000", b"v")
+
+
+class TestUniversalReusability:
+    def test_holds_for_postree(self, store, records):
+        reused, sampled = siri.check_universal_reusability(store, records)
+        assert sampled > 0
+        assert reused == sampled
+
+    def test_small_instance(self, store):
+        records = {b"a": b"1", b"b": b"2"}
+        reused, sampled = siri.check_universal_reusability(store, records)
+        assert reused == sampled

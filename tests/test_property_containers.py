@@ -1,0 +1,115 @@
+"""Property-based tests for positional trees, blobs, and the map types."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.postree.config import TreeConfig
+from repro.postree.listtree import BlobTree, PositionalTree
+from repro.rolling.chunker import ChunkerConfig
+from repro.store import InMemoryStore
+from repro.types import FMap, FSet
+
+SMALL_CONFIG = TreeConfig(
+    leaf=ChunkerConfig(pattern_bits=5, min_size=16, max_size=512),
+    index=ChunkerConfig(pattern_bits=4, min_size=16, max_size=512, min_entries=2),
+)
+
+_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+items_strategy = st.lists(st.binary(min_size=0, max_size=30), max_size=80)
+
+
+@given(items=items_strategy)
+@_settings
+def test_positional_tree_is_a_list(items):
+    store = InMemoryStore()
+    tree = PositionalTree.from_items(store, items, SMALL_CONFIG)
+    assert len(tree) == len(items)
+    assert tree.items() == items
+    for index in range(0, len(items), 7):
+        assert tree.get(index) == items[index]
+
+
+@given(
+    items=items_strategy,
+    start=st.integers(0, 100),
+    length=st.integers(0, 20),
+    replacement=st.lists(st.binary(max_size=20), max_size=10),
+)
+@_settings
+def test_positional_splice_matches_list_model(items, start, length, replacement):
+    store = InMemoryStore()
+    tree = PositionalTree.from_items(store, items, SMALL_CONFIG)
+    start = min(start, len(items))
+    stop = min(start + length, len(items))
+    spliced = tree.splice(start, stop, replacement)
+    expected = items[:start] + list(replacement) + items[stop:]
+    assert spliced.items() == expected
+    # Structural invariance for sequences too.
+    direct = PositionalTree.from_items(store, expected, SMALL_CONFIG)
+    assert spliced.root == direct.root
+
+
+@given(data=st.binary(max_size=20_000))
+@_settings
+def test_blob_round_trip(data):
+    store = InMemoryStore()
+    blob = BlobTree.from_bytes(store, data)
+    assert blob.read() == data
+    assert blob.size() == len(data)
+
+
+@given(
+    data=st.binary(max_size=8_000),
+    offset=st.integers(0, 8_000),
+    length=st.integers(0, 500),
+)
+@_settings
+def test_blob_read_at_matches_slicing(data, offset, length):
+    store = InMemoryStore()
+    blob = BlobTree.from_bytes(store, data)
+    offset = min(offset, len(data))
+    assert blob.read_at(offset, length) == data[offset : offset + length]
+
+
+@given(
+    data=st.binary(max_size=8_000),
+    start=st.integers(0, 8_000),
+    length=st.integers(0, 200),
+    insertion=st.binary(max_size=100),
+)
+@_settings
+def test_blob_splice_matches_bytes_model(data, start, length, insertion):
+    store = InMemoryStore()
+    blob = BlobTree.from_bytes(store, data)
+    start = min(start, len(data))
+    stop = min(start + length, len(data))
+    spliced = blob.splice(start, stop, insertion)
+    expected = data[:start] + insertion + data[stop:]
+    assert spliced.read() == expected
+    assert spliced.root == BlobTree.from_bytes(store, expected).root
+
+
+@given(mapping=st.dictionaries(st.binary(min_size=1, max_size=16),
+                               st.binary(max_size=24), max_size=60))
+@_settings
+def test_fmap_is_a_dict(mapping):
+    store = InMemoryStore()
+    fmap = FMap.from_dict(store, mapping)
+    assert fmap.to_dict() == mapping
+    assert len(fmap) == len(mapping)
+    for key in list(mapping)[:5]:
+        assert fmap[key] == mapping[key]
+
+
+@given(members=st.sets(st.binary(min_size=1, max_size=16), max_size=60))
+@_settings
+def test_fset_is_a_set(members):
+    store = InMemoryStore()
+    fset = FSet.from_iterable(store, members)
+    assert fset.to_set() == members
+    assert len(fset) == len(members)
+    assert list(fset) == sorted(members)

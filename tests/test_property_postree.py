@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for POS-Tree invariants.
+
+These are the strongest guarantees in the suite: for *arbitrary* record
+sets and edit orders, the tree must be structurally invariant, agree with
+a dict model, and keep its internal invariants.
+"""
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.postree import PosTree, diff_trees
+from repro.postree.config import TreeConfig
+from repro.rolling.chunker import ChunkerConfig
+from repro.store import InMemoryStore
+
+# Small nodes so tiny hypothesis cases still exercise multi-level trees.
+SMALL_CONFIG = TreeConfig(
+    leaf=ChunkerConfig(pattern_bits=5, min_size=16, max_size=512),
+    index=ChunkerConfig(pattern_bits=4, min_size=16, max_size=512, min_entries=2),
+)
+
+keys = st.binary(min_size=1, max_size=24)
+values = st.binary(min_size=0, max_size=40)
+records = st.dictionaries(keys, values, max_size=120)
+
+_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(mapping=records)
+@_settings
+def test_read_model_matches_dict(mapping: Dict[bytes, bytes]):
+    """The tree is observationally a sorted dict."""
+    store = InMemoryStore()
+    tree = PosTree.from_pairs(store, mapping.items(), SMALL_CONFIG)
+    assert len(tree) == len(mapping)
+    assert list(tree.items()) == sorted(mapping.items())
+    for key in list(mapping)[:10]:
+        assert tree.get(key) == mapping[key]
+    tree.check_structure()
+
+
+@given(mapping=records, seed=st.integers(0, 2**16))
+@_settings
+def test_structural_invariance_over_edit_orders(mapping, seed):
+    """Any batching/order of inserts yields the bulk-built tree."""
+    import random
+
+    store = InMemoryStore()
+    reference = PosTree.from_pairs(store, mapping.items(), SMALL_CONFIG)
+    rng = random.Random(seed)
+    items = list(mapping.items())
+    rng.shuffle(items)
+    tree = PosTree.empty(store, SMALL_CONFIG)
+    while items:
+        batch = items[: rng.randint(1, 7)]
+        items = items[len(batch) :]
+        tree = tree.update(puts=dict(batch))
+    assert tree.root == reference.root
+    assert tree.page_uids() == reference.page_uids()
+
+
+@given(
+    mapping=records,
+    edits=st.lists(
+        st.tuples(keys, st.one_of(st.none(), values)), max_size=30
+    ),
+)
+@_settings
+def test_edits_match_dict_model(mapping, edits: List[Tuple[bytes, object]]):
+    """Applying (put | delete) sequences agrees with a dict model and with
+    a from-scratch bulk build (invariance again, through deletions too)."""
+    store = InMemoryStore()
+    tree = PosTree.from_pairs(store, mapping.items(), SMALL_CONFIG)
+    model = dict(mapping)
+    puts = {}
+    deletes = set()
+    for key, value in edits:
+        if value is None:
+            deletes.add(key)
+            puts.pop(key, None)
+            model.pop(key, None)
+        else:
+            puts[key] = value
+            deletes.discard(key)
+            model[key] = value
+    tree = tree.update(puts=puts, deletes=deletes)
+    assert list(tree.items()) == sorted(model.items())
+    reference = PosTree.from_pairs(store, model.items(), SMALL_CONFIG)
+    assert tree.root == reference.root
+    tree.check_structure()
+
+
+@given(mapping=records, edits=st.dictionaries(keys, values, max_size=20))
+@_settings
+def test_diff_is_exact(mapping, edits):
+    """diff(A, B) recovers exactly the applied edits."""
+    store = InMemoryStore()
+    tree_a = PosTree.from_pairs(store, mapping.items(), SMALL_CONFIG)
+    tree_b = tree_a.update(puts=edits)
+    diff = diff_trees(tree_a, tree_b)
+    expected_added = {k: v for k, v in edits.items() if k not in mapping}
+    expected_changed = {
+        k: (mapping[k], v) for k, v in edits.items() if k in mapping and mapping[k] != v
+    }
+    assert diff.added == expected_added
+    assert diff.changed == expected_changed
+    assert diff.removed == {}
+
+
+@given(mapping=records, edits=st.dictionaries(keys, values, min_size=1, max_size=15))
+@_settings
+def test_diff_edits_rebuild_target(mapping, edits):
+    """Applying as_edits() of diff(A,B) onto A reproduces B exactly."""
+    store = InMemoryStore()
+    tree_a = PosTree.from_pairs(store, mapping.items(), SMALL_CONFIG)
+    tree_b = tree_a.update(puts=edits, deletes=list(mapping)[:3])
+    puts, deletes = diff_trees(tree_a, tree_b).as_edits()
+    assert tree_a.update(puts=puts, deletes=deletes).root == tree_b.root
+
+
+@given(
+    base=records,
+    edits_a=st.dictionaries(keys, values, max_size=10),
+    edits_b=st.dictionaries(keys, values, max_size=10),
+)
+@_settings
+def test_merge_of_agreeing_sides(base, edits_a, edits_b):
+    """Merging sides whose overlapping edits agree equals applying both."""
+    from repro.postree import three_way_merge
+
+    # Force agreement on overlapping keys.
+    for key in set(edits_a) & set(edits_b):
+        edits_b[key] = edits_a[key]
+    store = InMemoryStore()
+    tree_base = PosTree.from_pairs(store, base.items(), SMALL_CONFIG)
+    side_a = tree_base.update(puts=edits_a)
+    side_b = tree_base.update(puts=edits_b)
+    result = three_way_merge(tree_base, side_a, side_b)
+    combined = dict(base)
+    combined.update(edits_a)
+    combined.update(edits_b)
+    reference = PosTree.from_pairs(store, combined.items(), SMALL_CONFIG)
+    assert result.root == reference.root

@@ -1,0 +1,87 @@
+"""Property-based tests for the chunking substrate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rolling.chunker import ChunkerConfig, chunk_bytes, chunk_entries
+from repro.rolling.hashes import CyclicPolynomialHash, direct_cyclic_hash
+
+CFG = ChunkerConfig(pattern_bits=5, min_size=8, max_size=512)
+
+_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(data=st.binary(max_size=5000))
+@_settings
+def test_chunks_reassemble(data):
+    assert b"".join(chunk_bytes(data, CFG)) == data
+
+
+@given(data=st.binary(min_size=600, max_size=5000))
+@_settings
+def test_chunk_size_bounds(data):
+    parts = chunk_bytes(data, CFG)
+    for part in parts[:-1]:
+        assert 8 <= len(part) <= 512
+    assert len(parts[-1]) <= 512
+
+
+@given(data=st.binary(max_size=3000))
+@_settings
+def test_chunking_deterministic(data):
+    assert chunk_bytes(data, CFG) == chunk_bytes(data, CFG)
+
+
+@given(
+    prefix=st.binary(max_size=1500),
+    suffix=st.binary(max_size=1500),
+    insertion=st.binary(min_size=1, max_size=50),
+)
+@_settings
+def test_suffix_chunks_resynchronize(prefix, suffix, insertion):
+    """After an insertion, chunk boundaries must realign in the suffix:
+    the final chunks of both chunkings agree once past the edit."""
+    original = prefix + suffix
+    edited = prefix + insertion + suffix
+    parts_a = chunk_bytes(original, CFG)
+    parts_b = chunk_bytes(edited, CFG)
+    if len(suffix) > 2048:  # enough room to resync and share tail chunks
+        assert parts_a[-1] == parts_b[-1]
+
+
+@given(entries=st.lists(st.binary(min_size=1, max_size=60), max_size=200))
+@_settings
+def test_entry_spans_partition(entries):
+    spans = chunk_entries(entries, CFG)
+    if not entries:
+        assert spans == []
+        return
+    assert spans[0][0] == 0
+    assert spans[-1][1] == len(entries)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end == start
+    assert all(start < end for start, end in spans)
+
+
+@given(data=st.binary(min_size=20, max_size=400), window=st.sampled_from([4, 8, 16]))
+@_settings
+def test_rolling_matches_direct(data, window):
+    hasher = CyclicPolynomialHash(window=window, bits=31)
+    hasher.feed(data)
+    assert hasher.value == direct_cyclic_hash(data[-window:], bits=31)
+
+
+@given(
+    junk=st.binary(max_size=100),
+    tail=st.binary(min_size=16, max_size=100),
+)
+@_settings
+def test_window_forgets_old_bytes(junk, tail):
+    h1 = CyclicPolynomialHash(window=16, bits=31)
+    h2 = CyclicPolynomialHash(window=16, bits=31)
+    h1.feed(junk + tail)
+    h2.feed(tail)
+    assert h1.value == h2.value

@@ -1,0 +1,207 @@
+"""Tests for the relational semantic view (repro.table)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownKeyError
+from repro.table import DataTable, Schema
+from repro.table.csvio import parse_csv, render_csv
+from repro.table.schema import ROW_PREFIX, SCHEMA_KEY
+from repro.workloads import generate_csv, mutate_csv_one_word
+
+CSV = """id,name,qty
+1,apple,10
+2,banana,20
+3,cherry,30
+"""
+
+
+class TestSchema:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Schema.of([], "id")
+        with pytest.raises(SchemaError):
+            Schema.of(["a", "a"], "a")
+        with pytest.raises(SchemaError):
+            Schema.of(["a"], "b")
+
+    def test_encode_decode(self):
+        schema = Schema.of(["id", "name"], "id")
+        assert Schema.decode(schema.encode()) == schema
+
+    def test_row_codec_round_trip(self):
+        schema = Schema.of(["id", "name", "qty"], "id")
+        row = {"id": "7", "name": "x,y \"quoted\"", "qty": ""}
+        assert schema.decode_row(schema.encode_row(row)) == row
+
+    def test_row_codec_rejects_bad_rows(self):
+        schema = Schema.of(["id", "name"], "id")
+        with pytest.raises(SchemaError):
+            schema.encode_row({"id": "1"})  # missing column
+        with pytest.raises(SchemaError):
+            schema.encode_row({"id": "1", "name": "n", "extra": "e"})
+
+    def test_row_keys(self):
+        schema = Schema.of(["id"], "id")
+        key = schema.row_key({"id": "42"})
+        assert key == ROW_PREFIX + b"42"
+        assert schema.pk_of(key) == "42"
+        with pytest.raises(SchemaError):
+            schema.pk_of(b"not-a-row-key")
+
+    def test_changed_columns(self):
+        schema = Schema.of(["id", "a", "b"], "id")
+        old = schema.encode_row({"id": "1", "a": "x", "b": "y"})
+        new = schema.encode_row({"id": "1", "a": "x", "b": "z"})
+        assert schema.changed_columns(old, new) == ["b"]
+
+
+class TestCsvIo:
+    def test_parse(self):
+        header, rows = parse_csv(CSV)
+        assert header == ["id", "name", "qty"]
+        assert rows[1] == {"id": "2", "name": "banana", "qty": "20"}
+
+    def test_render_round_trip(self):
+        header, rows = parse_csv(CSV)
+        assert parse_csv(render_csv(header, iter(rows))) == (header, rows)
+
+    def test_quoted_fields(self):
+        text = 'id,note\n1,"hello, world"\n'
+        _, rows = parse_csv(text)
+        assert rows[0]["note"] == "hello, world"
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError):
+            parse_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            parse_csv("a,b\n1\n")
+
+
+class TestDataTable:
+    @pytest.fixture
+    def table(self, engine):
+        table, _ = DataTable.load_csv(engine, "fruits", CSV, primary_key="id")
+        return table
+
+    def test_load_report(self, engine):
+        _, report = DataTable.load_csv(engine, "fruits", CSV, primary_key="id")
+        assert report.rows_loaded == 3
+        assert report.physical_bytes_added > 0
+        assert "loaded 3 rows" in report.describe()
+
+    def test_row_count_and_get(self, table):
+        assert table.row_count() == 3
+        assert table.get_row("2") == {"id": "2", "name": "banana", "qty": "20"}
+        assert table.get_row("99") is None
+
+    def test_rows_ordered_by_pk(self, table):
+        assert [row["id"] for row in table.rows()] == ["1", "2", "3"]
+
+    def test_select(self, table):
+        rows = table.select(where=lambda r: int(r["qty"]) > 15)
+        assert [r["id"] for r in rows] == ["2", "3"]
+        projected = table.select(columns=["name"], limit=1)
+        assert projected == [{"name": "apple"}]
+
+    def test_stat_numeric(self, table):
+        stat = table.stat("qty")
+        assert stat.numeric
+        assert stat.minimum == 10 and stat.maximum == 30
+        assert stat.mean == 20
+        assert stat.count == 3 and stat.distinct == 3
+
+    def test_stat_text(self, table):
+        stat = table.stat("name")
+        assert not stat.numeric
+        assert stat.minimum == "apple" and stat.maximum == "cherry"
+
+    def test_stat_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.stat("ghost")
+
+    def test_export_round_trip(self, table):
+        exported = table.export_csv()
+        header, rows = parse_csv(exported)
+        assert header == ["id", "name", "qty"]
+        assert len(rows) == 3
+
+    def test_upsert_and_delete(self, table):
+        table.upsert_rows([{"id": "4", "name": "date", "qty": "40"}])
+        assert table.row_count() == 4
+        table.delete_rows(["1", "4"])
+        assert table.row_count() == 2
+        assert table.get_row("1") is None
+
+    def test_update_cells(self, table):
+        table.update_cells("2", {"qty": "99"})
+        assert table.get_row("2")["qty"] == "99"
+        with pytest.raises(UnknownKeyError):
+            table.update_cells("404", {"qty": "0"})
+        with pytest.raises(SchemaError):
+            table.update_cells("2", {"ghost": "x"})
+
+    def test_each_write_creates_version(self, table):
+        before = len(table.engine.history("fruits"))
+        table.update_cells("2", {"qty": "1"})
+        table.upsert_rows([{"id": "9", "name": "fig", "qty": "5"}])
+        assert len(table.engine.history("fruits")) == before + 2
+
+
+class TestBranchDiffMerge:
+    @pytest.fixture
+    def table(self, engine):
+        table, _ = DataTable.load_csv(engine, "ds", CSV, primary_key="id")
+        table.branch("vendorX")
+        return table
+
+    def test_diff_detects_all_kinds(self, table):
+        table.update_cells("1", {"qty": "11"}, branch="vendorX")
+        table.upsert_rows(
+            [{"id": "4", "name": "date", "qty": "40"}], branch="vendorX"
+        )
+        table.delete_rows(["3"], branch="vendorX")
+        diff = table.diff("master", "vendorX")
+        assert [r.pk for r in diff.added] == ["4"]
+        assert [r.pk for r in diff.removed] == ["3"]
+        assert [r.pk for r in diff.changed] == ["1"]
+        assert diff.changed[0].changed_columns == ("qty",)
+        assert not diff.schema_changed
+
+    def test_diff_empty(self, table):
+        assert table.diff("master", "vendorX").is_empty()
+
+    def test_merge_row_granular(self, table):
+        table.update_cells("1", {"qty": "100"}, branch="master")
+        table.update_cells("3", {"qty": "300"}, branch="vendorX")
+        table.merge("vendorX", into_branch="master")
+        assert table.get_row("1", branch="master")["qty"] == "100"
+        assert table.get_row("3", branch="master")["qty"] == "300"
+
+    def test_version_time_travel(self, engine):
+        table, report = DataTable.load_csv(engine, "tt", CSV, primary_key="id")
+        v1 = report.version
+        table.update_cells("1", {"qty": "999"})
+        assert table.get_row("1", version=v1.uid)["qty"] == "10"
+        assert table.get_row("1")["qty"] == "999"
+
+
+class TestFig4Scenario:
+    def test_near_duplicate_load_is_cheap(self, engine):
+        """The headline demo: the second, one-word-different CSV costs a
+        tiny fraction of the first load's storage."""
+        csv_1 = generate_csv(2000, seed=11)
+        csv_2 = mutate_csv_one_word(csv_1, seed=13)
+        assert csv_1 != csv_2
+        _, report_1 = DataTable.load_csv(engine, "d1", csv_1, primary_key="id")
+        _, report_2 = DataTable.load_csv(engine, "d2", csv_2, primary_key="id")
+        assert report_2.physical_bytes_added < report_1.physical_bytes_added * 0.05
+        assert report_2.dedup_savings > 0.95
+
+    def test_identical_load_costs_almost_nothing(self, engine):
+        csv_1 = generate_csv(1000, seed=17)
+        _, report_1 = DataTable.load_csv(engine, "d1", csv_1, primary_key="id")
+        _, report_2 = DataTable.load_csv(engine, "d2", csv_1, primary_key="id")
+        # Value trees are identical: only the new FNode is materialized.
+        assert report_2.chunks_new <= 1

@@ -1,0 +1,83 @@
+"""Tests for content addresses (repro.chunk.uid)."""
+
+import pytest
+
+from repro.chunk import NULL_UID, Uid
+
+
+class TestConstruction:
+    def test_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            Uid(b"short")
+
+    def test_requires_bytes(self):
+        with pytest.raises(TypeError):
+            Uid("f" * 64)  # type: ignore[arg-type]
+
+    def test_of_hashes_sha256(self):
+        import hashlib
+
+        assert Uid.of(b"abc").digest == hashlib.sha256(b"abc").digest()
+
+    def test_accepts_bytearray(self):
+        raw = bytearray(range(32))
+        assert Uid(raw).digest == bytes(range(32))
+
+
+class TestRenderings:
+    def test_hex_round_trip(self):
+        uid = Uid.of(b"payload")
+        assert Uid.from_hex(uid.hex()) == uid
+
+    def test_base32_round_trip(self):
+        uid = Uid.of(b"payload")
+        assert Uid.from_base32(uid.base32()) == uid
+
+    def test_base32_is_rfc4648_uppercase(self):
+        text = Uid.of(b"x").base32()
+        assert text == text.upper()
+        assert "=" not in text
+        assert len(text) == 52
+
+    def test_base32_accepts_lowercase(self):
+        uid = Uid.of(b"y")
+        assert Uid.from_base32(uid.base32().lower()) == uid
+
+    def test_parse_dispatches_on_length(self):
+        uid = Uid.of(b"z")
+        assert Uid.parse(uid.hex()) == uid
+        assert Uid.parse(uid.base32()) == uid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Uid.parse("not-a-uid")
+
+    def test_short_is_prefix(self):
+        uid = Uid.of(b"w")
+        assert uid.base32().startswith(uid.short())
+        assert len(uid.short(6)) == 6
+
+
+class TestSemantics:
+    def test_equality_and_hash(self):
+        a = Uid.of(b"same")
+        b = Uid.of(b"same")
+        c = Uid.of(b"other")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_ordering_is_lexicographic(self):
+        uids = sorted([Uid.of(bytes([i])) for i in range(20)])
+        digests = [u.digest for u in uids]
+        assert digests == sorted(digests)
+
+    def test_usable_as_dict_key(self):
+        table = {Uid.of(b"k"): 1}
+        assert table[Uid.of(b"k")] == 1
+
+    def test_bytes_conversion(self):
+        uid = Uid.of(b"q")
+        assert bytes(uid) == uid.digest
+
+    def test_null_uid_is_all_zero(self):
+        assert NULL_UID.digest == b"\x00" * 32

@@ -1,0 +1,136 @@
+"""Tests for the synthetic workload generators (repro.workloads)."""
+
+import pytest
+
+from repro.table.csvio import parse_csv
+from repro.workloads import (
+    ZipfSampler,
+    generate_csv,
+    generate_rows,
+    make_branching_history,
+    make_edit_script,
+    make_version_chain,
+    mutate_csv_one_word,
+)
+
+
+class TestCsvGen:
+    def test_deterministic(self):
+        assert generate_csv(100, seed=5) == generate_csv(100, seed=5)
+        assert generate_csv(100, seed=5) != generate_csv(100, seed=6)
+
+    def test_row_count_and_schema(self):
+        header, rows = parse_csv(generate_csv(50, seed=1))
+        assert header[0] == "id"
+        assert len(rows) == 50
+        assert len({row["id"] for row in rows}) == 50  # unique pks
+
+    def test_size_scales(self):
+        assert len(generate_csv(2000)) > 10 * len(generate_csv(150))
+
+    def test_mutate_one_word(self):
+        csv_1 = generate_csv(200, seed=2)
+        csv_2 = mutate_csv_one_word(csv_1, seed=3)
+        assert csv_1 != csv_2
+        lines_1 = csv_1.splitlines()
+        lines_2 = csv_2.splitlines()
+        assert len(lines_1) == len(lines_2)
+        differing = [i for i, (a, b) in enumerate(zip(lines_1, lines_2)) if a != b]
+        assert len(differing) == 1  # exactly one line changed
+
+    def test_mutate_deterministic(self):
+        csv_1 = generate_csv(200, seed=2)
+        assert mutate_csv_one_word(csv_1, seed=3) == mutate_csv_one_word(csv_1, seed=3)
+
+
+class TestEditScripts:
+    def test_sizes(self):
+        rows = generate_rows(500, seed=0)
+        script = make_edit_script(rows, updates=10, inserts=3, deletes=2, seed=1)
+        assert len(script.updates) == 10
+        assert len(script.inserts) == 3
+        assert len(script.deletes) == 2
+        assert script.size == 15
+
+    def test_apply_semantics(self):
+        rows = generate_rows(100, seed=0)
+        script = make_edit_script(rows, updates=5, inserts=2, deletes=3, seed=2)
+        out = make_edit_script(rows, updates=5, inserts=2, deletes=3, seed=2).apply(rows)
+        assert len(out) == 100 + 2 - 3
+        by_pk = {row["id"]: row for row in out}
+        for pk, changes in script.updates.items():
+            for column, value in changes.items():
+                assert by_pk[pk][column] == value
+        for pk in script.deletes:
+            assert pk not in by_pk
+        for row in script.inserts:
+            assert row["id"] in by_pk
+
+    def test_apply_does_not_mutate_input(self):
+        rows = generate_rows(50, seed=0)
+        snapshot = [dict(row) for row in rows]
+        make_edit_script(rows, updates=5, seed=3).apply(rows)
+        assert rows == snapshot
+
+    def test_clustered_targets_contiguous(self):
+        rows = generate_rows(1000, seed=0)
+        script = make_edit_script(rows, updates=20, seed=4, clustered=True)
+        pks = sorted(script.updates)
+        all_pks = sorted(row["id"] for row in rows)
+        start = all_pks.index(pks[0])
+        assert all_pks[start : start + 20] == pks
+
+    def test_too_many_edits_rejected(self):
+        rows = generate_rows(5, seed=0)
+        with pytest.raises(ValueError):
+            make_edit_script(rows, updates=10)
+
+
+class TestVersionChains:
+    def test_chain_shape(self):
+        chain = make_version_chain(100, 6, edits_per_version=4, seed=1)
+        assert len(chain) == 6
+        assert len(chain[0]) == 100
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier != later
+
+    def test_chain_deterministic(self):
+        a = make_version_chain(50, 3, seed=2)
+        b = make_version_chain(50, 3, seed=2)
+        assert a == b
+
+    def test_branching_history(self):
+        base, tree = make_branching_history(100, branches=3, versions_per_branch=2, seed=1)
+        assert len(base) == 100
+        assert set(tree) == {"branch-0", "branch-1", "branch-2"}
+        for chain in tree.values():
+            assert len(chain) == 2
+        # Branch chains diverge from each other.
+        assert tree["branch-0"][0] != tree["branch-1"][0]
+
+
+class TestZipf:
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(50, s=1.2, seed=0)
+        draws = sampler.sample_many(5000)
+        counts = [draws.count(rank) for rank in range(5)]
+        assert counts[0] == max(counts)
+        assert counts[0] > draws.count(40)
+
+    def test_uniform_when_s_zero(self):
+        sampler = ZipfSampler(10, s=0.0, seed=1)
+        draws = sampler.sample_many(10_000)
+        for rank in range(10):
+            assert 700 < draws.count(rank) < 1300
+
+    def test_pick(self):
+        sampler = ZipfSampler(3, seed=2)
+        assert sampler.pick(["a", "b", "c"]) in {"a", "b", "c"}
+        with pytest.raises(ValueError):
+            sampler.pick(["wrong", "length"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-1)
