@@ -1,0 +1,152 @@
+"""Bulk-build & edit-splice throughput — pure vs vectorized chunking.
+
+Measures POS-Tree construction (``bulk_build``) and incremental splice
+editing (``PosTree.update``) over a >=100k-record FMap, once through the
+numpy fast path and once through the pure streaming reference (via
+``forced_pure``).  Results go three places:
+
+- the pytest-benchmark table (``--benchmark-only``),
+- ``benchmarks/out/bench_build_throughput.txt`` (paper-shaped table),
+- ``BENCH_build.json`` at the repo root — machine-readable, one entry
+  per (operation, path) with seconds and MB/s, plus the speedup ratios.
+
+Knobs (for CI smoke runs): ``BENCH_BUILD_RECORDS`` (default 100000),
+``BENCH_BUILD_VALUE_SIZE`` (default 100).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.postree import PosTree
+from repro.postree.node import LeafEntry, encode_leaf_entry
+from repro.rolling.fast import forced_pure, numpy_available
+from repro.store.memory import InMemoryStore
+
+RECORDS = int(os.environ.get("BENCH_BUILD_RECORDS", "100000"))
+VALUE_SIZE = int(os.environ.get("BENCH_BUILD_VALUE_SIZE", "100"))
+EDIT_STRIDE = 10  # overwrite every 10th key: scattered, touches ~all leaves
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_build.json")
+
+
+def _record(section: str, path: str, seconds: float, mb: float) -> None:
+    """Merge one measurement into BENCH_build.json (read-modify-write)."""
+    data = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("config", {}).update(
+        {"records": RECORDS, "value_size": VALUE_SIZE, "numpy": numpy_available()}
+    )
+    entry = data.setdefault(section, {})
+    entry[path] = {"seconds": round(seconds, 6), "mb_per_s": round(mb / seconds, 3)}
+    if "pure" in entry and "fast" in entry:
+        entry["speedup"] = round(entry["pure"]["seconds"] / entry["fast"]["seconds"], 3)
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report(
+        "bench_build_throughput",
+        table(
+            ("operation", "path", "seconds", "MB/s"),
+            [
+                (op, p, row["seconds"], row["mb_per_s"])
+                for op, paths in sorted(data.items())
+                if op != "config"
+                for p, row in sorted(paths.items())
+                if isinstance(row, dict)
+            ],
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    import random
+
+    rng = random.Random(42)
+    records = [
+        LeafEntry(
+            b"key-%012d" % i, bytes(rng.randrange(256) for _ in range(VALUE_SIZE))
+        )
+        for i in range(RECORDS)
+    ]
+    stream_mb = sum(len(encode_leaf_entry(e)) for e in records) / 1e6
+    return records, stream_mb
+
+
+@pytest.fixture(scope="module")
+def base_tree(dataset):
+    records, _ = dataset
+    store = InMemoryStore()
+    return PosTree.from_pairs(store, records)
+
+
+def _edit_batch(dataset):
+    records, _ = dataset
+    puts = {key: b"edited-" + key for key, _ in records[::EDIT_STRIDE]}
+    mb = sum(len(encode_leaf_entry(LeafEntry(k, v))) for k, v in puts.items()) / 1e6
+    return puts, mb
+
+
+def _bench(benchmark, fn):
+    """Run through pytest-benchmark and return the best observed time."""
+    benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+    return benchmark.stats.stats.min
+
+
+def test_bulk_build_vectorized(benchmark, dataset):
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    records, stream_mb = dataset
+    seconds = _bench(benchmark, lambda: PosTree.from_pairs(InMemoryStore(), records))
+    _record("bulk_build", "fast", seconds, stream_mb)
+
+
+def test_bulk_build_pure(benchmark, dataset):
+    records, stream_mb = dataset
+
+    def build():
+        with forced_pure():
+            return PosTree.from_pairs(InMemoryStore(), records)
+
+    seconds = _bench(benchmark, build)
+    _record("bulk_build", "pure", seconds, stream_mb)
+
+
+def test_edit_splice_vectorized(benchmark, dataset, base_tree):
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    puts, mb = _edit_batch(dataset)
+    seconds = _bench(benchmark, lambda: base_tree.update(puts=puts))
+    _record("edit_splice", "fast", seconds, mb)
+
+
+def test_edit_splice_pure(benchmark, dataset, base_tree):
+    puts, mb = _edit_batch(dataset)
+
+    def edit():
+        with forced_pure():
+            return base_tree.update(puts=puts)
+
+    seconds = _bench(benchmark, edit)
+    _record("edit_splice", "pure", seconds, mb)
+
+
+def test_paths_agree(dataset):
+    """The two paths must produce the same root uid (sanity alongside the
+    dedicated property tests)."""
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    records, _ = dataset
+    sample = records[:: max(1, RECORDS // 2000)]
+    fast_root = PosTree.from_pairs(InMemoryStore(), sample).root
+    with forced_pure():
+        pure_root = PosTree.from_pairs(InMemoryStore(), sample).root
+    assert fast_root == pure_root

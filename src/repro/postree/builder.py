@@ -10,6 +10,12 @@ a byte sequence, and the pattern detection process scans it from the
 beginning.  When a pattern occurs, a node is created from recently scanned
 bytes" — then the emitted nodes' index entries form the next level's entry
 sequence, recursively, until a single node remains.
+
+Each level runs in three vector-friendly steps: encode every entry once,
+compute the node spans with the fast chunker (numpy when available,
+byte-identical pure fallback otherwise — see :mod:`repro.rolling.fast`),
+then materialize nodes from span slices, reusing the encodings for the
+chunk payloads.
 """
 
 from __future__ import annotations
@@ -25,10 +31,10 @@ from repro.postree.node import (
     LeafEntry,
     LeafNode,
     empty_leaf,
-    encode_index_entry,
-    encode_leaf_entry,
+    encode_index_entries,
+    encode_leaf_entries,
 )
-from repro.rolling.chunker import EntryChunker
+from repro.rolling.fast import fast_entry_spans
 from repro.store.base import ChunkStore
 
 
@@ -39,24 +45,21 @@ def build_leaf_level(
     check_order: bool = True,
 ) -> List[IndexEntry]:
     """Chunk sorted records into leaf nodes; return their descriptors."""
-    chunker = EntryChunker(config.leaf)
+    if not isinstance(entries, list):
+        entries = list(entries)
+    if check_order:
+        previous_key = None
+        for entry in entries:
+            if previous_key is not None and entry.key <= previous_key:
+                raise KeyOrderError(
+                    f"keys must be strictly increasing: {previous_key!r} "
+                    f"then {entry.key!r}"
+                )
+            previous_key = entry.key
+    encoded = encode_leaf_entries(entries)
     descriptors: List[IndexEntry] = []
-    buffer: List[LeafEntry] = []
-    previous_key = None
-    for entry in entries:
-        if check_order and previous_key is not None and entry.key <= previous_key:
-            raise KeyOrderError(
-                f"keys must be strictly increasing: {previous_key!r} then {entry.key!r}"
-            )
-        previous_key = entry.key
-        buffer.append(entry)
-        if chunker.push(encode_leaf_entry(entry)):
-            node = LeafNode(buffer)
-            store.put(node.to_chunk())
-            descriptors.append(node.descriptor())
-            buffer = []
-    if buffer:
-        node = LeafNode(buffer)
+    for start, end in fast_entry_spans(encoded, config.leaf):
+        node = LeafNode(entries[start:end], encoded=encoded[start:end])
         store.put(node.to_chunk())
         descriptors.append(node.descriptor())
     return descriptors
@@ -76,18 +79,10 @@ def build_index_levels(
     """
     level = first_level
     while len(descriptors) > 1:
-        chunker = EntryChunker(config.index)
+        encoded = encode_index_entries(descriptors)
         next_descriptors: List[IndexEntry] = []
-        buffer: List[IndexEntry] = []
-        for descriptor in descriptors:
-            buffer.append(descriptor)
-            if chunker.push(encode_index_entry(descriptor)):
-                node = IndexNode(level, buffer)
-                store.put(node.to_chunk())
-                next_descriptors.append(node.descriptor())
-                buffer = []
-        if buffer:
-            node = IndexNode(level, buffer)
+        for start, end in fast_entry_spans(encoded, config.index):
+            node = IndexNode(level, descriptors[start:end], encoded=encoded[start:end])
             store.put(node.to_chunk())
             next_descriptors.append(node.descriptor())
         descriptors = next_descriptors

@@ -33,7 +33,7 @@ from repro.postree.node import (
     encode_index_entry,
     encode_leaf_entry,
 )
-from repro.rolling.chunker import EntryChunker
+from repro.rolling.fast import AnyEntryChunker, make_entry_chunker
 
 # A path records, from the root downward, (index node, child position)
 # frames leading to — but not including — a node of interest.
@@ -111,10 +111,21 @@ class _Walker:
         return b""
 
 
-class _Emitter:
-    """Shared boundary/buffer state machine for one level's splice."""
+#: One unit of splice work: ``(entry, encoded, edited)`` — or None, an
+#: edit-point marker (a deletion: the stream diverges with nothing emitted).
+_EmitItem = Optional[Tuple[object, bytes, bool]]
 
-    def __init__(self, tree, chunker: EntryChunker, level: int) -> None:
+
+class _Emitter:
+    """Shared boundary/buffer state machine for one level's splice.
+
+    Entries arrive in *batches* (typically one old node's worth) so the
+    chunker can hash each run with one vectorized pass instead of an
+    interpreted loop per byte — the same batching contract the bulk
+    builder uses, keeping editor and builder boundaries bit-identical.
+    """
+
+    def __init__(self, tree, chunker: AnyEntryChunker, level: int) -> None:
         self._tree = tree
         self._chunker = chunker
         self._level = level
@@ -122,16 +133,32 @@ class _Emitter:
         self.descriptors: List[IndexEntry] = []
         self.bytes_since_edit: Optional[int] = None  # None: edit not reached
 
-    def emit(self, entry, encoded: bytes, edited: bool) -> None:
-        """Feed one entry through the chunker, flushing on boundaries."""
-        self.buffer.append(entry)
-        hit = self._chunker.push(encoded)
-        if edited:
-            self.bytes_since_edit = 0
-        elif self.bytes_since_edit is not None:
-            self.bytes_since_edit += len(encoded)
-        if hit:
-            self.flush()
+    def emit_batch(self, items: Sequence[_EmitItem]) -> None:
+        """Feed a batch of entries, flushing nodes on chunker boundaries."""
+        run: List[Tuple[object, bytes, bool]] = []
+        for item in items:
+            if item is None:
+                self._emit_run(run)
+                run = []
+                self.bytes_since_edit = 0
+            else:
+                run.append(item)
+        self._emit_run(run)
+
+    def _emit_run(self, run: List[Tuple[object, bytes, bool]]) -> None:
+        if not run:
+            return
+        boundaries = self._chunker.push_many([encoded for _, encoded, _ in run])
+        next_boundary = 0
+        for index, (entry, encoded, edited) in enumerate(run):
+            self.buffer.append(entry)
+            if edited:
+                self.bytes_since_edit = 0
+            elif self.bytes_since_edit is not None:
+                self.bytes_since_edit += len(encoded)
+            if next_boundary < len(boundaries) and boundaries[next_boundary] == index:
+                next_boundary += 1
+                self.flush()
 
     def mark_edit_point(self) -> None:
         """Note that the stream diverges here even with nothing emitted."""
@@ -170,7 +197,7 @@ def _splice_leaves(
     """
     config = tree.config.leaf
     walker = _Walker.at_key(tree, 0, ops[0][0])
-    chunker = EntryChunker(config)
+    chunker = make_entry_chunker(config)
     tail = walker.prev_tail(config.window)
     if tail:
         chunker.seed(tail)
@@ -180,40 +207,36 @@ def _splice_leaves(
     last_path = walker.path()
     op_index = 0
 
+    def op_item(key: bytes, value: Optional[bytes]) -> _EmitItem:
+        if value is None:
+            return None  # deletion: edit-point marker, nothing emitted
+        entry = LeafEntry(key, value)
+        return (entry, encode_leaf_entry(entry), True)
+
     while True:
         leaf: LeafNode = walker.current
         if op_index >= len(ops) and emitter.can_resync(config.window):
             break  # every remaining leaf is reused verbatim
         last_path = walker.path()
+        # Merge this leaf's entries with the pending ops into one batch
+        # (the chunker hashes it in a single vectorized pass).
+        batch: List[_EmitItem] = []
         for entry in leaf.entries:
             while op_index < len(ops) and ops[op_index][0] < entry.key:
-                key, value = ops[op_index]
+                batch.append(op_item(*ops[op_index]))
                 op_index += 1
-                if value is None:
-                    emitter.mark_edit_point()  # delete of an absent key
-                else:
-                    emitter.emit(LeafEntry(key, value),
-                                 encode_leaf_entry(LeafEntry(key, value)), True)
             if op_index < len(ops) and ops[op_index][0] == entry.key:
-                key, value = ops[op_index]
+                batch.append(op_item(*ops[op_index]))
                 op_index += 1
-                if value is None:
-                    emitter.mark_edit_point()  # deletion: entry vanishes
-                else:
-                    emitter.emit(LeafEntry(key, value),
-                                 encode_leaf_entry(LeafEntry(key, value)), True)
             else:
-                emitter.emit(entry, encode_leaf_entry(entry), False)
+                batch.append((entry, encode_leaf_entry(entry), False))
+        emitter.emit_batch(batch)
         if not walker.advance():
             # End of the tree: any remaining ops append past the max key.
-            while op_index < len(ops):
-                key, value = ops[op_index]
-                op_index += 1
-                if value is None:
-                    emitter.mark_edit_point()
-                else:
-                    emitter.emit(LeafEntry(key, value),
-                                 encode_leaf_entry(LeafEntry(key, value)), True)
+            emitter.emit_batch(
+                [op_item(*ops[index]) for index in range(op_index, len(ops))]
+            )
+            op_index = len(ops)
             emitter.flush()
             break
     return emitter.descriptors, start_path, last_path
@@ -240,7 +263,7 @@ def _splice_index_level(
     end_pos = end_path[-1][1]
 
     walker = _Walker.from_path(tree, start_parent_path)
-    chunker = EntryChunker(config)
+    chunker = make_entry_chunker(config)
     tail = walker.prev_tail(config.window)
     if tail:
         chunker.seed(tail)
@@ -251,13 +274,16 @@ def _splice_index_level(
 
     # 1. Pre-edit entries of the start node (re-chunked but unchanged).
     start_node: IndexNode = walker.current
-    for entry in start_node.entries[:start_pos]:
-        emitter.emit(entry, encode_index_entry(entry), False)
+    emitter.emit_batch(
+        [(entry, encode_index_entry(entry), False)
+         for entry in start_node.entries[:start_pos]]
+    )
 
     # 2. The replacement range.
     emitter.mark_edit_point()
-    for entry in replacements:
-        emitter.emit(entry, encode_index_entry(entry), True)
+    emitter.emit_batch(
+        [(entry, encode_index_entry(entry), True) for entry in replacements]
+    )
 
     # 3. Skip wholly-replaced nodes, then the end node's surviving tail.
     while walker.position_vector() != end_vector:
@@ -265,8 +291,10 @@ def _splice_index_level(
             raise AssertionError("end node not found while splicing index level")
         last_path = walker.path()
     end_node: IndexNode = walker.current
-    for entry in end_node.entries[end_pos + 1 :]:
-        emitter.emit(entry, encode_index_entry(entry), False)
+    emitter.emit_batch(
+        [(entry, encode_index_entry(entry), False)
+         for entry in end_node.entries[end_pos + 1 :]]
+    )
 
     # 4. Subsequent nodes until boundaries resynchronize.
     while True:
@@ -276,8 +304,10 @@ def _splice_index_level(
         if emitter.can_resync(config.window):
             break
         last_path = walker.path()
-        for entry in walker.current.entries:
-            emitter.emit(entry, encode_index_entry(entry), False)
+        emitter.emit_batch(
+            [(entry, encode_index_entry(entry), False)
+             for entry in walker.current.entries]
+        )
 
     return emitter.descriptors, new_start_path, last_path
 

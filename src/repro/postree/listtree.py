@@ -23,7 +23,8 @@ from typing import Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer
 from repro.errors import ChunkEncodingError, TreeError
 from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
-from repro.rolling.chunker import BLOB_CONFIG, ChunkerConfig, EntryChunker, iter_chunk_spans
+from repro.rolling.chunker import BLOB_CONFIG, ChunkerConfig, iter_chunk_spans
+from repro.rolling.fast import fast_entry_spans
 from repro.store.base import ChunkStore
 
 
@@ -149,18 +150,10 @@ def _build_list_index_levels(
     """Stack positional index levels until a single root remains."""
     level = first_level
     while len(descriptors) > 1:
-        chunker = EntryChunker(config.index)
+        encoded = [encode_list_index_entry(descriptor) for descriptor in descriptors]
         next_level: List[ListIndexEntry] = []
-        buffer: List[ListIndexEntry] = []
-        for descriptor in descriptors:
-            buffer.append(descriptor)
-            if chunker.push(encode_list_index_entry(descriptor)):
-                node = ListIndexNode(level, buffer)
-                store.put(node.to_chunk())
-                next_level.append(node.descriptor())
-                buffer = []
-        if buffer:
-            node = ListIndexNode(level, buffer)
+        for start, end in fast_entry_spans(encoded, config.index):
+            node = ListIndexNode(level, descriptors[start:end])
             store.put(node.to_chunk())
             next_level.append(node.descriptor())
         descriptors = next_level
@@ -191,18 +184,11 @@ class PositionalTree:
         config: TreeConfig = DEFAULT_TREE_CONFIG,
     ) -> "PositionalTree":
         """Bulk-build a sequence tree."""
-        chunker = EntryChunker(config.leaf)
+        materialized = [bytes(item) for item in items]
+        encoded = [encode_list_item(item) for item in materialized]
         descriptors: List[ListIndexEntry] = []
-        buffer: List[bytes] = []
-        for item in items:
-            buffer.append(bytes(item))
-            if chunker.push(encode_list_item(item)):
-                node = ListLeafNode(buffer)
-                store.put(node.to_chunk())
-                descriptors.append(node.descriptor())
-                buffer = []
-        if buffer:
-            node = ListLeafNode(buffer)
+        for start, end in fast_entry_spans(encoded, config.leaf):
+            node = ListLeafNode(materialized[start:end])
             store.put(node.to_chunk())
             descriptors.append(node.descriptor())
         if not descriptors:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional, Tuple
 
-from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer
+from repro.chunk import Chunk, ChunkType, Reader, Uid
 from repro.errors import ChunkEncodingError
 
 
@@ -36,38 +36,102 @@ class IndexEntry(NamedTuple):
     count: int  # records in the child's subtree
 
 
+def _uvarint_bytes(value: int) -> bytes:
+    """Unsigned LEB128, byte-identical to ``Writer.uvarint``."""
+    if value < 0x80:
+        return bytes((value,))
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            break
+    return bytes(out)
+
+
 def encode_leaf_entry(entry: LeafEntry) -> bytes:
     """Serialize one record (this is what the leaf-level chunker scans)."""
-    return Writer().blob(entry.key).blob(entry.value).getvalue()
+    key, value = entry
+    return _uvarint_bytes(len(key)) + key + _uvarint_bytes(len(value)) + value
 
 
 def encode_index_entry(entry: IndexEntry) -> bytes:
     """Serialize one child reference (scanned by the index-level chunker)."""
     return (
-        Writer()
-        .blob(entry.split_key)
-        .uid(entry.child)
-        .uvarint(entry.count)
-        .getvalue()
+        _uvarint_bytes(len(entry.split_key))
+        + entry.split_key
+        + entry.child.digest
+        + _uvarint_bytes(entry.count)
     )
+
+
+#: Single-byte varints, precomputed: lengths/counts < 128 are the common
+#: case and a list index beats a function call in the bulk loops below.
+_UV1 = [bytes((value,)) for value in range(128)]
+
+
+def encode_leaf_entries(entries: List[LeafEntry]) -> List[bytes]:
+    """Bulk per-entry serializations (one pass, chunker + node input).
+
+    The bulk builder encodes every entry exactly once: the same byte
+    strings feed the vectorized chunker and, via the nodes' ``encoded``
+    parameter, the chunk payloads.
+    """
+    uv1 = _UV1
+    uv = _uvarint_bytes
+    out: List[bytes] = []
+    append = out.append
+    for key, value in entries:
+        key_len = len(key)
+        value_len = len(value)
+        if key_len < 128 and value_len < 128:
+            append(uv1[key_len] + key + uv1[value_len] + value)
+        else:
+            append(uv(key_len) + key + uv(value_len) + value)
+    return out
+
+
+def encode_index_entries(entries: List[IndexEntry]) -> List[bytes]:
+    """Bulk per-entry serializations for index levels."""
+    uv1 = _UV1
+    uv = _uvarint_bytes
+    out: List[bytes] = []
+    append = out.append
+    for split_key, child, count in entries:
+        key_len = len(split_key)
+        if key_len < 128 and count < 128:
+            append(uv1[key_len] + split_key + child.digest + uv1[count])
+        else:
+            append(uv(key_len) + split_key + child.digest + uv(count))
+    return out
 
 
 class LeafNode:
     """A data chunk: sorted run of records."""
 
-    __slots__ = ("entries", "_chunk")
+    __slots__ = ("entries", "_chunk", "_encoded")
 
-    def __init__(self, entries: List[LeafEntry]) -> None:
+    def __init__(
+        self, entries: List[LeafEntry], encoded: Optional[List[bytes]] = None
+    ) -> None:
         self.entries = entries
         self._chunk: Optional[Chunk] = None
+        # Optional precomputed per-entry serializations (must match
+        # encode_leaf_entry output) so bulk construction encodes once.
+        self._encoded = encoded
 
     def to_chunk(self) -> Chunk:
         """Encode (cached) into an immutable LEAF chunk."""
         if self._chunk is None:
-            writer = Writer().uvarint(len(self.entries))
-            for entry in self.entries:
-                writer.raw(encode_leaf_entry(entry))
-            self._chunk = Chunk(ChunkType.LEAF, writer.getvalue())
+            encoded = self._encoded
+            if encoded is None:
+                encoded = [encode_leaf_entry(entry) for entry in self.entries]
+            data = _uvarint_bytes(len(self.entries)) + b"".join(encoded)
+            self._chunk = Chunk(ChunkType.LEAF, data)
+            self._encoded = None
         return self._chunk
 
     @classmethod
@@ -134,22 +198,36 @@ class LeafNode:
 class IndexNode:
     """An index chunk: one entry per child node."""
 
-    __slots__ = ("level", "entries", "_chunk")
+    __slots__ = ("level", "entries", "_chunk", "_encoded")
 
-    def __init__(self, level: int, entries: List[IndexEntry]) -> None:
+    def __init__(
+        self,
+        level: int,
+        entries: List[IndexEntry],
+        encoded: Optional[List[bytes]] = None,
+    ) -> None:
         if level < 1:
             raise ValueError("index nodes live at level >= 1")
         self.level = level
         self.entries = entries
         self._chunk: Optional[Chunk] = None
+        # Optional precomputed per-entry serializations (must match
+        # encode_index_entry output) so bulk construction encodes once.
+        self._encoded = encoded
 
     def to_chunk(self) -> Chunk:
         """Encode (cached) into an immutable INDEX chunk."""
         if self._chunk is None:
-            writer = Writer().uvarint(self.level).uvarint(len(self.entries))
-            for entry in self.entries:
-                writer.raw(encode_index_entry(entry))
-            self._chunk = Chunk(ChunkType.INDEX, writer.getvalue())
+            encoded = self._encoded
+            if encoded is None:
+                encoded = [encode_index_entry(entry) for entry in self.entries]
+            data = (
+                _uvarint_bytes(self.level)
+                + _uvarint_bytes(len(self.entries))
+                + b"".join(encoded)
+            )
+            self._chunk = Chunk(ChunkType.INDEX, data)
+            self._encoded = None
         return self._chunk
 
     @classmethod

@@ -17,19 +17,33 @@ boundary occurs wherever :math:`\\Phi \\bmod 2^q = 0`.  This package provides
 
 from repro.rolling.chunker import (
     ChunkerConfig,
+    EntryChunker,
     chunk_bytes,
     chunk_entries,
     iter_chunk_spans,
 )
 from repro.rolling.detector import PatternDetector
+from repro.rolling.fast import (
+    VectorEntryChunker,
+    fast_chunk_spans,
+    fast_entry_spans,
+    make_entry_chunker,
+    numpy_available,
+)
 from repro.rolling.hashes import CyclicPolynomialHash, RabinKarpHash, RollingHash
 
 __all__ = [
     "ChunkerConfig",
+    "EntryChunker",
     "chunk_bytes",
     "chunk_entries",
     "iter_chunk_spans",
     "PatternDetector",
+    "VectorEntryChunker",
+    "fast_chunk_spans",
+    "fast_entry_spans",
+    "make_entry_chunker",
+    "numpy_available",
     "CyclicPolynomialHash",
     "RabinKarpHash",
     "RollingHash",

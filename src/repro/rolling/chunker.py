@@ -136,29 +136,42 @@ def iter_chunk_spans(
         yield (start, len(data))
 
 
-def _iter_spans_cyclic(
+def _scan_cyclic(
     data: bytes,
-    hasher: CyclicPolynomialHash,
-    seed_tail: bytes,
+    backlog: bytearray,
+    idx: int,
+    value: int,
+    since: int,
+    table: Sequence[int],
+    out_rot: Sequence[int],
+    mask: int,
+    top_shift: int,
     pattern_mask: int,
     min_size: int,
     max_size: int,
-) -> Iterator[Tuple[int, int]]:
-    """Inlined hot loop for the cyclic hash (the common case)."""
-    table = hasher._table
-    out_rot = hasher._out_rot
-    mask = hasher._mask
-    bits = hasher.bits
-    window = hasher.window
-    value = hasher.value
+    reset_since_on_hit: bool,
+) -> Tuple[int, int, int, List[int]]:
+    """The single home of the cyclic hot loop (recurrence: δ(Φ) ⊕
+    δ^k(Γ(out)) ⊕ Γ(in), i.e. :func:`repro.rolling.hashes.cyclic_step`,
+    inlined here because a per-byte call is the cost being paid for).
 
-    backlog = bytearray(window)
-    if seed_tail:
-        backlog[-len(seed_tail) :] = seed_tail
-    idx = 0
-    start = 0
-    since = 0
-    top_shift = bits - 1
+    Scans ``data`` continuing from ``(backlog, idx, value, since)``,
+    mutating ``backlog`` in place, and returns the advanced
+    ``(idx, value, since, hits)`` where ``hits`` are the 0-based positions
+    of bytes satisfying the min/max-gated pattern rule.  With
+    ``reset_since_on_hit`` the size counter restarts after each hit (byte
+    chunking: a hit *is* a boundary); without it, only the first hit is
+    recorded and ``since`` keeps running (entry chunking: the boundary is
+    extended to the entry end by the caller).
+
+    Both modes, the scalar :meth:`CyclicPolynomialHash.update`, and the
+    vectorized k-pass scheme in :mod:`repro.rolling.fast` must agree —
+    asserted by tests/test_chunker.py, tests/test_fast_chunker.py and
+    tests/test_fast_entry_chunker.py.
+    """
+    window = len(backlog)
+    hits: List[int] = []
+    checking = True
     for pos, byte in enumerate(data):
         outgoing = backlog[idx]
         backlog[idx] = byte
@@ -169,10 +182,49 @@ def _iter_spans_cyclic(
         value ^= out_rot[outgoing]
         value ^= table[byte]
         since += 1
-        if since >= min_size and (value & pattern_mask == 0 or since >= max_size):
-            yield (start, pos + 1)
-            start = pos + 1
-            since = 0
+        if checking and since >= min_size and (
+            value & pattern_mask == 0 or since >= max_size
+        ):
+            hits.append(pos)
+            if reset_since_on_hit:
+                since = 0
+            else:
+                checking = False  # first hit latches; hash state continues
+    return idx, value, since, hits
+
+
+def _iter_spans_cyclic(
+    data: bytes,
+    hasher: CyclicPolynomialHash,
+    seed_tail: bytes,
+    pattern_mask: int,
+    min_size: int,
+    max_size: int,
+) -> Iterator[Tuple[int, int]]:
+    """Byte-stream spans via the shared cyclic scan (the common case)."""
+    window = hasher.window
+    backlog = bytearray(window)
+    if seed_tail:
+        backlog[-len(seed_tail) :] = seed_tail
+    _, _, _, hits = _scan_cyclic(
+        data,
+        backlog,
+        0,
+        hasher.value,
+        0,
+        hasher._table,
+        hasher._out_rot,
+        hasher._mask,
+        hasher.bits - 1,
+        pattern_mask,
+        min_size,
+        max_size,
+        reset_since_on_hit=True,
+    )
+    start = 0
+    for pos in hits:
+        yield (start, pos + 1)
+        start = pos + 1
     if start < len(data):
         yield (start, len(data))
 
@@ -311,38 +363,33 @@ class EntryChunker:
         return hit
 
     def _push_cyclic(self, entry: bytes) -> bool:
-        # Inlined hot loop: identical semantics to _push_generic.
-        table = self._table
-        out_rot = self._out_rot
-        mask = self._mask
-        top_shift = self._top_shift
-        window = self._window
-        backlog = self._backlog
-        idx = self._idx
-        value = self._value
-        since = self._since
-        min_size = self._min_size
-        max_size = self._max_size
-        pattern_mask = self._pattern_mask
-        hit = False
-        for byte in entry:
-            outgoing = backlog[idx]
-            backlog[idx] = byte
-            idx += 1
-            if idx == window:
-                idx = 0
-            value = ((value << 1) | (value >> top_shift)) & mask
-            value ^= out_rot[outgoing]
-            value ^= table[byte]
-            since += 1
-            if not hit and since >= min_size and (
-                value & pattern_mask == 0 or since >= max_size
-            ):
-                hit = True
-        self._idx = idx
-        self._value = value
-        self._since = since
-        return hit
+        # Same semantics as _push_generic, via the shared cyclic scan.
+        self._idx, self._value, self._since, hits = _scan_cyclic(
+            entry,
+            self._backlog,
+            self._idx,
+            self._value,
+            self._since,
+            self._table,
+            self._out_rot,
+            self._mask,
+            self._top_shift,
+            self._pattern_mask,
+            self._min_size,
+            self._max_size,
+            reset_since_on_hit=False,
+        )
+        return bool(hits)
+
+    def push_many(self, encoded: Sequence[bytes]) -> List[int]:
+        """Push a batch of encoded entries; return boundary indices.
+
+        The returned indices ``i`` mean "a node ends after ``encoded[i]``"
+        — exactly the entries for which :meth:`push` would have returned
+        True.  :class:`repro.rolling.fast.VectorEntryChunker` implements
+        the same contract vectorized.
+        """
+        return [index for index, entry in enumerate(encoded) if self.push(entry)]
 
 
 def chunk_entries(

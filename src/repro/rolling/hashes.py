@@ -17,20 +17,24 @@ derived from SHA-256 of a fixed seed, never from :mod:`random` global state.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 
-def gamma_table(bits: int, seed: bytes = b"forkbase-gamma") -> List[int]:
+@lru_cache(maxsize=None)
+def gamma_table(bits: int, seed: bytes = b"forkbase-gamma") -> Tuple[int, ...]:
     """Deterministic Γ: byte → pseudo-random integer in [0, 2**bits).
 
     The table is expanded from SHA-256 in counter mode so two processes
     always agree on it — a prerequisite for structural invariance across
-    independently built stores.
+    independently built stores.  Memoized per ``(bits, seed)``: every
+    hash/chunker construction used to re-run the expansion (once per tree
+    level per build), now it is computed once per process.
     """
     if not 1 <= bits <= 64:
         raise ValueError(f"bits must be in [1, 64], got {bits}")
     mask = (1 << bits) - 1
-    table: List[int] = []
+    table = []
     counter = 0
     while len(table) < 256:
         block = hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
@@ -40,7 +44,67 @@ def gamma_table(bits: int, seed: bytes = b"forkbase-gamma") -> List[int]:
             value = int.from_bytes(block[offset : offset + 8], "big") & mask
             table.append(value)
         counter += 1
-    return table
+    return tuple(table)
+
+
+@lru_cache(maxsize=None)
+def rotated_gamma_table(
+    bits: int, rotation: int, seed: bytes = b"forkbase-gamma"
+) -> Tuple[int, ...]:
+    """Pre-rotated Γ: byte → δ^rotation(Γ(byte)), memoized.
+
+    ``rotation = window`` gives the outgoing-byte table of the recurrence;
+    the vectorized chunker uses one table per window offset.
+    """
+    mask = (1 << bits) - 1
+    count = rotation % bits
+    base = gamma_table(bits, seed)
+    if count == 0:
+        return base
+    return tuple(
+        ((value << count) | (value >> (bits - count))) & mask for value in base
+    )
+
+
+@lru_cache(maxsize=None)
+def zero_window_value(
+    bits: int, window: int, seed: bytes = b"forkbase-gamma"
+) -> int:
+    """Hash of a window conceptually pre-filled with ``window`` zero bytes."""
+    mask = (1 << bits) - 1
+    table = gamma_table(bits, seed)
+    value = 0
+    for index in range(window):
+        count = index % bits
+        rotated = (
+            table[0]
+            if count == 0
+            else ((table[0] << count) | (table[0] >> (bits - count))) & mask
+        )
+        value ^= rotated
+    return value
+
+
+def cyclic_step(
+    value: int,
+    incoming: int,
+    outgoing: int,
+    table: Sequence[int],
+    out_rot: Sequence[int],
+    mask: int,
+    top_shift: int,
+) -> int:
+    """One step of the paper's recurrence: δ(Φ) ⊕ δ^k(Γ(out)) ⊕ Γ(in).
+
+    This is the canonical form of the cyclic-polynomial update.  The hot
+    loops in :mod:`repro.rolling.chunker` (byte-stream and entry-stream
+    scanning) and the vectorized k-pass scheme in :mod:`repro.rolling.fast`
+    restate this same recurrence; their agreement is asserted by the
+    equivalence tests (tests/test_chunker.py, tests/test_fast_chunker.py,
+    tests/test_fast_entry_chunker.py, tests/test_rolling_hashes.py).
+    """
+    value = ((value << 1) | (value >> top_shift)) & mask
+    return value ^ out_rot[outgoing] ^ table[incoming]
 
 
 class RollingHash:
@@ -96,13 +160,10 @@ class CyclicPolynomialHash(RollingHash):
         self._mask = (1 << bits) - 1
         self._table = gamma_table(bits, seed)
         # Pre-rotate Γ by k for the outgoing byte: δ^k(Γ(b)).
-        rot = window % bits
-        self._out_rot = [self._rotl(v, rot) for v in self._table]
+        self._out_rot = rotated_gamma_table(bits, window, seed)
         # The window is conceptually pre-filled with k zero bytes, so that
         # callers may pass outgoing=0 while the window is still filling.
-        self._zero_init = 0
-        for index in range(window):
-            self._zero_init ^= self._rotl(self._table[0], index)
+        self._zero_init = zero_window_value(bits, window, seed)
         self.value = self._zero_init
 
     def _rotl(self, value: int, count: int) -> int:
@@ -115,11 +176,15 @@ class CyclicPolynomialHash(RollingHash):
         self.value = self._zero_init
 
     def update(self, incoming: int, outgoing: int) -> int:
-        # δ(previous) ⊕ δ^k(Γ(outgoing)) ⊕ Γ(incoming)
-        value = self.value
-        value = ((value << 1) | (value >> (self.bits - 1))) & self._mask
-        value ^= self._out_rot[outgoing]
-        value ^= self._table[incoming]
+        value = cyclic_step(
+            self.value,
+            incoming,
+            outgoing,
+            self._table,
+            self._out_rot,
+            self._mask,
+            self.bits - 1,
+        )
         self.value = value
         return value
 
