@@ -1,0 +1,196 @@
+"""Self-healing cost — scrub throughput, rot repair, quorum writes, handoff.
+
+Measures the four robustness mechanisms this repo adds on top of the
+content-addressed store:
+
+- ``scrub_clean``    — full re-hash pass over a healthy store (MB/s): the
+  steady-state background cost of tamper evidence.
+- ``scrub_repair``   — scrub pass over a cluster with rot planted on ~2% of
+  replica copies, including re-copying from healthy replicas.
+- ``quorum_write``   — replicated put throughput with and without write
+  verification (read-back + hash per ack): the durability overhead.
+- ``hinted_handoff`` — hint replay rate when a node revives after missing
+  a batch of writes.
+
+Results go to the pytest-benchmark table, ``benchmarks/out/`` and the
+machine-readable ``BENCH_robustness.json`` at the repo root.
+
+Knobs (for CI smoke runs): ``BENCH_SCRUB_CHUNKS`` (default 5000),
+``BENCH_SCRUB_VALUE_SIZE`` (default 256).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.chunk import Chunk, ChunkType
+from repro.cluster import ClusterStore
+from repro.store.memory import InMemoryStore
+from repro.store.scrub import Scrubber
+
+CHUNKS = int(os.environ.get("BENCH_SCRUB_CHUNKS", "5000"))
+VALUE_SIZE = int(os.environ.get("BENCH_SCRUB_VALUE_SIZE", "256"))
+ROT_FRACTION = 0.02
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_robustness.json")
+
+
+def _record(section: str, entry: dict, sub: str | None = None) -> None:
+    """Merge one measurement into BENCH_robustness.json (read-modify-write)."""
+    data = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("config", {}).update(
+        {"chunks": CHUNKS, "value_size": VALUE_SIZE, "rot_fraction": ROT_FRACTION}
+    )
+    if sub is None:
+        data[section] = entry
+    else:
+        bucket = data.setdefault(section, {})
+        bucket[sub] = entry
+        if "verified" in bucket and "unverified" in bucket:
+            bucket["overhead"] = round(
+                bucket["verified"]["seconds"] / bucket["unverified"]["seconds"], 3
+            )
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    rows = []
+    for name, value in sorted(data.items()):
+        if name == "config":
+            continue
+        flat = value.items() if "seconds" not in value else [("", value)]
+        for key, row in flat:
+            if isinstance(row, dict):
+                rate = row.get("mb_per_s") or row.get("per_s") or ""
+                rows.append((name, key, row["seconds"], rate))
+    report("bench_scrub_repair", table(("metric", "variant", "seconds", "rate"), rows))
+
+
+def _payloads():
+    rng = random.Random(1234)
+    return [
+        Chunk(ChunkType.BLOB, bytes(rng.randrange(256) for _ in range(VALUE_SIZE)))
+        for _ in range(CHUNKS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return _payloads()
+
+
+def _bench(benchmark, fn, setup=None):
+    """Run through pytest-benchmark and return the best observed time."""
+    if setup is None:
+        benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+    else:
+        benchmark.pedantic(fn, setup=setup, rounds=3, iterations=1)
+    return benchmark.stats.stats.min
+
+
+def _plant_rot(cluster: ClusterStore, fraction: float) -> int:
+    """Replace a deterministic sample of replica copies with short rot."""
+    rng = random.Random(99)
+    rotted = 0
+    for node in cluster.live_nodes():
+        for uid in list(node.store.ids()):
+            if rng.random() < fraction:
+                original = node.store.get_maybe(uid)
+                node.store.delete(uid)
+                node.store.put(Chunk(original.type, b"\x00rot", uid=uid))
+                rotted += 1
+    return rotted
+
+
+def test_scrub_clean_throughput(benchmark, payloads):
+    store = InMemoryStore()
+    store.put_many(payloads)
+    mb = sum(chunk.size() for chunk in payloads) / 1e6
+
+    seconds = _bench(benchmark, lambda: Scrubber(store).scrub())
+    _record(
+        "scrub_clean",
+        {
+            "seconds": round(seconds, 6),
+            "mb_per_s": round(mb / seconds, 3),
+            "copies": CHUNKS,
+        },
+    )
+
+
+def test_scrub_repair_rotten_cluster(benchmark, payloads):
+    def setup():
+        cluster = ClusterStore(node_count=4, replication=2)
+        cluster.put_many(payloads)
+        _plant_rot(cluster, ROT_FRACTION)
+        return (cluster,), {}
+
+    outcome = {}
+
+    def heal(cluster):
+        outcome["report"] = Scrubber(cluster).scrub()
+        return outcome["report"]
+
+    seconds = _bench(benchmark, heal, setup=setup)
+    rep = outcome["report"]
+    assert rep.corrupt == rep.repaired + rep.quarantined
+    _record(
+        "scrub_repair",
+        {
+            "seconds": round(seconds, 6),
+            "per_s": round(rep.scanned / seconds, 1),
+            "scanned": rep.scanned,
+            "repaired": rep.repaired,
+        },
+    )
+
+
+@pytest.mark.parametrize("verified", [True, False], ids=["verified", "unverified"])
+def test_quorum_write_throughput(benchmark, payloads, verified):
+    def setup():
+        cluster = ClusterStore(
+            node_count=4, replication=2, write_quorum=2, verify_writes=verified
+        )
+        return (cluster,), {}
+
+    seconds = _bench(benchmark, lambda c: c.put_many(payloads), setup=setup)
+    _record(
+        "quorum_write",
+        {"seconds": round(seconds, 6), "per_s": round(CHUNKS / seconds, 1)},
+        sub="verified" if verified else "unverified",
+    )
+
+
+def test_hinted_handoff_replay(benchmark, payloads):
+    victim = "node-00"
+
+    def setup():
+        cluster = ClusterStore(node_count=4, replication=2, write_quorum=1)
+        cluster.kill_node(victim)
+        cluster.put_many(payloads)
+        assert cluster.pending_hints().get(victim)
+        return (cluster,), {}
+
+    outcome = {}
+
+    def revive(cluster):
+        outcome["replayed"] = cluster.revive_node(victim)
+
+    seconds = _bench(benchmark, revive, setup=setup)
+    replayed = outcome["replayed"]
+    assert replayed > 0
+    _record(
+        "hinted_handoff",
+        {
+            "seconds": round(seconds, 6),
+            "per_s": round(replayed / seconds, 1),
+            "hints": replayed,
+        },
+    )

@@ -4,7 +4,11 @@ ForkBase is "a distributed storage system"; the authors ran it across
 storage servicers.  Without a testbed we simulate the distribution layer
 in-process: chunks are placed on N storage nodes by consistent hashing
 with a configurable replication factor, nodes can be killed and repaired,
-and reads fail over across replicas.  All upper layers are oblivious —
+and reads fail over across replicas.  The store self-heals: writes take a
+quorum with hinted handoff for down replicas, reads verify content
+addresses and repair rotten or missing copies in place, and a scrub pass
+(:mod:`repro.store.scrub`) re-hashes every replica.  All upper layers are
+oblivious —
 :class:`~repro.cluster.cluster.ClusterStore` is just another
 :class:`~repro.store.base.ChunkStore` — which is exactly the property
 that makes the substitution faithful: dedup, diff, merge and verification

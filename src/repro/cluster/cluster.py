@@ -1,24 +1,40 @@
-"""ClusterStore: a ChunkStore spread over simulated storage nodes."""
+"""ClusterStore: a self-healing ChunkStore spread over simulated nodes."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.chunk import Chunk, Uid
-from repro.errors import NodeDownError
+from repro.errors import (
+    ChunkCorruptionError,
+    NodeDownError,
+    QuorumWriteError,
+    TransientError,
+    TransientStoreError,
+)
+from repro.faults.retry import RetryPolicy
 from repro.store.base import ChunkStore
 from repro.cluster.node import StorageNode
 from repro.cluster.ring import HashRing
 
 
 class ClusterStore(ChunkStore):
-    """Consistent-hash sharded, replicated chunk storage.
+    """Consistent-hash sharded, replicated, self-healing chunk storage.
 
-    Writes go to ``replication`` nodes chosen by the ring; reads try each
-    replica in placement order and fail over past dead nodes.  The content
-    address doubles as the placement key, so rebalancing and repair are
-    just "copy chunks whose replica set changed" — no version metadata
-    moves ever.
+    Writes go to ``replication`` nodes chosen by the ring and must be
+    acknowledged by ``write_quorum`` of them; replicas that are down (or
+    fail past the retry budget) get a *hint* queued and replayed when the
+    node revives (hinted handoff).  Reads try each replica in placement
+    order, fail over past dead nodes and past copies whose bytes do not
+    hash to the uid, and write the good copy back to the replicas that
+    missed or served rot (read-repair).  Transient per-node failures are
+    retried with bounded backoff through an injectable
+    :class:`~repro.faults.retry.RetryPolicy` (instant by default — the
+    cluster is simulated).
+
+    The content address doubles as both the placement key and the
+    checksum, so every healing decision is local: a copy is good iff its
+    bytes hash to its uid, and any good copy can repair any replica.
     """
 
     def __init__(
@@ -27,20 +43,48 @@ class ClusterStore(ChunkStore):
         replication: int = 2,
         vnodes: int = 64,
         verify_reads: bool = False,
+        write_quorum: Optional[int] = None,
+        repair_reads: bool = True,
+        verify_writes: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        node_store_factory: Optional[Callable[[str], ChunkStore]] = None,
     ) -> None:
         super().__init__(verify_reads=verify_reads)
         if node_count < 1:
             raise ValueError("need at least one node")
         if replication < 1:
             raise ValueError("replication must be >= 1")
+        if write_quorum is not None and not 1 <= write_quorum <= replication:
+            raise ValueError("write_quorum must be in [1, replication]")
         self.replication = replication
+        #: Acks required for a put to succeed (default 1: availability-first,
+        #: the seed behaviour; pass ``replication // 2 + 1`` for majority).
+        self.write_quorum = write_quorum if write_quorum is not None else 1
+        self.repair_reads = repair_reads
+        #: An ack only counts once the replica's stored bytes re-hash to the
+        #: uid, so torn and silently-dropped writes surface as retryable
+        #: failures instead of durable rot.  Content addressing makes this a
+        #: read-back plus one hash.
+        self.verify_writes = verify_writes
+        self.retry = retry if retry is not None else RetryPolicy.instant()
+        self._store_factory = node_store_factory
         self.nodes: Dict[str, StorageNode] = {}
         names = [f"node-{index:02d}" for index in range(node_count)]
         for name in names:
-            self.nodes[name] = StorageNode(name)
+            self.nodes[name] = self._make_node(name)
         self.ring = HashRing(names, vnodes=vnodes)
+        self._hints: Dict[str, Dict[Uid, Chunk]] = {}
         self.failed_reads = 0
         self.failovers = 0
+        self.corrupt_reads = 0
+        self.read_repairs = 0
+        self.hints_queued = 0
+        self.hints_replayed = 0
+        self.transient_failures = 0
+
+    def _make_node(self, name: str) -> StorageNode:
+        store = self._store_factory(name) if self._store_factory else None
+        return StorageNode(name, store=store)
 
     # -- membership ----------------------------------------------------------------
 
@@ -48,7 +92,7 @@ class ClusterStore(ChunkStore):
         """Join a new node (chunks are NOT moved until :meth:`rebalance`)."""
         if name is None:
             name = f"node-{len(self.nodes):02d}"
-        node = StorageNode(name)
+        node = self._make_node(name)
         self.nodes[name] = node
         self.ring.add_node(name)
         return node
@@ -57,47 +101,185 @@ class ClusterStore(ChunkStore):
         """Fail a node in place (stays in the ring; reads fail over)."""
         self.nodes[name].kill()
 
-    def revive_node(self, name: str, wipe: bool = False) -> None:
-        """Recover a failed node."""
+    def revive_node(self, name: str, wipe: bool = False) -> int:
+        """Recover a failed node and replay its queued hints.
+
+        Returns the number of hinted chunks handed off.
+        """
         self.nodes[name].revive(wipe=wipe)
+        return self._replay_hints(name)
 
     def live_nodes(self) -> List[StorageNode]:
         """Nodes currently serving requests."""
         return [node for node in self.nodes.values() if node.up]
+
+    # -- hinted handoff ---------------------------------------------------------------
+
+    def _queue_hint(self, name: str, chunk: Chunk) -> None:
+        hints = self._hints.setdefault(name, {})
+        if chunk.uid not in hints:
+            hints[chunk.uid] = chunk
+            self.hints_queued += 1
+
+    def _replay_hints(self, name: str) -> int:
+        """Hand queued writes to a freshly revived node."""
+        node = self.nodes[name]
+        hints = self._hints.pop(name, {})
+        replayed = 0
+        for uid, chunk in hints.items():
+            try:
+                self._node_put(node, chunk)
+            except TransientError:
+                self.transient_failures += 1
+                self._queue_hint(name, chunk)  # keep it for the next revive
+                continue
+            replayed += 1
+            self.hints_replayed += 1
+        return replayed
+
+    def pending_hints(self) -> Dict[str, int]:
+        """Queued hinted-handoff chunks per down node."""
+        return {name: len(hints) for name, hints in self._hints.items() if hints}
+
+    def flush_hints(self) -> int:
+        """Replay hints queued against nodes that are currently up.
+
+        A hint normally drains when its node revives, but a write can also
+        miss a *live* replica (retry budget exhausted); those hints would
+        otherwise sit forever.  Returns the number handed off.
+        """
+        return sum(
+            self._replay_hints(name)
+            for name in list(self._hints)
+            if self.nodes[name].up
+        )
 
     # -- ChunkStore primitives -------------------------------------------------------
 
     def _replica_nodes(self, uid: Uid) -> List[StorageNode]:
         return [self.nodes[name] for name in self.ring.replicas(uid, self.replication)]
 
+    def _node_put(self, node: StorageNode, chunk: Chunk) -> None:
+        """One replica write, retried through the policy.
+
+        With ``verify_writes`` the written copy is read back and checked
+        against the uid before it counts: a torn or dropped write looks like
+        any other transient failure and gets retried.
+        """
+
+        def attempt() -> None:
+            node.put(chunk)
+            if not self.verify_writes:
+                return
+            got = node.store.get_maybe(chunk.uid)
+            if got is None or not got.is_valid():
+                # Evict the bad copy: put() dedups on uid, so a retry would
+                # otherwise no-op against the torn bytes squatting there.
+                node.store.delete(chunk.uid)
+                raise TransientStoreError(
+                    f"write of {chunk.uid.short()} to {node.name} did not verify"
+                )
+
+        self.retry.call(attempt)
+
     def _insert(self, chunk: Chunk) -> None:
-        stored = 0
+        acked = 0
+        missed: List[StorageNode] = []
         for node in self._replica_nodes(chunk.uid):
-            if node.up:
-                node.put(chunk)
-                stored += 1
-        if stored == 0:
+            if not node.up:
+                missed.append(node)
+                continue
+            try:
+                self._node_put(node, chunk)
+            except TransientError:
+                self.transient_failures += 1
+                missed.append(node)
+                continue
+            acked += 1
+        if acked == 0:
             raise NodeDownError(
                 f"no live replica target for {chunk.uid.short()} "
                 f"(all {self.replication} placement nodes down)"
             )
+        if acked < self.write_quorum:
+            raise QuorumWriteError(
+                f"write of {chunk.uid.short()} acked by {acked}/{self.replication} "
+                f"replicas, quorum is {self.write_quorum}",
+                acked=acked,
+                required=self.write_quorum,
+            )
+        for node in missed:
+            self._queue_hint(node.name, chunk)
+
+    def _read_replica(self, node: StorageNode, uid: Uid) -> Tuple[str, Optional[Chunk]]:
+        """Read one replica: ('ok'|'missing'|'corrupt'|'unreachable', chunk).
+
+        With ``repair_reads`` on, a mismatching payload is re-read up to
+        the retry budget to separate wire corruption (a later attempt
+        verifies) from rot on the replica (every attempt mismatches).
+        """
+        attempts = self.retry.attempts if self.repair_reads else 1
+        saw_corrupt = False
+        for _ in range(attempts):
+            try:
+                chunk = self.retry.call(lambda: node.get(uid))
+            except TransientError:
+                self.transient_failures += 1
+                return "unreachable", None
+            if chunk is None:
+                return "missing", None
+            if not self.repair_reads or chunk.is_valid():
+                return "ok", chunk
+            self.corrupt_reads += 1
+            saw_corrupt = True
+        return ("corrupt" if saw_corrupt else "missing"), None
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        found: Optional[Chunk] = None
+        repair_targets: List[StorageNode] = []
+        saw_rot = False
         for index, node in enumerate(self._replica_nodes(uid)):
             if not node.up:
                 continue
-            chunk = node.get(uid)
-            if chunk is not None:
+            status, chunk = self._read_replica(node, uid)
+            if status == "ok":
                 if index > 0:
                     self.failovers += 1
-                return chunk
-        self.failed_reads += 1
-        return None
+                found = chunk
+                break
+            if status == "missing":
+                repair_targets.append(node)
+            elif status == "corrupt":
+                # Rot on this replica: quarantine the copy, repair below.
+                saw_rot = True
+                node.drop(uid)
+                repair_targets.append(node)
+            # 'unreachable' nodes are skipped; repair() will catch them up.
+        if found is None:
+            self.failed_reads += 1
+            if saw_rot:
+                raise ChunkCorruptionError(
+                    f"every reachable replica of {uid.short()} is corrupt"
+                )
+            return None
+        for node in repair_targets:
+            try:
+                self._node_put(node, found)
+            except TransientError:
+                self.transient_failures += 1
+                continue
+            self.read_repairs += 1
+        return found
 
     def _contains(self, uid: Uid) -> bool:
         for node in self._replica_nodes(uid):
-            if node.up and node.has(uid):
-                return True
+            if not node.up:
+                continue
+            try:
+                if self.retry.call(lambda: node.has(uid)):
+                    return True
+            except TransientError:
+                self.transient_failures += 1
         return False
 
     def _ids(self) -> Iterator[Uid]:
@@ -108,36 +290,60 @@ class ClusterStore(ChunkStore):
                     seen.add(uid)
                     yield uid
 
+    def _delete(self, uid: Uid) -> bool:
+        removed = False
+        for node in self.nodes.values():
+            removed = node.drop(uid) or removed
+        for hints in self._hints.values():
+            hints.pop(uid, None)
+        return removed
+
     # -- maintenance --------------------------------------------------------------------
+
+    def _healthy_source(self, uid: Uid) -> Optional[Chunk]:
+        """A verified copy from any live node (placement replicas first)."""
+        candidates = [node for node in self._replica_nodes(uid) if node.up]
+        candidates.extend(
+            node for node in self.live_nodes() if node not in candidates
+        )
+        for node in candidates:
+            if not node.store.has(uid):
+                continue
+            try:
+                chunk = self.retry.call(lambda: node.store.get_maybe(uid))
+            except TransientError:
+                self.transient_failures += 1
+                continue
+            if chunk is not None and chunk.is_valid():
+                return chunk
+        return None
 
     def repair(self) -> int:
         """Re-replicate: ensure every chunk sits on all its live replicas.
 
         Run after failures or membership changes; returns copies made.
+        Source copies are verified against their uid before being copied,
+        so repair never propagates rot.
         """
+        self.flush_hints()
         copies = 0
         for uid in list(self._ids()):
-            source: Optional[Chunk] = None
-            targets = []
-            for node in self._replica_nodes(uid):
-                if not node.up:
-                    continue
-                if node.store.has(uid):
-                    if source is None:
-                        source = node.store.get(uid)
-                else:
-                    targets.append(node)
-            if source is None:
-                # All live replicas lost it; try any live node (rebalance
-                # leftovers hold stale copies).
-                for node in self.live_nodes():
-                    if node.store.has(uid):
-                        source = node.store.get(uid)
-                        break
+            targets = [
+                node
+                for node in self._replica_nodes(uid)
+                if node.up and not node.store.has(uid)
+            ]
+            if not targets:
+                continue
+            source = self._healthy_source(uid)
             if source is None:
                 continue
             for node in targets:
-                node.put(source)
+                try:
+                    self._node_put(node, source)
+                except TransientError:
+                    self.transient_failures += 1
+                    continue  # a later repair / scrub pass will place it
                 copies += 1
         return copies
 
@@ -147,7 +353,6 @@ class ClusterStore(ChunkStore):
         Returns chunks copied.  (Repair first places, then strays drop.)
         """
         copies = self.repair()
-        dropped = 0
         for node in self.live_nodes():
             for uid in list(node.store.ids()):
                 owners = self.ring.replicas(uid, self.replication)
@@ -157,9 +362,15 @@ class ClusterStore(ChunkStore):
                         self.nodes[name].up and self.nodes[name].store.has(uid)
                         for name in owners
                     ):
-                        del node.store._chunks[uid]  # intra-package reach
-                        dropped += 1
+                        node.drop(uid)
         return copies
+
+    def scrub(self, **kwargs: object):
+        """One scrub pass (see :mod:`repro.store.scrub`): re-hash every
+        replica, quarantine rot, re-copy from healthy replicas."""
+        from repro.store.scrub import Scrubber
+
+        return Scrubber(self, **kwargs).scrub()  # type: ignore[arg-type]
 
     # -- diagnostics -----------------------------------------------------------------------
 
@@ -172,8 +383,15 @@ class ClusterStore(ChunkStore):
         return sum(node.chunk_count() for node in self.nodes.values())
 
     def durability_check(self) -> Dict[str, int]:
-        """How many chunks have 0 / 1 / ≥2 live replicas right now."""
+        """How many chunks have 0 / 1 / ≥2 live replicas right now.
+
+        Counts hinted-handoff copies as live: a chunk whose only copies
+        sit in the hint queue is recoverable, not lost.
+        """
         buckets = {"lost": 0, "single": 0, "replicated": 0}
+        hinted: Set[Uid] = set()
+        for hints in self._hints.values():
+            hinted.update(hints)
         for uid in self._ids():
             live = sum(
                 1
@@ -185,6 +403,8 @@ class ClusterStore(ChunkStore):
                 live = sum(
                     1 for node in self.live_nodes() if node.store.has(uid)
                 )
+            if live == 0 and uid in hinted:
+                live = 1
             if live == 0:
                 buckets["lost"] += 1
             elif live == 1:
@@ -192,3 +412,19 @@ class ClusterStore(ChunkStore):
             else:
                 buckets["replicated"] += 1
         return buckets
+
+    def health_report(self) -> Dict[str, object]:
+        """Operational counters in one place (chaos-suite assertions)."""
+        return {
+            "nodes_up": len(self.live_nodes()),
+            "nodes_total": len(self.nodes),
+            "failed_reads": self.failed_reads,
+            "failovers": self.failovers,
+            "corrupt_reads": self.corrupt_reads,
+            "read_repairs": self.read_repairs,
+            "hints_queued": self.hints_queued,
+            "hints_replayed": self.hints_replayed,
+            "hints_pending": sum(len(h) for h in self._hints.values()),
+            "transient_failures": self.transient_failures,
+            "durability": self.durability_check(),
+        }

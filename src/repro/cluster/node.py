@@ -7,15 +7,26 @@ from typing import Optional
 
 from repro.chunk import Chunk, Uid
 from repro.errors import NodeDownError
+from repro.store.base import ChunkStore
 from repro.store.memory import InMemoryStore
 
 
 class StorageNode:
-    """One member of the simulated cluster."""
+    """One member of the simulated cluster.
 
-    def __init__(self, name: str, latency_ms: float = 0.2) -> None:
+    ``store`` defaults to a fresh :class:`InMemoryStore`; fault-injection
+    tests pass a :class:`~repro.faults.store.FaultyStore` instead, so the
+    node misbehaves exactly as its plan dictates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        latency_ms: float = 0.2,
+        store: Optional[ChunkStore] = None,
+    ) -> None:
         self.name = name
-        self.store = InMemoryStore()
+        self.store = store if store is not None else InMemoryStore()
         self.up = True
         #: Simulated per-request service time; accumulated, never slept.
         self.latency_ms = latency_ms
@@ -43,6 +54,14 @@ class StorageNode:
         self._touch()
         return self.store.has(uid)
 
+    def drop(self, uid: Uid) -> bool:
+        """Remove a replica (management-plane call, works while down).
+
+        Used by rebalancing (shedding strays) and by scrub/read-repair
+        (quarantining a rotten copy before re-replication).
+        """
+        return self.store.delete(uid)
+
     def chunk_count(self) -> int:
         """Replicas held (management-plane call, works while down)."""
         return len(self.store)
@@ -59,7 +78,11 @@ class StorageNode:
         """Bring the node back, optionally with its disk wiped."""
         self.up = True
         if wipe:
-            self.store.clear()
+            if hasattr(self.store, "clear"):
+                self.store.clear()  # type: ignore[attr-defined]
+            else:
+                for uid in self.store.ids():
+                    self.store.delete(uid)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"

@@ -16,16 +16,21 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
+
+T = TypeVar("T")
 
 from repro.chunk import Uid
 from repro.errors import (
+    ChunkCorruptionError,
     EngineError,
     MergeConflictError,
+    TransientError,
     TypeMismatchError,
     UnknownBranchError,
     UnknownKeyError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.postree.diff import TreeDiff
 from repro.postree.merge import MergeConflict, Resolver
 from repro.store import FileStore, InMemoryStore
@@ -64,6 +69,8 @@ class ForkBase:
         store: Optional[ChunkStore] = None,
         author: str = "anonymous",
         clock: Optional[Callable[[], float]] = None,
+        retry: Optional[RetryPolicy] = None,
+        self_heal: bool = True,
     ) -> None:
         self.store = store if store is not None else InMemoryStore()
         self.graph = VersionGraph(self.store)
@@ -71,6 +78,23 @@ class ForkBase:
         self.author = author
         self._clock = clock if clock is not None else time.time
         self._directory: Optional[str] = None
+        #: Transparent retry for transient store faults on read verbs
+        #: (None disables; the default never sleeps).
+        self.retry = retry if retry is not None else RetryPolicy.instant()
+        #: On a detected-corrupt read, scrub the store (quarantine + repair
+        #: where replicas allow) and retry once — the read then returns
+        #: healed data or an honest ChunkNotFoundError, never wrong bytes.
+        self.self_heal = self_heal
+
+    def _guarded(self, fn: Callable[[], T]) -> T:
+        """Run a read verb with transient retry and corruption self-healing."""
+        try:
+            return self.retry.call(fn) if self.retry is not None else fn()
+        except ChunkCorruptionError:
+            if not self.self_heal:
+                raise
+            self.scrub()
+            return self.retry.call(fn) if self.retry is not None else fn()
 
     # -- persistence -------------------------------------------------------------
 
@@ -175,8 +199,12 @@ class ForkBase:
         version: Optional[Union[Uid, str]] = None,
     ) -> FObject:
         """Fetch the typed object at a branch head or explicit version."""
-        fnode = self._load_fnode(key, branch, version)
-        return load_object(self.store, fnode.type_name, fnode.value_root)
+
+        def read() -> FObject:
+            fnode = self._load_fnode(key, branch, version)
+            return load_object(self.store, fnode.type_name, fnode.value_root)
+
+        return self._guarded(read)
 
     def get_value(
         self,
@@ -185,7 +213,7 @@ class ForkBase:
         version: Optional[Union[Uid, str]] = None,
     ) -> PyValue:
         """Like :meth:`get` but materialized to a plain Python value."""
-        return unwrap(self.get(key, branch, version))
+        return self._guarded(lambda: unwrap(self.get(key, branch, version)))
 
     def head(self, key: str, branch: str = DEFAULT_BRANCH) -> Uid:
         """Current head version of a branch."""
@@ -246,7 +274,7 @@ class ForkBase:
     ) -> List[FNode]:
         """Versions reachable from a head, newest first."""
         head = self._resolve(key, branch, version)
-        return list(self.graph.history(head, limit=limit))
+        return self._guarded(lambda: list(self.graph.history(head, limit=limit)))
 
     def meta(self, key: str, branch: str = DEFAULT_BRANCH) -> Dict[str, object]:
         """The Meta verb: descriptive facts about a branch head."""
@@ -457,6 +485,17 @@ class ForkBase:
 
         uid = self._resolve(key, branch, version)
         return Verifier(self.store).verify_version(uid, check_history=check_history)
+
+    def scrub(self, **kwargs):
+        """One integrity-scrub pass over the chunk store.
+
+        Re-hashes every materialized copy against its content address,
+        quarantines rot, and (on replicated stores) repairs from healthy
+        replicas.  Returns a :class:`repro.store.scrub.ScrubReport`.
+        """
+        from repro.store.scrub import scrub
+
+        return scrub(self.store, **kwargs)
 
     def collect_garbage(self, dry_run: bool = False):
         """Sweep chunks unreachable from any branch head (see

@@ -13,6 +13,16 @@ class ForkBaseError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class TransientError(ForkBaseError):
+    """Mixin for faults that may succeed on retry (flaky node, timeout).
+
+    Contrast with :class:`ChunkCorruptionError` (the data is wrong) and
+    :class:`ChunkNotFoundError` (the data is absent): a transient error
+    says nothing about the data, only that this attempt failed.  Retry
+    helpers (:mod:`repro.faults.retry`) key off this type.
+    """
+
+
 class ChunkError(ForkBaseError):
     """Base class for chunk-layer errors."""
 
@@ -42,6 +52,10 @@ class StoreError(ForkBaseError):
 
 class StoreClosedError(StoreError):
     """Operation attempted on a closed store."""
+
+
+class TransientStoreError(StoreError, TransientError):
+    """A store operation failed for a reason that retrying may fix."""
 
 
 class TreeError(ForkBaseError):
@@ -138,5 +152,18 @@ class ClusterError(ForkBaseError):
     """Base class for simulated-cluster errors."""
 
 
-class NodeDownError(ClusterError):
-    """The chunk's replicas are all on failed nodes."""
+class NodeDownError(ClusterError, TransientError):
+    """A storage node (or every replica target) is down right now."""
+
+
+class QuorumWriteError(ClusterError):
+    """A write reached some replicas but fewer than the write quorum.
+
+    Carries how many acknowledgements arrived so callers can decide
+    whether hinted handoff has the write covered.
+    """
+
+    def __init__(self, message: str, acked: int = 0, required: int = 0) -> None:
+        super().__init__(message)
+        self.acked = acked
+        self.required = required

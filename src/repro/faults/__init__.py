@@ -1,0 +1,20 @@
+"""Deterministic fault injection.
+
+The paper's threat model (§III-C) treats storage as potentially faulty or
+malicious; the tamper-evident uid exists to *detect* bad bytes.  This
+package supplies the adversary: a seeded :class:`~repro.faults.plan.FaultPlan`
+describing fault rates, a :class:`~repro.faults.store.FaultyStore` wrapper
+that applies the plan to any :class:`~repro.store.base.ChunkStore`, and a
+:class:`~repro.faults.retry.RetryPolicy` with injectable clock/sleep so the
+healing machinery can be tested instantly and reproducibly.
+
+Every injected fault is a pure function of ``(seed, op kind, uid, attempt
+number)`` — replaying the same workload against the same plan yields the
+same faults, which is what makes the chaos suite assertable.
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, with_retry
+from repro.faults.store import FaultyStore
+
+__all__ = ["FaultPlan", "FaultyStore", "RetryPolicy", "with_retry"]

@@ -1,0 +1,161 @@
+"""Seeded fault plans.
+
+A :class:`FaultPlan` is a pure description of *how often* and *how* things
+go wrong.  It holds no mutable state: every decision is derived by hashing
+``(seed, op kind, uid, attempt index)``, so two stores driven by the same
+plan over the same workload fail in exactly the same places — the property
+the chaos suite's replay assertion depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.chunk import Uid
+
+_SCALE = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fault rates for one simulated component, reproducible from a seed.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    operation attempt:
+
+    - ``corrupt_read_rate`` — a read returns the stored payload with one
+      byte flipped (silent bit rot on the wire; the claimed uid is kept).
+    - ``drop_put_rate`` — a put is acknowledged but never materialized
+      (lost write).
+    - ``torn_put_rate`` — a put materializes a truncated payload under the
+      original uid (torn write: persistent corruption scrub must find).
+    - ``transient_error_rate`` — the operation raises a transient error;
+      an immediate retry re-draws and may succeed.
+    - ``latency_ms`` — simulated service time accumulated per operation
+      (never slept).
+    """
+
+    seed: int = 0
+    corrupt_read_rate: float = 0.0
+    drop_put_rate: float = 0.0
+    torn_put_rate: float = 0.0
+    transient_error_rate: float = 0.0
+    latency_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "corrupt_read_rate",
+            "drop_put_rate",
+            "torn_put_rate",
+            "transient_error_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    # -- deterministic draws -------------------------------------------------
+
+    def _digest(self, kind: str, uid: Uid, attempt: int) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(kind.encode("utf-8"))
+        hasher.update(uid.digest)
+        hasher.update(struct.pack(">q", attempt))
+        return hasher.digest()
+
+    def draw(self, kind: str, uid: Uid, attempt: int) -> float:
+        """Uniform value in ``[0, 1)`` for one (kind, uid, attempt) event."""
+        digest = self._digest(kind, uid, attempt)
+        return int.from_bytes(digest[:8], "big") / _SCALE
+
+    def corrupt_read(self, uid: Uid, attempt: int) -> bool:
+        """Should this read attempt return flipped bytes?"""
+        return self.draw("corrupt-read", uid, attempt) < self.corrupt_read_rate
+
+    def drop_put(self, uid: Uid, attempt: int) -> bool:
+        """Should this put be silently lost?"""
+        return self.draw("drop-put", uid, attempt) < self.drop_put_rate
+
+    def torn_put(self, uid: Uid, attempt: int) -> bool:
+        """Should this put materialize a truncated payload?"""
+        return self.draw("torn-put", uid, attempt) < self.torn_put_rate
+
+    def transient_error(self, kind: str, uid: Uid, attempt: int) -> bool:
+        """Should this attempt fail transiently?"""
+        return (
+            self.draw(f"transient-{kind}", uid, attempt) < self.transient_error_rate
+        )
+
+    def mutate(self, data: bytes, uid: Uid, attempt: int) -> bytes:
+        """Deterministically flip one byte of ``data`` (never a no-op)."""
+        digest = self._digest("mutation", uid, attempt)
+        if not data:
+            return b"\x01"
+        corrupted = bytearray(data)
+        offset = int.from_bytes(digest[8:16], "big") % len(corrupted)
+        flip = digest[16] | 0x01  # never XOR with 0
+        corrupted[offset] ^= flip
+        return bytes(corrupted)
+
+    def tear(self, data: bytes, uid: Uid, attempt: int) -> bytes:
+        """Deterministically truncate ``data`` to a strict prefix."""
+        digest = self._digest("tear", uid, attempt)
+        if len(data) <= 1:
+            return b""
+        keep = int.from_bytes(digest[8:16], "big") % len(data)
+        return data[:keep]
+
+    def scoped(self, label: str) -> "FaultPlan":
+        """Same rates, seed re-derived from ``label``.
+
+        Give each simulated component (e.g. each cluster node) its own
+        scope so faults decorrelate across replicas — otherwise every
+        replica of a chunk fails identically and replication is useless.
+        Scoping is deterministic: the same (seed, label) always yields the
+        same sub-plan.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(b"scope:")
+        hasher.update(label.encode("utf-8"))
+        derived = int.from_bytes(hasher.digest()[:8], "big") - (1 << 63)
+        return dataclasses.replace(self, seed=derived)
+
+    # -- workload-level randomness -------------------------------------------
+
+    def rng(self, label: str) -> random.Random:
+        """A named RNG stream derived from the seed (for workload shaping)."""
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(b"rng:")
+        hasher.update(label.encode("utf-8"))
+        return random.Random(int.from_bytes(hasher.digest()[:8], "big"))
+
+    def flap_schedule(
+        self,
+        node_names: Iterable[str],
+        flaps: int,
+        horizon: int,
+        down_for: Optional[Tuple[int, int]] = None,
+    ) -> List[Tuple[int, str, int]]:
+        """Deterministic node-flap events: ``(op_index, node, down_ops)``.
+
+        ``flaps`` events are scattered over ``[0, horizon)``; each takes a
+        node down for a duration drawn from ``down_for`` (defaults to
+        5–15 % of the horizon).  Sorted by op index.
+        """
+        rng = self.rng("flaps")
+        names = sorted(node_names)
+        if not names or flaps < 1 or horizon < 1:
+            return []
+        low, high = down_for or (max(1, horizon // 20), max(2, horizon // 7))
+        events = [
+            (rng.randrange(horizon), rng.choice(names), rng.randint(low, high))
+            for _ in range(flaps)
+        ]
+        return sorted(events)

@@ -1,0 +1,85 @@
+"""Bounded retry with exponential backoff.
+
+Clock and sleep are injectable so tests run instantly and deterministically;
+production callers get ``time.sleep`` by default.  Retries trigger only on
+:class:`~repro.errors.TransientError` subtypes — corruption and missing
+chunks are *not* transient and must surface to the healing layers instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.errors import TransientError
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry a transient failure, and how to wait.
+
+    ``attempts`` counts total tries (so ``attempts=1`` means no retry).
+    Delays grow as ``base_delay * multiplier**n`` capped at ``max_delay``.
+    ``sleep`` is the waiting primitive — inject a no-op for instant tests.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    #: Operations retried so far (diagnostic; shared across calls).
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    @classmethod
+    def instant(cls, attempts: int = 4) -> "RetryPolicy":
+        """A policy that never actually sleeps (for tests and simulation)."""
+        return cls(attempts=attempts, sleep=lambda _seconds: None)
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay before each retry, in order."""
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+    ) -> T:
+        """Invoke ``fn``, retrying transient failures with backoff.
+
+        The last failure is re-raised unchanged once attempts run out, so
+        callers keep their typed error (e.g. ``NodeDownError``).
+        """
+        last: Optional[BaseException] = None
+        for index, delay in enumerate(list(self.delays()) + [None]):
+            try:
+                return fn()
+            except retry_on as error:  # type: ignore[misc]
+                last = error
+                if delay is None:
+                    break
+                self.retries += 1
+                self.sleep(delay)
+        assert last is not None
+        raise last
+
+
+def with_retry(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+) -> T:
+    """Functional form of :meth:`RetryPolicy.call` (default policy if None)."""
+    return (policy or RetryPolicy()).call(fn, retry_on=retry_on)

@@ -1,0 +1,107 @@
+"""A ChunkStore wrapper that injects faults from a :class:`FaultPlan`.
+
+``FaultyStore`` sits between a component and its honest backing store and
+misbehaves exactly as the plan dictates: reads come back bit-flipped, puts
+are silently dropped or torn, operations fail transiently, and every call
+accrues simulated latency.  Fault decisions are keyed by ``(op kind, uid,
+attempt number)`` so the Nth access to a chunk always behaves the same —
+replays are exact, and retried operations legitimately re-draw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Type
+
+from repro.chunk import Chunk, Uid
+from repro.errors import TransientStoreError
+from repro.faults.plan import FaultPlan
+from repro.store.base import ChunkStore
+
+
+class FaultyStore(ChunkStore):
+    """Applies a seeded :class:`FaultPlan` to every store operation."""
+
+    def __init__(
+        self,
+        backing: ChunkStore,
+        plan: FaultPlan,
+        transient_error: Type[Exception] = TransientStoreError,
+        name: str = "",
+    ) -> None:
+        super().__init__(verify_reads=False)
+        self.backing = backing
+        # A named store gets its own fault stream so that replicas of the
+        # same chunk on different nodes do not fail in lockstep.
+        self.plan = plan.scoped(name) if name else plan
+        self.transient_error = transient_error
+        self.name = name
+        self._attempts: Dict[Tuple[str, Uid], int] = {}
+        self.injected_corrupt_reads = 0
+        self.injected_dropped_puts = 0
+        self.injected_torn_puts = 0
+        self.injected_transient_errors = 0
+        self.simulated_ms = 0.0
+
+    def _attempt(self, kind: str, uid: Uid) -> int:
+        """Next attempt index for this (kind, uid) pair."""
+        key = (kind, uid)
+        index = self._attempts.get(key, 0)
+        self._attempts[key] = index + 1
+        return index
+
+    def _maybe_transient(self, kind: str, uid: Uid, attempt: int) -> None:
+        self.simulated_ms += self.plan.latency_ms
+        if self.plan.transient_error(kind, uid, attempt):
+            self.injected_transient_errors += 1
+            raise self.transient_error(
+                f"injected transient fault on {kind} {uid.short()}"
+                + (f" at {self.name}" if self.name else "")
+            )
+
+    # -- ChunkStore primitives ------------------------------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        attempt = self._attempt("put", chunk.uid)
+        self._maybe_transient("put", chunk.uid, attempt)
+        if self.plan.drop_put(chunk.uid, attempt):
+            # Acknowledged but never materialized: a lost write.
+            self.injected_dropped_puts += 1
+            return
+        if self.plan.torn_put(chunk.uid, attempt):
+            # Materialized truncated under the original uid: persistent
+            # corruption only a scrub (or verified read) can catch.
+            self.injected_torn_puts += 1
+            torn = self.plan.tear(chunk.data, chunk.uid, attempt)
+            self.backing.put(Chunk(chunk.type, torn, uid=chunk.uid))
+            return
+        self.backing.put(chunk)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        attempt = self._attempt("get", uid)
+        self._maybe_transient("get", uid, attempt)
+        chunk = self.backing.get_maybe(uid)
+        if chunk is None:
+            return None
+        if self.plan.corrupt_read(uid, attempt):
+            # Bit rot on the wire: wrong bytes under the claimed uid.
+            self.injected_corrupt_reads += 1
+            return Chunk(chunk.type, self.plan.mutate(chunk.data, uid, attempt), uid=uid)
+        return chunk
+
+    def _contains(self, uid: Uid) -> bool:
+        return self.backing.has(uid)
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(self.backing.ids())
+
+    def _delete(self, uid: Uid) -> bool:
+        return self.backing.delete(uid)
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def physical_size(self) -> int:
+        return self.backing.physical_size()
+
+    def close(self) -> None:
+        self.backing.close()

@@ -86,5 +86,10 @@ class TamperingStore(ChunkStore):
             if uid not in self._dropped:
                 yield uid
 
+    def _delete(self, uid: Uid) -> bool:
+        self._overrides.pop(uid, None)
+        self._dropped.discard(uid)
+        return self.backing.delete(uid)
+
     def close(self) -> None:
         self.backing.close()

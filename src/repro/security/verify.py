@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set, Union
 
 from repro.chunk import Chunk, ChunkType, Uid
-from repro.errors import ChunkNotFoundError, TamperError
+from repro.errors import ChunkCorruptionError, ChunkNotFoundError, TamperError, TransientError
 from repro.postree.node import IndexNode, LeafNode, load_node
 from repro.store.base import ChunkStore
 from repro.vcs.fnode import FNode
@@ -36,6 +36,13 @@ class VerificationReport:
     chunks_checked: int = 0
     fnodes_checked: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Referenced chunks the store could not produce at all.
+    missing: int = 0
+    #: Chunks whose bytes did not hash to the referenced uid.
+    corrupt: int = 0
+    #: Chunks unreadable within the retry budget (verdict unknown, NOT
+    #: evidence of tampering — rerun when the store recovers).
+    transient: int = 0
 
     def describe(self) -> str:
         """One-line summary."""
@@ -49,22 +56,48 @@ class VerificationReport:
 
 
 class Verifier:
-    """Validates versions against a (possibly malicious) chunk store."""
+    """Validates versions against a (possibly malicious or faulty) store.
 
-    def __init__(self, store: ChunkStore) -> None:
+    The error taxonomy matters here: *missing* and *corrupt* chunks are
+    integrity failures, but a *transient* store error proves nothing — the
+    verifier retries it (``retry``, instant by default) and, if the chunk
+    stays unreachable, records an unknown verdict instead of crashing or
+    falsely crying tamper.
+    """
+
+    def __init__(self, store: ChunkStore, retry: Optional["RetryPolicy"] = None) -> None:
+        from repro.faults.retry import RetryPolicy
+
         self.store = store
+        self.retry = retry if retry is not None else RetryPolicy.instant()
 
     def _fetch_checked(
         self, uid: Uid, report: VerificationReport
     ) -> Optional[Chunk]:
         """Fetch a chunk and confirm its bytes hash to ``uid``."""
         try:
-            chunk = self.store.get(uid)
+            chunk = self.retry.call(lambda: self.store.get(uid))
         except ChunkNotFoundError:
+            report.missing += 1
             report.errors.append(f"missing chunk {uid.short(16)}")
+            return None
+        except ChunkCorruptionError:
+            # A verifying store already rejected the bytes for us.
+            report.chunks_checked += 1
+            report.corrupt += 1
+            report.errors.append(
+                f"chunk {uid.short(16)} content does not hash to its id"
+            )
+            return None
+        except TransientError:
+            report.transient += 1
+            report.errors.append(
+                f"chunk {uid.short(16)} unreachable (transient store error)"
+            )
             return None
         report.chunks_checked += 1
         if not chunk.is_valid():
+            report.corrupt += 1
             report.errors.append(
                 f"chunk {uid.short(16)} content does not hash to its id"
             )

@@ -14,12 +14,27 @@ Implementations:
   with a persisted index; survives close/reopen.
 - :class:`~repro.store.cached.CachedStore` — LRU read-through cache over
   any other store.
+
+Maintenance: :mod:`repro.store.scrub` re-hashes every materialized copy
+against its content address, quarantining (and, on replicated stores,
+repairing) silent corruption; :mod:`repro.store.gc` sweeps unreachable
+chunks.
 """
 
 from repro.store.base import ChunkStore
 from repro.store.cached import CachedStore
 from repro.store.filestore import FileStore
 from repro.store.memory import InMemoryStore
+from repro.store.scrub import ScrubReport, Scrubber, scrub
 from repro.store.stats import StoreStats
 
-__all__ = ["ChunkStore", "CachedStore", "FileStore", "InMemoryStore", "StoreStats"]
+__all__ = [
+    "ChunkStore",
+    "CachedStore",
+    "FileStore",
+    "InMemoryStore",
+    "ScrubReport",
+    "Scrubber",
+    "StoreStats",
+    "scrub",
+]

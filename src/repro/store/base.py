@@ -41,6 +41,9 @@ class ChunkStore:
     def _ids(self) -> Iterator[Uid]:
         raise NotImplementedError
 
+    def _delete(self, uid: Uid) -> bool:
+        raise NotImplementedError
+
     # -- public API ----------------------------------------------------------
 
     def put(self, chunk: Chunk) -> bool:
@@ -76,6 +79,16 @@ class ChunkStore:
     def has(self, uid: Uid) -> bool:
         """True if the chunk is materialized here."""
         return self._contains(uid)
+
+    def delete(self, uid: Uid) -> bool:
+        """Unmaterialize a chunk; return True if it was present.
+
+        Chunks are immutable but not sacred: garbage collection, replica
+        rebalancing, and scrub quarantine all legitimately remove physical
+        copies.  Deleting a chunk never invalidates its uid — re-putting
+        identical content restores it bit-for-bit.
+        """
+        return self._delete(uid)
 
     def ids(self) -> List[Uid]:
         """All chunk ids currently materialized (unspecified order)."""

@@ -55,6 +55,10 @@ class CachedStore(ChunkStore):
     def _ids(self) -> Iterator[Uid]:
         return iter(self.backing.ids())
 
+    def _delete(self, uid: Uid) -> bool:
+        self._cache.pop(uid, None)
+        return self.backing.delete(uid)
+
     def __len__(self) -> int:
         return len(self.backing)
 

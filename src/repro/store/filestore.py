@@ -23,7 +23,8 @@ from repro.store.base import ChunkStore
 
 _RECORD_HEADER = struct.Struct(">BI")  # type tag, payload length
 _INDEX_ENTRY = struct.Struct(">32sII")  # digest, segment number, offset
-_INDEX_MAGIC = b"FBIX0001"
+_WATERMARK_ENTRY = struct.Struct(">IQ")  # segment number, indexed length
+_INDEX_MAGIC = b"FBIX0002"  # 0002 added the per-segment watermark table
 
 
 class FileStore(ChunkStore):
@@ -64,17 +65,33 @@ class FileStore(ChunkStore):
     # -- index persistence --------------------------------------------------
 
     def _load_index(self) -> bool:
-        """Load the index snapshot; False if absent or stale."""
+        """Load the index snapshot; False if absent, corrupt, or stale.
+
+        Staleness check: every indexed segment must still exist on disk,
+        no segment may have shrunk below its recorded watermark (that
+        would leave dangling offsets), and every entry's offset must fall
+        inside its segment's indexed region.  Any violation falls back to
+        :meth:`_rebuild_index`; records appended after the snapshot (a
+        crash before ``close``) are picked up by scanning each segment
+        from its watermark.
+        """
         path = self._index_path()
         if not os.path.exists(path):
             return False
+        watermarks: Dict[int, int] = {}
         try:
             with open(path, "rb") as handle:
                 magic = handle.read(len(_INDEX_MAGIC))
                 if magic != _INDEX_MAGIC:
                     return False
-                sizes_blob = handle.read(8)
-                (count,) = struct.unpack(">Q", sizes_blob)
+                (count,) = struct.unpack(">Q", handle.read(8))
+                (seg_count,) = struct.unpack(">Q", handle.read(8))
+                for _ in range(seg_count):
+                    raw = handle.read(_WATERMARK_ENTRY.size)
+                    if len(raw) != _WATERMARK_ENTRY.size:
+                        return False
+                    segment, length = _WATERMARK_ENTRY.unpack(raw)
+                    watermarks[segment] = length
                 for _ in range(count):
                     raw = handle.read(_INDEX_ENTRY.size)
                     if len(raw) != _INDEX_ENTRY.size:
@@ -84,10 +101,22 @@ class FileStore(ChunkStore):
         except (OSError, struct.error):
             self._index.clear()
             return False
-        # Staleness check: every indexed segment must still exist, and the
-        # active segment may contain records past the index (crash) — scan
-        # any tail records in all segments to be safe.
-        self._scan_unindexed()
+        known = set(self._segments)
+        for segment, watermark in watermarks.items():
+            if segment not in known:
+                self._index.clear()
+                return False  # indexed segment vanished
+            if os.path.getsize(self._segment_path(segment)) < watermark:
+                self._index.clear()
+                return False  # segment shrank: offsets can dangle
+        for segment, offset in self._index.values():
+            if segment not in watermarks:
+                self._index.clear()
+                return False  # entry points into an untracked segment
+            if offset + _RECORD_HEADER.size > watermarks[segment]:
+                self._index.clear()
+                return False  # offset past the indexed region
+        self._scan_unindexed(watermarks)
         return True
 
     def _rebuild_index(self) -> None:
@@ -96,31 +125,20 @@ class FileStore(ChunkStore):
         for segment in self._segments:
             self._scan_segment(segment)
 
-    def _scan_unindexed(self) -> None:
-        """Pick up records written after the last index snapshot."""
-        indexed_offsets: Dict[int, int] = {}
-        for segment, offset in self._index.values():
-            indexed_offsets[segment] = max(indexed_offsets.get(segment, -1), offset)
-        for segment in self._segments:
-            start = indexed_offsets.get(segment)
-            if start is None:
-                self._scan_segment(segment)
-            else:
-                # Resume after the last indexed record in this segment.
-                self._scan_segment(segment, resume_after=start)
+    def _scan_unindexed(self, watermarks: Dict[int, int]) -> None:
+        """Pick up records written after the last index snapshot.
 
-    def _scan_segment(self, segment: int, resume_after: int = -1) -> None:
+        The watermark is an exact record boundary (the segment length at
+        snapshot time), so resuming there cannot split a record.
+        """
+        for segment in self._segments:
+            self._scan_segment(segment, start=watermarks.get(segment, 0))
+
+    def _scan_segment(self, segment: int, start: int = 0) -> None:
         path = self._segment_path(segment)
         with open(path, "rb") as handle:
-            offset = 0
-            if resume_after >= 0:
-                handle.seek(resume_after)
-                header = handle.read(_RECORD_HEADER.size)
-                if len(header) != _RECORD_HEADER.size:
-                    return
-                _, length = _RECORD_HEADER.unpack(header)
-                handle.seek(length, os.SEEK_CUR)
-                offset = resume_after + _RECORD_HEADER.size + length
+            handle.seek(start)
+            offset = start
             while True:
                 header = handle.read(_RECORD_HEADER.size)
                 if len(header) < _RECORD_HEADER.size:
@@ -142,6 +160,13 @@ class FileStore(ChunkStore):
         with open(tmp, "wb") as handle:
             handle.write(_INDEX_MAGIC)
             handle.write(struct.pack(">Q", len(self._index)))
+            handle.write(struct.pack(">Q", len(self._segments)))
+            for segment in self._segments:
+                try:
+                    length = os.path.getsize(self._segment_path(segment))
+                except OSError:
+                    length = 0
+                handle.write(_WATERMARK_ENTRY.pack(segment, length))
             for uid, (segment, offset) in self._index.items():
                 handle.write(_INDEX_ENTRY.pack(uid.digest, segment, offset))
         os.replace(tmp, path)
@@ -183,6 +208,15 @@ class FileStore(ChunkStore):
 
     def _contains(self, uid: Uid) -> bool:
         return uid in self._index
+
+    def _delete(self, uid: Uid) -> bool:
+        """Drop the index entry; segment bytes are reclaimed by compaction.
+
+        Durable across reopen: the saved index carries per-segment
+        watermarks, so an unindexed record below the watermark is never
+        re-scanned back in.
+        """
+        return self._index.pop(uid, None) is not None
 
     def _ids(self) -> Iterator[Uid]:
         return iter(list(self._index.keys()))

@@ -113,7 +113,7 @@ def collect_garbage(
                 "in-place sweep requires an InMemoryStore; use compact_into()"
             )
         for uid in doomed:
-            del store._chunks[uid]
+            store.delete(uid)
 
     return GcReport(
         live_chunks=len(live),

@@ -27,6 +27,9 @@ class InMemoryStore(ChunkStore):
     def _ids(self) -> Iterator[Uid]:
         return iter(list(self._chunks.keys()))
 
+    def _delete(self, uid: Uid) -> bool:
+        return self._chunks.pop(uid, None) is not None
+
     def __len__(self) -> int:
         return len(self._chunks)
 

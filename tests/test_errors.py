@@ -33,6 +33,9 @@ class TestHierarchy:
             errors.NotFoundApiError,
             errors.ClusterError,
             errors.NodeDownError,
+            errors.TransientError,
+            errors.TransientStoreError,
+            errors.QuorumWriteError,
         ],
     )
     def test_everything_derives_from_forkbase_error(self, cls):
@@ -49,6 +52,14 @@ class TestHierarchy:
     def test_one_base_catches_the_world(self, engine):
         with pytest.raises(errors.ForkBaseError):
             engine.get("never-put")
+
+    def test_transient_marks_the_retryable_subset(self):
+        """Retry loops key off TransientError, not specific classes."""
+        assert issubclass(errors.TransientStoreError, errors.TransientError)
+        assert issubclass(errors.TransientStoreError, errors.StoreError)
+        assert issubclass(errors.NodeDownError, errors.TransientError)
+        assert not issubclass(errors.ChunkCorruptionError, errors.TransientError)
+        assert not issubclass(errors.QuorumWriteError, errors.TransientError)
 
 
 class TestMessages:
@@ -71,3 +82,8 @@ class TestMessages:
     def test_api_error_status_codes(self):
         assert errors.ApiError.status == 400
         assert errors.NotFoundApiError.status == 404
+
+    def test_quorum_write_carries_counts(self):
+        error = errors.QuorumWriteError("2 of 3 needed", acked=1, required=2)
+        assert error.acked == 1 and error.required == 2
+        assert "2 of 3 needed" in str(error)
