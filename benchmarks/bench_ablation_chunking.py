@@ -24,8 +24,8 @@ from repro.postree.config import TreeConfig
 from repro.postree.tree import PosTree
 from repro.rolling.chunker import ChunkerConfig
 from repro.store import InMemoryStore
-from repro.workloads import generate_rows, make_edit_script
 from repro.table.schema import Schema
+from repro.workloads import generate_rows, make_edit_script
 
 SCHEMA = Schema.of(
     ["id", "vendor", "product", "region", "quantity", "price", "note"], "id"

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from benchmarks.conftest import report, table
 from repro.postree import PosTree, siri

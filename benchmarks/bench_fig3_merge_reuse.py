@@ -14,7 +14,6 @@ grows.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import report, table
 from repro.postree import PosTree, three_way_merge

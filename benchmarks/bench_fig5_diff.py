@@ -22,7 +22,7 @@ from repro.postree.diff import diff_trees
 from repro.postree.tree import PosTree
 from repro.store import InMemoryStore
 from repro.table import DataTable
-from repro.workloads import generate_csv, generate_rows, make_edit_script, rows_to_csv
+from repro.workloads import generate_rows, make_edit_script, rows_to_csv
 
 
 def _tree_pair(store, n, d, seed=0):
@@ -81,7 +81,7 @@ def test_fig5_elementwise_baseline_latency(benchmark, branch_setup):
     obj_b = engine.get("Dataset-1", branch="vendorX")
 
     def scan():
-        return _elementwise_diff(obj_a._tree, obj_b._tree)
+        return _elementwise_diff(obj_a.tree, obj_b.tree)
 
     added, removed, changed = benchmark(scan)
     assert len(added) + len(removed) + len(changed) == script.size + 0
@@ -152,8 +152,8 @@ def test_fig5_diff_correctness_vs_baseline(benchmark, branch_setup):
     engine, table_, _ = branch_setup
     obj_a = engine.get("Dataset-1", branch="master")
     obj_b = engine.get("Dataset-1", branch="vendorX")
-    pruned = diff_trees(obj_a._tree, obj_b._tree)
-    added, removed, changed = _elementwise_diff(obj_a._tree, obj_b._tree)
+    pruned = diff_trees(obj_a.tree, obj_b.tree)
+    added, removed, changed = _elementwise_diff(obj_a.tree, obj_b.tree)
     assert pruned.added == added
     assert pruned.removed == removed
     assert pruned.changed == changed

@@ -13,7 +13,6 @@ malicious storage provider.  We regenerate:
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import report, table
 from repro.db import ForkBase

@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule ids and the ForkBase invariant each protects:
+
+- ``FB-IMMUT``   — chunks/nodes immutable once hashed (§II-C)
+- ``FB-PRIVACY`` — module boundaries: no foreign ``_underscore`` access
+- ``FB-DETERM``  — every hashed byte is reproducible (§II-A, §III-C)
+- ``FB-ERRORS``  — one error taxonomy, no swallowed failures
+- ``FB-LAYERS``  — the chunk → … → api import DAG (SIRI composability)
+- ``FB-OPTDEP``  — optional accelerators behind guarded imports
+"""
+
+from fbcheck.rules import determ, errors, immut, layers, optdep, privacy
+
+__all__ = ["determ", "errors", "immut", "layers", "optdep", "privacy"]

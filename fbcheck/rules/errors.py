@@ -1,0 +1,139 @@
+"""FB-ERRORS: one error taxonomy, no swallowed failures.
+
+Every error the substrate raises derives from :class:`repro.errors.ForkBaseError`
+(or is one of a small set of idiomatic builtins), so applications can catch
+one base type and fault-handling layers (retry, scrub, quorum) can key off
+``TransientError`` without enumerating ad-hoc exception classes.  Checks:
+
+- ``raise SomeClass(...)`` in library/benchmark/example code: ``SomeClass``
+  must be imported from :mod:`repro.errors`, subclass (transitively, within
+  the file) something that is, or be an allowlisted builtin.  Re-raises of
+  bound variables (``raise err``) and dynamic raises (``raise self.exc``)
+  are allowed;
+- no bare ``except:`` anywhere;
+- no ``except Exception`` / ``except BaseException`` whose handler swallows
+  — the body must contain a ``raise`` (re-raise or typed translation).
+
+Allowlist detail strings: the raised class name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+
+def _class_names(node: ast.expr) -> Set[str]:
+    """Names named by an except-clause type expression (handles tuples)."""
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    if isinstance(node, ast.Tuple):
+        out: Set[str] = set()
+        for element in node.elts:
+            out |= _class_names(element)
+        return out
+    return set()
+
+
+@register
+class ErrorsRule(Rule):
+    rule_id = "FB-ERRORS"
+    summary = "raises use the repro.errors taxonomy; no bare/swallowing excepts"
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        yield from self._check_excepts(module)
+        if module.path.startswith(("src/repro/", "benchmarks/", "examples/")):
+            yield from self._check_raises(module)
+
+    # -- except hygiene (all scanned paths) ---------------------------------
+
+    def _check_excepts(self, module: ModuleFile) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module,
+                    node.lineno,
+                    "bare except: catches SystemExit/KeyboardInterrupt and hides "
+                    "every failure; catch a typed error",
+                )
+                continue
+            broad = _class_names(node.type) & {"Exception", "BaseException"}
+            if broad and not any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                yield self.violation(
+                    module,
+                    node.lineno,
+                    f"except {sorted(broad)[0]} swallows the failure; re-raise or "
+                    f"translate into the repro.errors taxonomy",
+                )
+
+    # -- raise taxonomy (library, benchmarks, examples) ---------------------
+
+    def _check_raises(self, module: ModuleFile) -> Iterator[Violation]:
+        taxonomy = self._taxonomy_names(module)
+        allowed_builtins = self.config.errors_builtin_allow
+        bound = _bound_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if not isinstance(exc, ast.Name):
+                continue  # dynamic (attribute / subscript) raises are allowed
+            name = exc.id
+            if name in taxonomy or name in allowed_builtins:
+                continue
+            if name in bound and not name[:1].isupper():
+                continue  # re-raise of a captured exception variable
+            if self.allowed(module, name):
+                continue
+            yield self.violation(
+                module,
+                node.lineno,
+                f"raise {name}: not part of the repro.errors taxonomy (derive it "
+                f"from ForkBaseError so fault layers can classify it)",
+            )
+
+    def _taxonomy_names(self, module: ModuleFile) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro.errors":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        # Fixpoint over local classes subclassing the taxonomy.
+        classes = [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]
+        changed = True
+        while changed:
+            changed = False
+            for cls in classes:
+                if cls.name in names:
+                    continue
+                for base in cls.bases:
+                    base_name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+                    if base_name in names:
+                        names.add(cls.name)
+                        changed = True
+                        break
+        return names
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name the module binds somewhere (assignments, args, except-as)."""
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.arg):
+            bound.add(node.arg)
+    return bound

@@ -1,0 +1,218 @@
+"""FB-IMMUT: chunks and POS-Tree nodes are immutable once hashed.
+
+Paper §II-C: "data are split into chunks, each of which is immutable after
+complete construction and uniquely identified by its SHA-256 hash."  A
+mutated Chunk/Node/FNode instance would desynchronize bytes from uid and
+silently break tamper evidence, dedup, and SIRI reuse.  Three checks:
+
+1. every class in the chunk/POS-Tree layers is *sealed* — a frozen
+   dataclass, ``__slots__``-sealed, a NamedTuple, an Enum, or an exception
+   — so stray attributes cannot be attached;
+2. inside the hash-feeding value modules, ``self.x = …`` only happens in
+   constructors or in allowlisted *seal* methods (``to_chunk`` computes and
+   memoizes the hash: the "complete construction" boundary);
+3. everywhere else, instances of value classes are never assigned to after
+   construction (inferred locally from ``name = ValueClass(...)``), and
+   ``object.__setattr__`` — the frozen-dataclass back door — is banned
+   outside the value modules and tree builders.
+
+Allowlist detail strings: ``ClassName`` (check 1), ``ClassName.method``
+(check 2).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+SEALED_BASES = {
+    "NamedTuple",
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "Exception",
+    "BaseException",
+    "Protocol",
+}
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] / Protocol[...]
+        return _base_name(node.value)
+    return ""
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call) and _base_name(deco.func) == "dataclass":
+            for keyword in deco.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_sealed(cls: ast.ClassDef) -> bool:
+    if _is_frozen_dataclass(cls) or _has_slots(cls):
+        return True
+    for base in cls.bases:
+        name = _base_name(base)
+        if name in SEALED_BASES or name.endswith("Error") or name.endswith("Exception"):
+            return True
+    return False
+
+
+@register
+class ImmutRule(Rule):
+    rule_id = "FB-IMMUT"
+    summary = "hash-feeding objects are sealed and never mutated after construction"
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        path = module.path
+        in_sealed_scope = any(path.startswith(p) or path == p for p in self.config.immut_sealed_paths)
+        is_value_module = path in self.config.immut_value_modules
+        is_builder = path in self.config.immut_builder_paths
+
+        if in_sealed_scope:
+            yield from self._check_sealed(module)
+        if is_value_module:
+            yield from self._check_self_mutation(module)
+        if not is_value_module and not is_builder:
+            yield from self._check_foreign_mutation(module)
+
+    # -- check 1: sealed classes --------------------------------------------
+
+    def _check_sealed(self, module: ModuleFile) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_sealed(node) or self.allowed(module, node.name):
+                continue
+            yield self.violation(
+                module,
+                node.lineno,
+                f"class {node.name} in a hash-feeding layer must be a frozen "
+                f"dataclass or __slots__-sealed (paper §II-C: immutable after "
+                f"complete construction)",
+            )
+
+    # -- check 2: no self-assignment outside constructors / seal methods ----
+
+    def _check_self_mutation(self, module: ModuleFile) -> Iterator[Violation]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for meth in cls.body:
+                if not isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if meth.name in self.config.immut_seal_methods:
+                    continue
+                if self.allowed(module, f"{cls.name}.{meth.name}"):
+                    continue
+                for stmt in ast.walk(meth):
+                    for target, line in _attr_mutations(stmt, {"self"}):
+                        yield self.violation(
+                            module,
+                            line,
+                            f"{cls.name}.{meth.name} mutates self.{target} after "
+                            f"construction; value objects seal in __init__ (or an "
+                            f"allowlisted seal method)",
+                        )
+
+    # -- check 3: no mutation of value-class instances elsewhere ------------
+
+    def _check_foreign_mutation(self, module: ModuleFile) -> Iterator[Violation]:
+        value_classes = self.config.immut_value_classes
+        for scope in _function_scopes(module.tree):
+            tracked: Set[str] = set()
+            nodes = list(_walk_scope(scope))
+            for node in nodes:
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    ctor = _base_name(node.value.func)
+                    if ctor in value_classes:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tracked.add(target.id)
+            for node in nodes:
+                for target, line in _attr_mutations(node, tracked):
+                    yield self.violation(
+                        module,
+                        line,
+                        f"assignment to .{target} on an instance of an immutable "
+                        f"value class; chunks/nodes must never change after "
+                        f"construction (rebuild instead)",
+                    )
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "__setattr__"
+                    and _base_name(node.func.value) == "object"
+                ):
+                    yield self.violation(
+                        module,
+                        node.lineno,
+                        "object.__setattr__ bypasses immutability sealing; only "
+                        "value modules and tree builders may use it",
+                    )
+
+
+def _walk_scope(stmts):
+    """Walk statements without descending into nested function scopes."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _attr_mutations(node: ast.AST, owners: Set[str]):
+    """Yield (attr, line) for attribute assignments/deletes on ``owners``."""
+    targets = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in owners
+        ):
+            yield target.attr, target.lineno
+
+
+def _function_scopes(tree: ast.Module):
+    """Yield statement lists that form linear tracking scopes."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body

@@ -1,0 +1,178 @@
+"""FB-LAYERS: the chunk → rolling → postree → types → vcs/store → db → api DAG.
+
+SIRI's "universal reuse" is composable exactly because each layer only
+builds on the ones below it: the chunk layer knows nothing about trees,
+trees nothing about branches, branches nothing about the engine.  An
+upward import couples a primitive to its consumers and is how invariants
+leak (a store that knows about cluster rebalancing is how ``_chunks`` got
+poked).  The layer table lives in :data:`fbcheck.config.LAYERS` — one
+place, longest-prefix matched.
+
+Checks (``repro.*`` modules only):
+
+- every module resolves to a layer (unknown modules are violations, so the
+  table cannot silently rot);
+- no *top-level* import of a higher layer.  Function-scope and
+  ``if TYPE_CHECKING:`` imports are exempt: they cannot create import-time
+  cycles and are the sanctioned escape hatch for runtime mutual recursion
+  (scrub ↔ cluster, db ↔ security.verify);
+- no cycles among top-level imports (whole-program strongly-connected
+  component check), independent of the table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+
+def _top_level_imports(
+    tree: ast.Module, resolve_in: Optional[Dict[str, object]] = None
+) -> Iterator[Tuple[str, int]]:
+    """Yield (dotted-module, line) for import-time ``repro.*`` imports.
+
+    With ``resolve_in``, ``from pkg import sub`` is reported as the
+    submodule ``pkg.sub`` when that is a known module — the dependency is
+    on the submodule, not on the package facade (keeps
+    ``from repro.table import csvio`` from reading as a facade cycle).
+    """
+
+    def visit(body: Sequence[ast.stmt]) -> Iterator[Tuple[str, int]]:
+        for node in body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "repro":
+                        yield alias.name, node.lineno
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
+                    if resolve_in is not None:
+                        for alias in node.names:
+                            candidate = f"{node.module}.{alias.name}"
+                            yield (
+                                candidate if candidate in resolve_in else node.module
+                            ), node.lineno
+                    else:
+                        yield node.module, node.lineno
+            elif isinstance(node, ast.If):
+                if "TYPE_CHECKING" not in ast.dump(node.test):
+                    yield from visit(node.body)
+                yield from visit(node.orelse)
+            elif isinstance(node, (ast.Try, ast.With)):
+                for field in ("body", "handlers", "orelse", "finalbody"):
+                    for child in getattr(node, field, []):
+                        if isinstance(child, ast.ExceptHandler):
+                            yield from visit(child.body)
+                        elif isinstance(child, ast.stmt):
+                            yield from visit([child])
+            elif isinstance(node, ast.ClassDef):
+                yield from visit(node.body)
+
+    yield from visit(tree.body)
+
+
+@register
+class LayersRule(Rule):
+    rule_id = "FB-LAYERS"
+    summary = "imports respect the declared layer DAG; no upward imports, no cycles"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/")
+
+    def layer_of(self, dotted: str) -> Optional[int]:
+        """Longest-prefix lookup in the layer table."""
+        parts = dotted.split(".")
+        while parts:
+            layer = self.config.layers.get(".".join(parts))
+            if layer is not None:
+                return layer
+            parts.pop()
+        return None
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        source_layer = self.layer_of(module.module)
+        if source_layer is None:
+            yield self.violation(
+                module,
+                1,
+                f"module {module.module} is not covered by the layer table in "
+                f"fbcheck/config.py; add it so the DAG stays complete",
+            )
+            return
+        for target, line in _top_level_imports(module.tree):
+            target_layer = self.layer_of(target)
+            if target_layer is None:
+                yield self.violation(
+                    module,
+                    line,
+                    f"import target {target} is not covered by the layer table",
+                )
+            elif target_layer > source_layer:
+                yield self.violation(
+                    module,
+                    line,
+                    f"upward import: {module.module} (layer {source_layer}) must "
+                    f"not import {target} (layer {target_layer}); invert the "
+                    f"dependency or defer it into a function",
+                )
+
+    def finalize(self, modules: Sequence[ModuleFile]) -> Iterator[Violation]:
+        known = {m.module: m for m in modules if m.module.split(".")[0] == "repro"}
+        graph: Dict[str, Set[str]] = {name: set() for name in known}
+        for name, module in known.items():
+            for target, _ in _top_level_imports(module.tree, resolve_in=known):
+                resolved = target if target in known else None
+                if resolved is None and target.rpartition(".")[0] in known:
+                    # ``from repro.store.base import X`` where X is a name,
+                    # or a module not scanned: fall back to the parent pkg.
+                    resolved = target.rpartition(".")[0]
+                if resolved and resolved != name:
+                    graph[name].add(resolved)
+        for cycle in _find_cycles(graph):
+            head = known[cycle[0]]
+            yield Violation(
+                head.real_path,
+                1,
+                self.rule_id,
+                "import cycle: " + " -> ".join(cycle + (cycle[0],)),
+            )
+
+    # -- helpers -------------------------------------------------------------
+
+
+def _find_cycles(graph: Dict[str, Set[str]]) -> List[Tuple[str, ...]]:
+    """Strongly connected components with more than one member (Tarjan)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[Tuple[str, ...]] = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component: List[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                cycles.append(tuple(sorted(component)))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sorted(cycles)

@@ -1,0 +1,81 @@
+"""FB-OPTDEP: optional accelerators only behind guarded import fast-paths.
+
+The pure-python build is the reference implementation: every environment
+(including the no-numpy CI leg) must import every module successfully and
+produce bit-identical hashes.  Optional dependencies therefore follow the
+``rolling/fast.py`` pattern::
+
+    try:
+        import numpy as _np
+    except ImportError:
+        _np = None
+
+A naked ``import numpy`` anywhere — module or function scope — makes some
+code path hard-require the accelerator and silently forks the supported
+environments.  Allowlist detail strings: the imported module name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _handler_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[str] = []
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return bool(set(names) & GUARD_EXCEPTIONS)
+
+
+@register
+class OptDepRule(Rule):
+    rule_id = "FB-OPTDEP"
+    summary = "optional deps (numpy, …) imported only under try/except ImportError"
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        optional = self.config.optdep_modules
+
+        def visit(body: List[ast.stmt], guarded: bool) -> Iterator[Violation]:
+            for node in body:
+                roots: List[str] = []
+                if isinstance(node, ast.Import):
+                    roots = [alias.name.split(".")[0] for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    roots = [node.module.split(".")[0]]
+                for root in roots:
+                    if root in optional and not guarded and not self.allowed(module, root):
+                        yield self.violation(
+                            module,
+                            node.lineno,
+                            f"import {root} outside a try/except ImportError guard; "
+                            f"optional accelerators must degrade to the pure-python "
+                            f"reference (see rolling/fast.py)",
+                        )
+                if isinstance(node, ast.Try):
+                    inner_guard = guarded or any(
+                        _handler_catches_import_error(h) for h in node.handlers
+                    )
+                    yield from visit(node.body, inner_guard)
+                    for handler in node.handlers:
+                        yield from visit(handler.body, guarded)
+                    yield from visit(node.orelse, guarded)
+                    yield from visit(node.finalbody, guarded)
+                else:
+                    for _, value in ast.iter_fields(node):
+                        if isinstance(value, list):
+                            stmts = [item for item in value if isinstance(item, ast.stmt)]
+                            if stmts:
+                                yield from visit(stmts, guarded)
+
+        yield from visit(module.tree.body, False)

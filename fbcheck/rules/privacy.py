@@ -1,0 +1,86 @@
+"""FB-PRIVACY: no reaching across a module boundary for ``_underscore`` state.
+
+The PR-2 regression class: cluster rebalance poked ``InMemoryStore._chunks``
+directly, bypassing the store contract and silently breaking the
+self-healing invariants layered on top of it.  Private attributes are an
+implementation detail of the module that defines them; if another module
+needs the data, the owning module must grow a public accessor (which can
+then uphold its invariants).
+
+Heuristic: an access ``expr._name`` is allowed when
+
+- ``expr`` is ``self`` or ``cls`` (own instance),
+- ``_name`` is *owned by this file* — some class here assigns
+  ``self._name``, lists it in ``__slots__``, declares it at class level, or
+  defines a method of that name (covers ``other._tree`` in ``FMap.merge``:
+  same class, different instance),
+- ``_name`` is public-by-contract stdlib API (``_replace`` & co.), or
+- a dunder.
+
+Tests are exempt: white-box assertions are their job.  Allowlist detail
+strings: the attribute name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+
+def _owned_private_names(tree: ast.Module) -> Set[str]:
+    owned: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name.startswith("_"):
+            owned.add(node.name)
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                owned.add(node.attr)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                targets = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        owned.add(target.id)
+                        if target.id == "__slots__" and isinstance(stmt, ast.Assign):
+                            for item in ast.walk(stmt.value):
+                                if isinstance(item, ast.Constant) and isinstance(item.value, str):
+                                    owned.add(item.value)
+    return owned
+
+
+@register
+class PrivacyRule(Rule):
+    rule_id = "FB-PRIVACY"
+    summary = "no access to another module's _underscore attributes"
+
+    def applies_to(self, path: str) -> bool:
+        return not path.startswith("tests/")
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        owned = _owned_private_names(module.tree)
+        public = self.config.privacy_public_underscore
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                continue
+            if attr in owned or attr in public:
+                continue
+            if self.allowed(module, attr):
+                continue
+            yield self.violation(
+                module,
+                node.lineno,
+                f"access to foreign private attribute .{attr}; add a public "
+                f"accessor to the owning module instead (the _chunks regression "
+                f"class)",
+            )

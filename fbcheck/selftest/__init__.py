@@ -1,0 +1,9 @@
+"""Self-test assets for the analyzer (see ``tests/test_fbcheck.py``).
+
+``fixtures/`` holds minimal source snippets that must pass or fail one
+specific rule.  Each file carries a ``# fbcheck-fixture-path:`` header so
+path-scoped rules see the virtual location the snippet pretends to live
+at, while really sitting here — outside the directories the live run
+scans.  Naming convention: ``<rule>_bad*.py`` must produce at least one
+violation of exactly that rule; ``<rule>_ok*.py`` must produce none.
+"""

@@ -1,0 +1,8 @@
+# fbcheck-fixture-path: src/repro/store/cycle_a.py
+"""FB-LAYERS cycle fixture (with cycle_b): same layer, mutual import."""
+
+import repro.store.cycle_b
+
+
+def ping():
+    return repro.store.cycle_b.pong()

@@ -1,0 +1,8 @@
+# fbcheck-fixture-path: src/repro/store/cycle_b.py
+"""FB-LAYERS cycle fixture (with cycle_a): same layer, mutual import."""
+
+import repro.store.cycle_a
+
+
+def pong():
+    return repro.store.cycle_a.ping()

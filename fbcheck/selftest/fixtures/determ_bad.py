@@ -1,0 +1,15 @@
+# fbcheck-fixture-path: src/repro/chunk/stamp_bad.py
+"""FB-DETERM must fail: global RNG, wall-clock, set-order bytes."""
+
+import random
+import time
+
+
+def stamp(payload):
+    salt = random.random()
+    now = time.time()
+    return payload, salt, now
+
+
+def encode(keys):
+    return [key for key in set(keys)]

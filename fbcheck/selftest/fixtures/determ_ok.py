@@ -1,0 +1,9 @@
+# fbcheck-fixture-path: src/repro/faults/plan_ok.py
+"""FB-DETERM must pass: explicitly seeded RNG in a seeded-user path."""
+
+import random
+
+
+def plan(seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(4)]

@@ -1,0 +1,20 @@
+# fbcheck-fixture-path: src/repro/store/fail_bad.py
+"""FB-ERRORS must fail: bare except, swallowed Exception, ad-hoc raise."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def explode():
+    raise RuntimeError("boom")

@@ -1,0 +1,19 @@
+# fbcheck-fixture-path: src/repro/store/fail_ok.py
+"""FB-ERRORS must pass: taxonomy raises, typed excepts, translation."""
+
+from repro.errors import StoreError
+
+
+class MissingSegmentError(StoreError):
+    pass
+
+
+def load(blob):
+    if blob is None:
+        raise MissingSegmentError("segment lost")
+    if not isinstance(blob, bytes):
+        raise TypeError("blob must be bytes")
+    try:
+        return blob.decode("utf-8")
+    except Exception:
+        raise StoreError("undecodable segment")

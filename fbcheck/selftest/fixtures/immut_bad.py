@@ -1,0 +1,13 @@
+# fbcheck-fixture-path: src/repro/chunk/widget_bad.py
+"""FB-IMMUT must fail: unsealed class + mutation of a value instance."""
+
+
+class Widget:
+    def __init__(self, data):
+        self.data = data
+
+
+def retag(raw):
+    chunk = Chunk(raw)  # noqa: F821 — fixture, never imported
+    chunk.kind = "meta"
+    return chunk

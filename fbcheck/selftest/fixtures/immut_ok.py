@@ -1,0 +1,16 @@
+# fbcheck-fixture-path: src/repro/chunk/widget_ok.py
+"""FB-IMMUT must pass: frozen dataclass and __slots__-sealed class."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenWidget:
+    data: bytes
+
+
+class SlottedWidget:
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data

@@ -1,0 +1,8 @@
+# fbcheck-fixture-path: src/repro/chunk/uplink_bad.py
+"""FB-LAYERS must fail: a chunk-layer module importing the tree layer."""
+
+import repro.postree.tree
+
+
+def depth(uid, store):
+    return repro.postree.tree.PosTree(store, uid).level

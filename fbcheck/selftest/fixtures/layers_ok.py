@@ -1,0 +1,8 @@
+# fbcheck-fixture-path: src/repro/postree/downlink_ok.py
+"""FB-LAYERS must pass: a tree-layer module importing the chunk layer."""
+
+from repro.chunk import Uid
+
+
+def parse(raw):
+    return Uid(raw)

@@ -1,0 +1,8 @@
+# fbcheck-fixture-path: src/repro/rolling/accel_bad.py
+"""FB-OPTDEP must fail: a naked optional-dependency import."""
+
+import numpy
+
+
+def mean(values):
+    return float(numpy.mean(values))

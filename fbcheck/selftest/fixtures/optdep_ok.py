@@ -1,0 +1,13 @@
+# fbcheck-fixture-path: src/repro/rolling/accel_ok.py
+"""FB-OPTDEP must pass: the guarded fast-path import idiom."""
+
+try:
+    import numpy as _np
+except ImportError:
+    _np = None
+
+
+def mean(values):
+    if _np is None:
+        return sum(values) / len(values)
+    return float(_np.mean(values))

@@ -1,0 +1,6 @@
+# fbcheck-fixture-path: src/repro/db/peek_bad.py
+"""FB-PRIVACY must fail: reaching into another module's private state."""
+
+
+def total_chunks(store):
+    return len(store._chunks)

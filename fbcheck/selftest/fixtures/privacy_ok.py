@@ -1,0 +1,11 @@
+# fbcheck-fixture-path: src/repro/db/peek_ok.py
+"""FB-PRIVACY must pass: own-instance and same-file private access."""
+
+
+class Holder:
+    def __init__(self, value):
+        self._value = value
+
+    def combined(self, other):
+        # Same class, different instance: the file owns ``_value``.
+        return self._value + other._value

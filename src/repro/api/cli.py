@@ -26,7 +26,6 @@ from repro.errors import ForkBaseError, MergeConflictError
 from repro.postree.merge import resolve_ours, resolve_theirs
 from repro.security.verify import Verifier
 from repro.table.dataset import DataTable
-from repro.types.convert import unwrap
 from repro.vcs.branches import DEFAULT_BRANCH
 
 
@@ -304,12 +303,9 @@ def _dispatch(args: argparse.Namespace, engine: ForkBase) -> int:
         return 0
 
     if command == "gc":
-        from repro.store.gc import GcReport, compact_into, mark_live
-
         # Durable engines reclaim by compaction (append-only segments).
-        import tempfile
-
         from repro.store import FileStore
+        from repro.store.gc import compact_into
 
         report_obj = None
         if args.dry_run:

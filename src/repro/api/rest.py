@@ -24,7 +24,7 @@ Routes::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.db.engine import ForkBase
 from repro.errors import (

@@ -92,7 +92,7 @@ class CurationPipeline:
             sort_keys=True,
         )
         # One commit for the whole step, even when it drops and edits.
-        fmap = self.table._map(branch=branch)
+        fmap = self.table.row_map(branch=branch)
         puts = {schema.row_key(row): schema.encode_row(row) for row in edited}
         deletes = [schema.key_for(pk) for pk in dropped]
         self.engine.put(

@@ -12,10 +12,10 @@ from repro.errors import (
     TransientError,
     TransientStoreError,
 )
-from repro.faults.retry import RetryPolicy
-from repro.store.base import ChunkStore
 from repro.cluster.node import StorageNode
 from repro.cluster.ring import HashRing
+from repro.faults.retry import RetryPolicy
+from repro.store.base import ChunkStore
 
 
 class ClusterStore(ChunkStore):
@@ -156,7 +156,13 @@ class ClusterStore(ChunkStore):
 
     # -- ChunkStore primitives -------------------------------------------------------
 
-    def _replica_nodes(self, uid: Uid) -> List[StorageNode]:
+    def replica_nodes(self, uid: Uid) -> List[StorageNode]:
+        """The nodes responsible for ``uid``, in ring placement order.
+
+        Part of the public surface: the scrubber walks placement to find
+        healthy repair sources, and tests assert placement without reaching
+        into ring internals.
+        """
         return [self.nodes[name] for name in self.ring.replicas(uid, self.replication)]
 
     def _node_put(self, node: StorageNode, chunk: Chunk) -> None:
@@ -185,7 +191,7 @@ class ClusterStore(ChunkStore):
     def _insert(self, chunk: Chunk) -> None:
         acked = 0
         missed: List[StorageNode] = []
-        for node in self._replica_nodes(chunk.uid):
+        for node in self.replica_nodes(chunk.uid):
             if not node.up:
                 missed.append(node)
                 continue
@@ -238,7 +244,7 @@ class ClusterStore(ChunkStore):
         found: Optional[Chunk] = None
         repair_targets: List[StorageNode] = []
         saw_rot = False
-        for index, node in enumerate(self._replica_nodes(uid)):
+        for index, node in enumerate(self.replica_nodes(uid)):
             if not node.up:
                 continue
             status, chunk = self._read_replica(node, uid)
@@ -272,7 +278,7 @@ class ClusterStore(ChunkStore):
         return found
 
     def _contains(self, uid: Uid) -> bool:
-        for node in self._replica_nodes(uid):
+        for node in self.replica_nodes(uid):
             if not node.up:
                 continue
             try:
@@ -302,7 +308,7 @@ class ClusterStore(ChunkStore):
 
     def _healthy_source(self, uid: Uid) -> Optional[Chunk]:
         """A verified copy from any live node (placement replicas first)."""
-        candidates = [node for node in self._replica_nodes(uid) if node.up]
+        candidates = [node for node in self.replica_nodes(uid) if node.up]
         candidates.extend(
             node for node in self.live_nodes() if node not in candidates
         )
@@ -330,7 +336,7 @@ class ClusterStore(ChunkStore):
         for uid in list(self._ids()):
             targets = [
                 node
-                for node in self._replica_nodes(uid)
+                for node in self.replica_nodes(uid)
                 if node.up and not node.store.has(uid)
             ]
             if not targets:
@@ -395,7 +401,7 @@ class ClusterStore(ChunkStore):
         for uid in self._ids():
             live = sum(
                 1
-                for node in self._replica_nodes(uid)
+                for node in self.replica_nodes(uid)
                 if node.up and node.store.has(uid)
             )
             if live == 0:

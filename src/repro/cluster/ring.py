@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.chunk import Uid
 

@@ -16,7 +16,7 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -25,9 +25,7 @@ from repro.errors import (
     ChunkCorruptionError,
     EngineError,
     MergeConflictError,
-    TransientError,
     TypeMismatchError,
-    UnknownBranchError,
     UnknownKeyError,
 )
 from repro.faults.retry import RetryPolicy
@@ -76,7 +74,9 @@ class ForkBase:
         self.graph = VersionGraph(self.store)
         self.branch_table = BranchTable()
         self.author = author
-        self._clock = clock if clock is not None else time.time
+        # Commit timestamps are metadata, not identity: the wall-clock
+        # default is the injectable-clock escape hatch, not a hashing input.
+        self._clock = clock if clock is not None else time.time  # fbcheck: ignore[FB-DETERM]
         self._directory: Optional[str] = None
         #: Transparent retry for transient store faults on read verbs
         #: (None disables; the default never sleeps).
@@ -329,7 +329,7 @@ class ForkBase:
         if isinstance(obj_a, FSet):
             from repro.postree.diff import diff_trees
 
-            return diff_trees(obj_a._tree, obj_b._tree)
+            return diff_trees(obj_a.tree, obj_b.tree)
         raise TypeMismatchError(
             f"differential query unsupported for type {fnode_a.type_name}"
         )
@@ -418,7 +418,7 @@ class ForkBase:
             from repro.postree.merge import three_way_merge
 
             result = three_way_merge(
-                obj_base._tree, obj_a._tree, obj_b._tree, resolver
+                obj_base.tree, obj_a.tree, obj_b.tree, resolver
             )
             return result.root
         # Whole-value conflict for non-mergeable types.
@@ -463,7 +463,7 @@ class ForkBase:
         if isinstance(obj_a, (FMap, FSet)):
             from repro.postree.diff import diff_trees
 
-            return diff_trees(obj_a._tree, obj_b._tree)
+            return diff_trees(obj_a.tree, obj_b.tree)
         raise TypeMismatchError(
             f"differential query unsupported for type {fnode_a.type_name}"
         )

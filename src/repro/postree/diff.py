@@ -14,27 +14,31 @@ skipped without ever being fetched from storage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
 from repro.chunk import Uid
 from repro.postree.node import IndexNode, LeafEntry, LeafNode
 
+if TYPE_CHECKING:
+    from repro.postree.tree import PosTree
 
-@dataclass
+
 class TreeDiff:
     """Key-level differences from tree A to tree B."""
 
-    #: Keys present only in B (key → B value).
-    added: Dict[bytes, bytes] = field(default_factory=dict)
-    #: Keys present only in A (key → A value).
-    removed: Dict[bytes, bytes] = field(default_factory=dict)
-    #: Keys in both with different values (key → (A value, B value)).
-    changed: Dict[bytes, Tuple[bytes, bytes]] = field(default_factory=dict)
-    #: Sub-trees skipped because their uids matched (the pruning win).
-    subtrees_pruned: int = 0
-    #: Node chunks actually loaded during the walk (the measured cost).
-    nodes_loaded: int = 0
+    __slots__ = ("added", "removed", "changed", "subtrees_pruned", "nodes_loaded")
+
+    def __init__(self) -> None:
+        #: Keys present only in B (key → B value).
+        self.added: Dict[bytes, bytes] = {}
+        #: Keys present only in A (key → A value).
+        self.removed: Dict[bytes, bytes] = {}
+        #: Keys in both with different values (key → (A value, B value)).
+        self.changed: Dict[bytes, Tuple[bytes, bytes]] = {}
+        #: Sub-trees skipped because their uids matched (the pruning win).
+        self.subtrees_pruned = 0
+        #: Node chunks actually loaded during the walk (the measured cost).
+        self.nodes_loaded = 0
 
     @property
     def edit_count(self) -> int:
@@ -64,7 +68,7 @@ class _LazyCursor:
 
     __slots__ = ("_tree", "_frames", "done", "loads")
 
-    def __init__(self, tree) -> None:
+    def __init__(self, tree: PosTree) -> None:
         self._tree = tree
         self._frames: List[Tuple[object, int]] = []
         self.done = False
@@ -77,7 +81,7 @@ class _LazyCursor:
         else:
             self._frames.append((root, 0))
 
-    def _load(self, uid: Uid):
+    def _load(self, uid: Uid) -> Union[LeafNode, IndexNode]:
         self.loads += 1
         return self._tree.node(uid)
 
@@ -156,7 +160,7 @@ class _LazyCursor:
         self._retreat()
 
 
-def diff_trees(tree_a, tree_b) -> TreeDiff:
+def diff_trees(tree_a: PosTree, tree_b: PosTree) -> TreeDiff:
     """Compute the key-level diff from ``tree_a`` to ``tree_b``.
 
     Cost is O(D·log N) node loads: identical sub-trees are pruned by uid
@@ -234,7 +238,7 @@ def diff_trees(tree_a, tree_b) -> TreeDiff:
     return diff
 
 
-def diff_keys(tree_a, tree_b) -> List[bytes]:
+def diff_keys(tree_a: PosTree, tree_b: PosTree) -> List[bytes]:
     """Just the differing keys, sorted (convenience for renderers)."""
     diff = diff_trees(tree_a, tree_b)
     keys = set(diff.added) | set(diff.removed) | set(diff.changed)

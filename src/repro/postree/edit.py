@@ -20,7 +20,7 @@ content addressing guarantees the same final tree either way.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.chunk import Uid
 from repro.postree.builder import build_index_levels, bulk_build
@@ -35,6 +35,9 @@ from repro.postree.node import (
 )
 from repro.rolling.fast import AnyEntryChunker, make_entry_chunker
 
+if TYPE_CHECKING:
+    from repro.postree.tree import PosTree
+
 # A path records, from the root downward, (index node, child position)
 # frames leading to — but not including — a node of interest.
 PathFrame = Tuple[IndexNode, int]
@@ -48,13 +51,17 @@ class _Walker:
     index entries a consumed node occupies.
     """
 
-    def __init__(self, tree, stack: Path, current) -> None:
+    __slots__ = ("_tree", "_stack", "current")
+
+    def __init__(
+        self, tree: PosTree, stack: Path, current: Union[LeafNode, IndexNode]
+    ) -> None:
         self._tree = tree
         self._stack = stack
         self.current = current
 
     @classmethod
-    def at_key(cls, tree, level: int, key: bytes) -> "_Walker":
+    def at_key(cls, tree: PosTree, level: int, key: bytes) -> "_Walker":
         """Descend from the root toward ``key``, stopping at ``level``."""
         node = tree.root_node()
         stack: Path = []
@@ -65,7 +72,7 @@ class _Walker:
         return cls(tree, stack, node)
 
     @classmethod
-    def from_path(cls, tree, path: Path) -> "_Walker":
+    def from_path(cls, tree: PosTree, path: Path) -> "_Walker":
         """Position on the node addressed by an explicit parent path."""
         if not path:
             return cls(tree, [], tree.root_node())
@@ -125,7 +132,9 @@ class _Emitter:
     builder uses, keeping editor and builder boundaries bit-identical.
     """
 
-    def __init__(self, tree, chunker: AnyEntryChunker, level: int) -> None:
+    __slots__ = ("_tree", "_chunker", "_level", "buffer", "descriptors", "bytes_since_edit")
+
+    def __init__(self, tree: PosTree, chunker: AnyEntryChunker, level: int) -> None:
         self._tree = tree
         self._chunker = chunker
         self._level = level
@@ -186,7 +195,7 @@ class _Emitter:
 
 
 def _splice_leaves(
-    tree,
+    tree: PosTree,
     ops: Sequence[Tuple[bytes, Optional[bytes]]],
 ) -> Tuple[List[IndexEntry], Path, Path]:
     """Re-chunk the leaf level across the edited key range.
@@ -243,7 +252,7 @@ def _splice_leaves(
 
 
 def _splice_index_level(
-    tree,
+    tree: PosTree,
     level: int,
     start_path: Path,
     end_path: Path,
@@ -320,7 +329,7 @@ def _covers_whole_level(start_path: Path, end_path: Path) -> bool:
 
 
 def apply_edits(
-    tree,
+    tree: PosTree,
     puts: Dict[bytes, bytes],
     deletes: Set[bytes],
 ) -> Uid:

@@ -18,12 +18,12 @@ tree is the structure the paper's hot paths use).
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple, Union
 
 from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer
-from repro.errors import ChunkEncodingError, TreeError
+from repro.errors import ChunkEncodingError
 from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
-from repro.rolling.chunker import BLOB_CONFIG, ChunkerConfig, iter_chunk_spans
+from repro.rolling.chunker import BLOB_CONFIG, ChunkerConfig
 from repro.rolling.fast import fast_entry_spans
 from repro.store.base import ChunkStore
 
@@ -197,7 +197,7 @@ class PositionalTree:
             return cls(store, node.uid, config)
         return cls(store, _build_list_index_levels(store, descriptors, config), config)
 
-    def _node(self, uid: Uid):
+    def _node(self, uid: Uid) -> Union["ListLeafNode", "ListIndexNode"]:
         chunk = self.store.get(uid)
         if chunk.type == ChunkType.LIST_LEAF:
             return ListLeafNode.from_chunk(chunk)
@@ -369,7 +369,7 @@ class BlobTree:
         root = _build_list_index_levels(store, descriptors, tree_config)
         return cls(store, root, blob_config, tree_config)
 
-    def _node(self, uid: Uid):
+    def _node(self, uid: Uid) -> Union[Chunk, "ListIndexNode"]:
         chunk = self.store.get(uid)
         if chunk.type == ChunkType.BLOB:
             return chunk

@@ -12,12 +12,15 @@ Fig. 3), and content addressing dedups everything shared with B.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.chunk import Uid
 from repro.errors import MergeConflictError
 from repro.postree.diff import TreeDiff, diff_trees
+
+if TYPE_CHECKING:
+    from repro.postree.tree import PosTree
 
 
 @dataclass(frozen=True)
@@ -44,32 +47,49 @@ def resolve_theirs(conflict: MergeConflict) -> Optional[bytes]:
     return conflict.b_value
 
 
-@dataclass
 class MergeStats:
     """Work accounting for one merge (drives the Fig. 3 benchmark)."""
 
-    #: Sub-trees pruned across the two diff phases.
-    subtrees_pruned: int = 0
-    #: Node chunks loaded across the two diff phases.
-    nodes_loaded: int = 0
-    #: Chunks newly materialized while applying the merged edits.
-    chunks_created: int = 0
-    #: Chunk writes absorbed by dedup while applying (reused content).
-    chunks_deduped: int = 0
-    #: Keys taken from each side without conflict.
-    edits_from_a: int = 0
-    edits_from_b: int = 0
-    #: Conflicts encountered (resolved or fatal).
-    conflicts: int = 0
+    __slots__ = (
+        "subtrees_pruned",
+        "nodes_loaded",
+        "chunks_created",
+        "chunks_deduped",
+        "edits_from_a",
+        "edits_from_b",
+        "conflicts",
+    )
+
+    def __init__(self) -> None:
+        #: Sub-trees pruned across the two diff phases.
+        self.subtrees_pruned = 0
+        #: Node chunks loaded across the two diff phases.
+        self.nodes_loaded = 0
+        #: Chunks newly materialized while applying the merged edits.
+        self.chunks_created = 0
+        #: Chunk writes absorbed by dedup while applying (reused content).
+        self.chunks_deduped = 0
+        #: Keys taken from each side without conflict.
+        self.edits_from_a = 0
+        self.edits_from_b = 0
+        #: Conflicts encountered (resolved or fatal).
+        self.conflicts = 0
 
 
-@dataclass
 class MergeResult:
     """Outcome of a three-way merge."""
 
-    root: Uid
-    stats: MergeStats
-    conflicts: List[MergeConflict] = field(default_factory=list)
+    __slots__ = ("root", "stats", "conflicts")
+
+    def __init__(
+        self,
+        root: Uid,
+        stats: MergeStats,
+        conflicts: Optional[List[MergeConflict]] = None,
+    ) -> None:
+        self.root = root
+        self.stats = stats
+        self.conflicts = conflicts if conflicts is not None else []
 
 
 def _edit_maps(diff: TreeDiff) -> Dict[bytes, Optional[bytes]]:
@@ -85,9 +105,9 @@ def _edit_maps(diff: TreeDiff) -> Dict[bytes, Optional[bytes]]:
 
 
 def three_way_merge(
-    base,
-    tree_a,
-    tree_b,
+    base: PosTree,
+    tree_a: PosTree,
+    tree_b: PosTree,
     resolver: Optional[Resolver] = None,
 ) -> MergeResult:
     """Merge ``tree_a`` and ``tree_b`` against common ancestor ``base``.

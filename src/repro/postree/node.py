@@ -15,7 +15,7 @@ node boundaries — the heart of structural invariance.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple, Union
 
 from repro.chunk import Chunk, ChunkType, Reader, Uid
 from repro.errors import ChunkEncodingError
@@ -303,7 +303,7 @@ class IndexNode:
         )
 
 
-def load_node(chunk: Chunk):
+def load_node(chunk: Chunk) -> Union["LeafNode", "IndexNode"]:
     """Decode either node kind from a chunk."""
     if chunk.type == ChunkType.LEAF:
         return LeafNode.from_chunk(chunk)
@@ -318,7 +318,7 @@ def empty_leaf() -> LeafNode:
     return LeafNode([])
 
 
-def node_level(node) -> int:
+def node_level(node: Union["LeafNode", "IndexNode"]) -> int:
     """Level of a decoded node (leaves are level 0)."""
     return node.level if isinstance(node, IndexNode) else 0
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
 from repro.postree.tree import PosTree

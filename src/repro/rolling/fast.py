@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from functools import lru_cache
-from typing import Iterator, List, Sequence, Tuple, Union
+from typing import Any, Iterator, List, Sequence, Tuple, Union
 
 from repro.rolling.chunker import (
     BLOB_CONFIG,
@@ -73,14 +73,14 @@ def forced_pure() -> Iterator[None]:
 
 
 @lru_cache(maxsize=None)
-def _gamma_array(bits: int, seed: bytes):
+def _gamma_array(bits: int, seed: bytes) -> Any:
     """Γ as a numpy lookup table, in the narrowest sufficient dtype."""
     dtype = _np.uint32 if bits <= 32 else _np.uint64
     return _np.array(rotated_gamma_table(bits, 0, seed), dtype=dtype)
 
 
 @lru_cache(maxsize=None)
-def _low_pair_tables(bits: int, window: int, seed: bytes):
+def _low_pair_tables(bits: int, window: int, seed: bytes) -> Tuple[Tuple[Any, ...], Any]:
     """Byte-pair gather tables for the low 16 bits of the position hashes.
 
     XOR is bitwise-independent, and the pattern rule only ever inspects the
@@ -95,7 +95,7 @@ def _low_pair_tables(bits: int, window: int, seed: bytes):
     table for the final offset.  Each table is 128 KB — L2-resident.
     """
 
-    def low16(rotation: int):
+    def low16(rotation: int) -> Any:
         table = _np.array(rotated_gamma_table(bits, rotation, seed), dtype=_np.uint64)
         return (table & _np.uint64(0xFFFF)).astype(_np.uint16)
 
@@ -114,7 +114,7 @@ def _low_pair_tables(bits: int, window: int, seed: bytes):
 _LOW16_BLOCK = 1 << 17
 
 
-def _position_low16(data: bytes, config: ChunkerConfig, tail: bytes):
+def _position_low16(data: bytes, config: ChunkerConfig, tail: bytes) -> Any:
     """Low 16 bits of the window hash ending at every position of ``data``.
 
     Same contract as :func:`_position_hashes` but truncated to the low 16
@@ -179,7 +179,7 @@ def _position_low16(data: bytes, config: ChunkerConfig, tail: bytes):
     return values
 
 
-def _position_hashes(data: bytes, config: ChunkerConfig, tail: bytes):
+def _position_hashes(data: bytes, config: ChunkerConfig, tail: bytes) -> Any:
     """Hash value of the window ending at every position of ``data``.
 
     ``tail`` is the byte stream immediately preceding ``data`` (at most
@@ -216,7 +216,7 @@ def _position_hashes(data: bytes, config: ChunkerConfig, tail: bytes):
     return values
 
 
-def _pattern_candidates(data: bytes, config: ChunkerConfig, tail: bytes):
+def _pattern_candidates(data: bytes, config: ChunkerConfig, tail: bytes) -> Any:
     """Sorted positions of ``data`` where the raw pattern rule fires."""
     if config.pattern_bits <= 16:
         values = _position_low16(data, config, tail)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set
 
-from repro.chunk import Chunk, ChunkType, Uid
+from repro.chunk import Chunk, Uid
 from repro.store.base import ChunkStore
 
 

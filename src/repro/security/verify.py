@@ -22,7 +22,7 @@ from typing import List, Optional, Set, Union
 
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import ChunkCorruptionError, ChunkNotFoundError, TamperError, TransientError
-from repro.postree.node import IndexNode, LeafNode, load_node
+from repro.postree.node import IndexNode, load_node
 from repro.store.base import ChunkStore
 from repro.vcs.fnode import FNode
 

@@ -17,15 +17,18 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Iterable, List, Set
 
-from repro.chunk import Chunk, ChunkType, Reader, Uid
+from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import StoreError
 from repro.postree.listtree import ListIndexNode
-from repro.postree.node import IndexNode, load_node
+from repro.postree.node import IndexNode
 from repro.store.base import ChunkStore
 from repro.store.memory import InMemoryStore
 from repro.vcs.fnode import FNode
+
+if TYPE_CHECKING:
+    from repro.db.engine import Engine
 
 
 def chunk_children(chunk: Chunk) -> List[Uid]:
@@ -77,7 +80,7 @@ def mark_live(store: ChunkStore, roots: Iterable[Uid]) -> Set[Uid]:
 
 
 def collect_garbage(
-    engine,
+    engine: Engine,
     extra_roots: Iterable[Uid] = (),
     dry_run: bool = False,
 ) -> GcReport:
@@ -124,7 +127,9 @@ def collect_garbage(
     )
 
 
-def compact_into(engine, target: ChunkStore, extra_roots: Iterable[Uid] = ()) -> GcReport:
+def compact_into(
+    engine: Engine, target: ChunkStore, extra_roots: Iterable[Uid] = ()
+) -> GcReport:
     """Copy every live chunk into ``target`` (append-only reclamation).
 
     The engine keeps working against its old store; callers swap stores

@@ -196,7 +196,7 @@ class Scrubber:
         """A verified copy from any other live node (placement first)."""
         candidates = [
             node
-            for node in cluster._replica_nodes(uid)
+            for node in cluster.replica_nodes(uid)
             if node.up and node is not exclude
         ]
         candidates.extend(

@@ -161,9 +161,14 @@ class DataTable:
 
     # -- plumbing -----------------------------------------------------------------
 
-    def _map(
+    def row_map(
         self, branch: Optional[str] = None, version: Optional[Union[Uid, str]] = None
     ) -> FMap:
+        """The raw key→row FMap at a branch head or version.
+
+        Public so batch curation can edit many rows in one commit instead
+        of reaching into dataset internals.
+        """
         obj = self.engine.get(self.name, branch=branch, version=version)
         if not isinstance(obj, FMap):
             raise SchemaError(f"{self.name!r} is not a dataset (type {obj.TYPE_NAME})")
@@ -173,7 +178,7 @@ class DataTable:
         self, branch: Optional[str] = None, version: Optional[Union[Uid, str]] = None
     ) -> Schema:
         """The dataset's schema at a branch head or version."""
-        data = self._map(branch, version).get(SCHEMA_KEY)
+        data = self.row_map(branch, version).get(SCHEMA_KEY)
         if data is None:
             raise SchemaError(f"{self.name!r} has no schema entry")
         return Schema.decode(data)
@@ -187,7 +192,7 @@ class DataTable:
         self, branch: Optional[str] = None, version: Optional[Union[Uid, str]] = None
     ) -> int:
         """Number of data rows (schema entry excluded)."""
-        return len(self._map(branch, version)) - 1
+        return len(self.row_map(branch, version)) - 1
 
     def get_row(
         self,
@@ -196,7 +201,7 @@ class DataTable:
         version: Optional[Union[Uid, str]] = None,
     ) -> Optional[Dict[str, str]]:
         """Fetch one row by primary key."""
-        fmap = self._map(branch, version)
+        fmap = self.row_map(branch, version)
         schema = self.schema(branch, version)
         data = fmap.get(schema.key_for(pk))
         if data is None:
@@ -207,7 +212,7 @@ class DataTable:
         self, branch: Optional[str] = None, version: Optional[Union[Uid, str]] = None
     ) -> Iterator[Dict[str, str]]:
         """Iterate all rows in primary-key order."""
-        fmap = self._map(branch, version)
+        fmap = self.row_map(branch, version)
         schema = self.schema(branch, version)
         for key, value in fmap.items():
             if key.startswith(ROW_PREFIX):
@@ -288,7 +293,7 @@ class DataTable:
     ) -> VersionInfo:
         """Insert or replace rows; one new version for the batch."""
         schema = self.schema(branch)
-        fmap = self._map(branch)
+        fmap = self.row_map(branch)
         puts = {schema.row_key(row): schema.encode_row(row) for row in rows}
         return self._commit(fmap.update(puts=puts), branch, message)
 
@@ -317,7 +322,7 @@ class DataTable:
     ) -> VersionInfo:
         """Remove rows by primary key; one new version for the batch."""
         schema = self.schema(branch)
-        fmap = self._map(branch)
+        fmap = self.row_map(branch)
         deletes = [schema.key_for(pk) for pk in pks]
         return self._commit(fmap.update(deletes=deletes), branch, message)
 

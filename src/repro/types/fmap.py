@@ -6,7 +6,7 @@ maps.  Keys and values are bytes; higher layers choose their own codecs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.chunk import Uid
 from repro.postree.diff import TreeDiff, diff_trees
@@ -48,6 +48,11 @@ class FMap(FObject):
     @classmethod
     def load(cls, store: ChunkStore, root: Uid) -> "FMap":
         return cls(store, PosTree(store, root))
+
+    @property
+    def tree(self) -> PosTree:
+        """The backing POS-Tree (for engine-level diff/merge plumbing)."""
+        return self._tree
 
     # -- reads -------------------------------------------------------------
 

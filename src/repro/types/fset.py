@@ -37,6 +37,11 @@ class FSet(FObject):
     def load(cls, store: ChunkStore, root: Uid) -> "FSet":
         return cls(store, PosTree(store, root))
 
+    @property
+    def tree(self) -> PosTree:
+        """The backing POS-Tree (for engine-level diff/merge plumbing)."""
+        return self._tree
+
     def __contains__(self, member: bytes) -> bool:
         return self._tree.has(member)
 

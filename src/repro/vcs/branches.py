@@ -12,7 +12,7 @@ persist it wherever they like (a local file in :class:`repro.db.engine.ForkBase`
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.chunk import Uid
 from repro.errors import BranchExistsError, UnknownBranchError

@@ -9,7 +9,7 @@ tampering from the head uid alone (§II-D, §III-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.chunk import Chunk, ChunkType, Reader, Uid, Writer

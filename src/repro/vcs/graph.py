@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Iterator, Optional, Set
 
 from repro.chunk import ChunkType, Uid
 from repro.errors import ChunkNotFoundError, UnknownVersionError

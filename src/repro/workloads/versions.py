@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.workloads.csvgen import generate_rows
 from repro.workloads.edits import make_edit_script

@@ -1,13 +1,12 @@
 """Tests for the API surfaces: REST router, CLI, diff renderers."""
 
 import json
-import os
 
 import pytest
 
-from repro.api.diffview import render_diff_html, render_diff_text, render_history_text
 from repro.api.cli import main as cli_main
-from repro.api.rest import Request, Router
+from repro.api.diffview import render_diff_html, render_diff_text, render_history_text
+from repro.api.rest import Router
 from repro.db import ForkBase
 from repro.table import DataTable
 

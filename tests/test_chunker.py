@@ -1,12 +1,10 @@
 """Tests for content-defined chunking (repro.rolling.chunker / detector)."""
 
-import os
 import random
 
 import pytest
 
 from repro.rolling.chunker import (
-    BLOB_CONFIG,
     ChunkerConfig,
     EntryChunker,
     chunk_bytes,

@@ -5,7 +5,7 @@ import pytest
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.cluster import ClusterStore, HashRing
 from repro.db import ForkBase
-from repro.errors import ChunkNotFoundError, NodeDownError
+from repro.errors import NodeDownError
 
 
 def _chunk(n: int) -> Chunk:

@@ -9,7 +9,6 @@ from repro.errors import (
     ChunkCorruptionError,
     NodeDownError,
     QuorumWriteError,
-    TransientStoreError,
 )
 from repro.faults import FaultPlan, FaultyStore, RetryPolicy
 from repro.store.memory import InMemoryStore
@@ -102,7 +101,7 @@ class TestReadRepair:
         cluster = ClusterStore(node_count=4, replication=2)
         chunk = _chunk(0)
         cluster.put(chunk)
-        primary = cluster._replica_nodes(chunk.uid)[0]
+        primary = cluster.replica_nodes(chunk.uid)[0]
         primary.drop(chunk.uid)
         assert cluster.get(chunk.uid).data == chunk.data
         assert primary.store.has(chunk.uid)
@@ -112,7 +111,7 @@ class TestReadRepair:
         cluster = ClusterStore(node_count=4, replication=2)
         chunk = _chunk(1)
         cluster.put(chunk)
-        primary = cluster._replica_nodes(chunk.uid)[0]
+        primary = cluster.replica_nodes(chunk.uid)[0]
         _rot(primary, chunk)
         got = cluster.get(chunk.uid)
         assert got.data == chunk.data and got.is_valid()
@@ -124,7 +123,7 @@ class TestReadRepair:
         cluster = ClusterStore(node_count=3, replication=2)
         chunk = _chunk(2)
         cluster.put(chunk)
-        for node in cluster._replica_nodes(chunk.uid):
+        for node in cluster.replica_nodes(chunk.uid):
             _rot(node, chunk)
         with pytest.raises(ChunkCorruptionError):
             cluster.get(chunk.uid)
@@ -133,7 +132,7 @@ class TestReadRepair:
         cluster = ClusterStore(node_count=3, replication=2, repair_reads=False)
         chunk = _chunk(3)
         cluster.put(chunk)
-        for node in cluster._replica_nodes(chunk.uid):
+        for node in cluster.replica_nodes(chunk.uid):
             _rot(node, chunk)
         got = cluster.get(chunk.uid)  # trusts the store, like the seed did
         assert not got.is_valid()
@@ -166,7 +165,7 @@ class TestTransientRetry:
         cluster = ClusterStore(node_count=3, replication=2)
         chunk = _chunk(7)
         cluster.put(chunk)
-        primary, secondary = cluster._replica_nodes(chunk.uid)
+        primary, secondary = cluster.replica_nodes(chunk.uid)
         _rot(primary, chunk)
         secondary.drop(chunk.uid)
         cluster.repair()

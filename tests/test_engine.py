@@ -11,7 +11,6 @@ from repro.errors import (
     UnknownKeyError,
 )
 from repro.postree.merge import resolve_ours, resolve_theirs
-from repro.types import FMap
 
 
 class TestPutGet:

@@ -1,10 +1,8 @@
 """End-to-end integration scenarios mirroring the demo walkthrough."""
 
-import pytest
 
 from repro.api.rest import Router
 from repro.db import ForkBase
-from repro.postree.merge import resolve_theirs
 from repro.security import (
     AccessController,
     Permission,

@@ -6,7 +6,7 @@ from repro.errors import KeyOrderError, TreeError
 from repro.postree import PosTree
 from repro.postree.builder import bulk_build
 from repro.postree.config import DEFAULT_TREE_CONFIG, TreeConfig
-from repro.postree.node import IndexNode, LeafEntry, LeafNode
+from repro.postree.node import IndexNode, LeafEntry
 
 
 class TestBulkBuild:

@@ -1,6 +1,5 @@
 """Property-based tests for positional trees, blobs, and the map types."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ a dict model, and keep its internal invariants.
 
 from typing import Dict, List, Tuple
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

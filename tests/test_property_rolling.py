@@ -1,6 +1,5 @@
 """Property-based tests for the chunking substrate."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

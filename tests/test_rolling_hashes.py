@@ -74,7 +74,6 @@ class TestCyclicPolynomial:
 
     def test_distribution_roughly_uniform(self):
         """Low bits should hit zero at ≈ the designed rate."""
-        import os
         import random
 
         rng = random.Random(5)

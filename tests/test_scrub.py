@@ -142,7 +142,7 @@ class TestScrubCluster:
         cluster.put_many(chunks)
         rotted = 0
         for chunk in chunks[:10]:
-            node = cluster._replica_nodes(chunk.uid)[0]
+            node = cluster.replica_nodes(chunk.uid)[0]
             _rot(node.store, chunk.uid)
             rotted += 1
         report = Scrubber(cluster).scrub()
@@ -158,7 +158,7 @@ class TestScrubCluster:
         cluster = ClusterStore(node_count=3, replication=2)
         chunk = _chunk(0)
         cluster.put(chunk)
-        for node in cluster._replica_nodes(chunk.uid):
+        for node in cluster.replica_nodes(chunk.uid):
             _rot(node.store, chunk.uid)
         report = Scrubber(cluster).scrub()
         assert report.corrupt == 2 and report.repaired == 0
@@ -197,7 +197,7 @@ class TestEngineScrub:
         engine.put("k", {"x%02d" % i: "v%d" % i for i in range(50)})
         # Rot every copy of one value chunk on its primary replica.
         for uid in list(cluster.ids()):
-            node = cluster._replica_nodes(uid)[0]
+            node = cluster.replica_nodes(uid)[0]
             _rot(node.store, uid)
         value = engine.get_value("k")
         assert value[b"x00"] == b"v0"

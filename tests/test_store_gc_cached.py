@@ -1,0 +1,142 @@
+"""Deeper coverage for repro.store.gc and repro.store.cached.
+
+Three scenarios the basic suites skip: sweeping with live roots explicitly
+pinned (version archival on top of GC), cache accounting when the backing
+store verifies every read, and cache coherence across deletes.
+"""
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.db import ForkBase
+from repro.errors import ChunkCorruptionError, ChunkNotFoundError
+from repro.store import CachedStore, InMemoryStore
+from repro.store.gc import collect_garbage, mark_live
+
+
+def _chunk(payload: bytes) -> Chunk:
+    return Chunk(ChunkType.BLOB, payload)
+
+
+class TestSweepWithPinnedRoots:
+    def test_pinned_version_survives_then_dies_unpinned(self):
+        """A pinned unreachable head keeps its whole subtree alive; dropping
+        the pin makes the next sweep reclaim it."""
+        engine = ForkBase(clock=lambda: 0.0)
+        engine.put("keep", {f"k{i:03d}": "v" for i in range(200)})
+        engine.put("doomed", {f"d{i:03d}": "x" * 40 for i in range(200)})
+        pinned_head = engine.head("doomed")
+        pinned_set = mark_live(engine.store, [pinned_head])
+        engine.delete_branch("doomed", "master")
+
+        collect_garbage(engine, extra_roots=[pinned_head])
+        # Every chunk of the pinned version is still present.
+        for uid in pinned_set:
+            assert engine.store.has(uid)
+
+        report = collect_garbage(engine)  # pin dropped
+        assert report.swept_chunks > 0
+        assert not engine.store.has(pinned_head)
+        # The live branch never noticed either sweep.
+        assert engine.get_value("keep")[b"k000"] == b"v"
+
+    def test_post_sweep_store_is_exactly_the_live_set(self):
+        engine = ForkBase(clock=lambda: 0.0)
+        engine.put("keep", {f"k{i:03d}": "v" for i in range(300)})
+        engine.put("doomed", {f"d{i:03d}": "y" * 30 for i in range(300)})
+        engine.delete_branch("doomed", "master")
+        collect_garbage(engine)
+        heads = [head for _, _, head in engine.branch_table.all_heads()]
+        live = mark_live(engine.store, heads)
+        assert set(engine.store.ids()) == live
+
+    def test_report_accounting_matches_physical_sizes(self):
+        engine = ForkBase(clock=lambda: 0.0)
+        engine.put("keep", {f"k{i:03d}": "v" for i in range(100)})
+        engine.put("doomed", {f"d{i:03d}": "z" * 20 for i in range(100)})
+        engine.delete_branch("doomed", "master")
+        before = engine.store.physical_size()
+        dry = collect_garbage(engine, dry_run=True)
+        assert dry.live_bytes + dry.swept_bytes == before
+
+        wet = collect_garbage(engine)
+        assert (wet.live_chunks, wet.swept_chunks) == (dry.live_chunks, dry.swept_chunks)
+        assert engine.store.physical_size() == dry.live_bytes
+        assert collect_garbage(engine, dry_run=True).swept_chunks == 0
+
+
+class TestCachedStoreVerifyReads:
+    def test_corrupt_backing_chunk_caught_through_cache(self):
+        backing = InMemoryStore(verify_reads=True)
+        cache = CachedStore(backing, capacity=4)
+        bad = Chunk(ChunkType.BLOB, b"evil", uid=Uid.of(b"claimed"))
+        backing._insert(bad)
+        with pytest.raises(ChunkCorruptionError):
+            cache.get(bad.uid)
+        # The corrupt chunk must not have been cached by the failed read.
+        with pytest.raises(ChunkCorruptionError):
+            cache.get(bad.uid)
+
+    def test_eviction_accounting_is_exact(self):
+        backing = InMemoryStore(verify_reads=True)
+        cache = CachedStore(backing, capacity=2)
+        a, b, c = _chunk(b"a"), _chunk(b"b"), _chunk(b"c")
+        for chunk in (a, b, c):  # puts warm the cache; c evicts a (LRU)
+            cache.put(chunk)
+        assert len(cache._cache) == 2
+
+        assert cache.get(b.uid).data == b"b"  # hit
+        assert cache.get(a.uid).data == b"a"  # miss: refetched, evicts c
+        assert cache.get(c.uid).data == b"c"  # miss again
+        assert (cache.lookups, cache.hits) == (3, 1)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_hits_are_not_reverified(self):
+        """A cache hit serves the already-verified decoded chunk; only
+        backing reads pay the verification hash."""
+        backing = InMemoryStore(verify_reads=True)
+        cache = CachedStore(backing, capacity=4)
+        chunk = _chunk(b"payload")
+        backing.put(chunk)
+
+        assert cache.get(chunk.uid).data == b"payload"  # verified fetch
+        # Corrupt the backing copy in place; the cached entry still serves.
+        backing._chunks[chunk.uid] = Chunk(ChunkType.BLOB, b"tampered", uid=chunk.uid)
+        assert cache.get(chunk.uid).data == b"payload"
+        assert cache.hits == 1
+
+
+class TestDeleteWhileCached:
+    def test_delete_through_wrapper_drops_cache_entry(self):
+        backing = InMemoryStore()
+        cache = CachedStore(backing, capacity=4)
+        chunk = _chunk(b"gone")
+        cache.put(chunk)
+        assert cache.get(chunk.uid).data == b"gone"  # now cached
+
+        assert cache.delete(chunk.uid) is True
+        assert not cache.has(chunk.uid)
+        assert cache.get_maybe(chunk.uid) is None
+        with pytest.raises(ChunkNotFoundError):
+            cache.get(chunk.uid)
+
+    def test_backing_delete_then_wrapper_delete_is_coherent(self):
+        backing = InMemoryStore()
+        cache = CachedStore(backing, capacity=4)
+        chunk = _chunk(b"stale")
+        cache.put(chunk)
+        cache.get(chunk.uid)
+
+        backing.delete(chunk.uid)  # out-of-band delete: cache is now stale
+        assert cache.delete(chunk.uid) is False  # backing already empty...
+        assert cache.get_maybe(chunk.uid) is None  # ...but the entry is gone
+
+    def test_reinsert_after_delete_serves_fresh_chunk(self):
+        backing = InMemoryStore()
+        cache = CachedStore(backing, capacity=4)
+        chunk = _chunk(b"again")
+        cache.put(chunk)
+        cache.delete(chunk.uid)
+        cache.put(chunk)
+        assert cache.get(chunk.uid).data == b"again"
+        assert backing.has(chunk.uid)

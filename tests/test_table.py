@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SchemaError, UnknownKeyError
 from repro.table import DataTable, Schema
 from repro.table.csvio import parse_csv, render_csv
-from repro.table.schema import ROW_PREFIX, SCHEMA_KEY
+from repro.table.schema import ROW_PREFIX
 from repro.workloads import generate_csv, mutate_csv_one_word
 
 CSV = """id,name,qty
