@@ -33,6 +33,7 @@ LAYERS: Mapping[str, int] = {
     "repro.chunk": 1,
     "repro.rolling": 2,
     "repro.store.stats": 3,
+    "repro.store.durability": 3,
     "repro.store.base": 3,
     "repro.store.memory": 3,
     "repro.store.filestore": 3,
@@ -145,6 +146,19 @@ ERRORS_BUILTIN_ALLOW: FrozenSet[str] = frozenset(
 #: pure-python reference build stays the source of truth.
 OPTDEP_MODULES: FrozenSet[str] = frozenset({"numpy", "pandas", "scipy", "pyarrow", "numba"})
 
+#: Paths that persist state via rename (FB-DURABLE): any ``os.replace``
+#: here must be preceded, in the same function, by an fsync of the source
+#: (``os.fsync`` or a :mod:`repro.store.durability` helper) — an atomic
+#: rename of un-synced bytes can publish an empty/stale file after power
+#: loss.
+DURABLE_PERSISTENCE_PATHS: Tuple[str, ...] = (
+    "src/repro/store/",
+    "src/repro/vcs/",
+    "src/repro/db/",
+    "src/repro/api/",
+    "src/repro/cluster/",
+)
+
 #: NamedTuple/stdlib attribute names that start with an underscore but are
 #: public by contract.
 PRIVACY_PUBLIC_UNDERSCORE: FrozenSet[str] = frozenset(
@@ -167,6 +181,7 @@ class Config:
     errors_builtin_allow: FrozenSet[str] = ERRORS_BUILTIN_ALLOW
     optdep_modules: FrozenSet[str] = OPTDEP_MODULES
     privacy_public_underscore: FrozenSet[str] = PRIVACY_PUBLIC_UNDERSCORE
+    durable_persistence_paths: Tuple[str, ...] = DURABLE_PERSISTENCE_PATHS
     #: Per-rule allowlists: rule id → ("path-suffix::detail", ...).
     allow: Mapping[str, Sequence[str]] = field(default_factory=dict)
 

@@ -8,8 +8,9 @@ Rule ids and the ForkBase invariant each protects:
 - ``FB-ERRORS``  — one error taxonomy, no swallowed failures
 - ``FB-LAYERS``  — the chunk → … → api import DAG (SIRI composability)
 - ``FB-OPTDEP``  — optional accelerators behind guarded imports
+- ``FB-DURABLE`` — no rename-based persistence without fsyncing the source
 """
 
-from fbcheck.rules import determ, errors, immut, layers, optdep, privacy
+from fbcheck.rules import determ, durable, errors, immut, layers, optdep, privacy
 
-__all__ = ["determ", "errors", "immut", "layers", "optdep", "privacy"]
+__all__ = ["determ", "durable", "errors", "immut", "layers", "optdep", "privacy"]

@@ -1,0 +1,103 @@
+"""FB-DURABLE: no rename-based persistence without fsyncing the source.
+
+``os.replace`` makes a rename atomic but says nothing about the *bytes*
+of the source file reaching stable storage — the classic bug class this
+repo shipped with: ``heads.json`` was written, renamed, and acknowledged
+while its pages still sat in the page cache, so a power cut could leave
+an empty or stale head table behind an atomic-looking rename.
+
+In persistence modules (:data:`fbcheck.config.DURABLE_PERSISTENCE_PATHS`),
+every ``os.replace`` call must be preceded — in the same function scope —
+by an fsync of the source: ``os.fsync(...)`` or one of the
+:mod:`repro.store.durability` helpers (``fsync_file`` / ``fsync_dir`` /
+``fsync_path``).  The sanctioned pattern is the helper module's
+``durable_replace``, whose own ``os.replace`` is preceded by the fsyncs
+it performs.
+
+Allowlist detail strings: the enclosing function name (``<module>`` for
+module-level code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+#: Call names that count as "the source was fsynced".
+FSYNC_CALLS = frozenset({"fsync", "fsync_file", "fsync_dir", "fsync_path"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_os_replace(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "replace":
+        return isinstance(func.value, ast.Name) and func.value.id == "os"
+    return False
+
+
+def _scopes(tree: ast.Module) -> Iterator[Tuple[str, List[ast.stmt]]]:
+    """Yield (name, body) per function scope, plus the module top level."""
+    yield "<module>", tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node.body
+
+
+def _own_calls(body: List[ast.stmt]) -> List[ast.Call]:
+    """Calls lexically in this scope, excluding nested function bodies.
+
+    Nested scopes are visited separately by :func:`_scopes`; a lambda's
+    calls run at a different time than the enclosing statement, so they
+    do not count as "preceding" anything either.
+    """
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+@register
+class DurableRule(Rule):
+    rule_id = "FB-DURABLE"
+    summary = "os.replace in persistence code must be preceded by an fsync of the source"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(tuple(self.config.durable_persistence_paths))
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        for scope_name, body in _scopes(module.tree):
+            calls = _own_calls(body)
+            fsync_lines = [
+                call.lineno for call in calls if _call_name(call) in FSYNC_CALLS
+            ]
+            for call in calls:
+                if not _is_os_replace(call):
+                    continue
+                if any(line < call.lineno for line in fsync_lines):
+                    continue
+                if self.allowed(module, scope_name):
+                    continue
+                yield self.violation(
+                    module,
+                    call.lineno,
+                    "os.replace without a preceding fsync of the source in "
+                    f"{scope_name}(); an atomic rename of un-synced bytes can "
+                    "persist an empty/stale file — use repro.store.durability."
+                    "durable_replace (after fsync_file on the temp handle)",
+                )

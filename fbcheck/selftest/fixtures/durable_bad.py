@@ -1,0 +1,34 @@
+# fbcheck-fixture-path: src/repro/store/dur_bad.py
+"""FB-DURABLE must fail: renames into place without fsyncing the source."""
+
+import json
+import os
+
+
+def save_snapshot(path, heads):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(heads, handle)
+    os.replace(tmp, path)
+
+
+def rotate(path):
+    # flush() moves bytes to the page cache, not to disk — still torn on
+    # power loss, so it does not count as syncing the source.
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(b"segment")
+        handle.flush()
+    os.replace(tmp, path)
+
+
+def sync_after_rename(path, payload):
+    # An fsync *after* the rename is too late: the rename may already
+    # point at un-synced bytes when power drops.
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+    directory = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    os.fsync(directory)
+    os.close(directory)

@@ -1,0 +1,31 @@
+# fbcheck-fixture-path: src/repro/store/dur_ok.py
+"""FB-DURABLE must pass: fsync before the rename, or the durable helper."""
+
+import json
+import os
+
+from repro.store.durability import durable_replace, fsync_file
+
+
+def save_snapshot(path, heads):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(heads, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def save_snapshot_with_helper(path, heads):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(heads, handle)
+        fsync_file(handle)
+    durable_replace(tmp, path)
+
+
+def rename_nothing(path):
+    # No os.replace at all — the rule has nothing to say.
+    with open(path, "ab") as handle:
+        handle.write(b"tail")
+        handle.flush()

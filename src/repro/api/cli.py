@@ -316,6 +316,8 @@ def _dispatch(args: argparse.Namespace, engine: ForkBase) -> int:
             import os
             import shutil
 
+            from repro.store.durability import durable_replace
+
             new_dir = os.path.join(args.data_dir, "chunks.compact")
             shutil.rmtree(new_dir, ignore_errors=True)
             with FileStore(new_dir) as target:
@@ -323,7 +325,7 @@ def _dispatch(args: argparse.Namespace, engine: ForkBase) -> int:
             engine.store.close()
             old_dir = os.path.join(args.data_dir, "chunks")
             shutil.rmtree(old_dir)
-            os.replace(new_dir, old_dir)
+            durable_replace(new_dir, old_dir)
             engine.store = FileStore(old_dir)  # reopen for clean close()
         print(
             f"live={report_obj.live_chunks} chunks ({report_obj.live_bytes}B), "

@@ -28,14 +28,16 @@ from repro.errors import (
     TypeMismatchError,
     UnknownKeyError,
 )
+from repro.faults.crash import crashing_write, crashpoint
 from repro.faults.retry import RetryPolicy
 from repro.postree.diff import TreeDiff
 from repro.postree.merge import MergeConflict, Resolver
 from repro.store import FileStore, InMemoryStore
 from repro.store.base import ChunkStore
+from repro.store.durability import durable_replace, fsync_file
 from repro.types import FBlob, FList, FMap, FObject, FSet, load_object
 from repro.types.convert import PyValue, unwrap, wrap
-from repro.vcs import BranchTable, FNode, VersionGraph
+from repro.vcs import BranchTable, CommitJournal, FNode, VersionGraph, replay_into
 from repro.vcs.branches import DEFAULT_BRANCH
 
 
@@ -78,6 +80,13 @@ class ForkBase:
         # default is the injectable-clock escape hatch, not a hashing input.
         self._clock = clock if clock is not None else time.time  # fbcheck: ignore[FB-DETERM]
         self._directory: Optional[str] = None
+        #: Write-ahead commit journal (durable engines only): every head
+        #: mutation is recorded here before it is acknowledged.
+        self._journal: Optional[CommitJournal] = None
+        #: Last journal sequence number issued (or recovered).
+        self._seq = 0
+        #: Journal size (bytes) beyond which a commit triggers compaction.
+        self._journal_limit = 1 << 20
         #: Transparent retry for transient store faults on read verbs
         #: (None disables; the default never sleeps).
         self.retry = retry if retry is not None else RetryPolicy.instant()
@@ -99,31 +108,113 @@ class ForkBase:
     # -- persistence -------------------------------------------------------------
 
     @classmethod
-    def open(cls, directory: str, author: str = "anonymous") -> "ForkBase":
+    def open(
+        cls,
+        directory: str,
+        author: str = "anonymous",
+        fsync: str = "batch",
+        journal_limit: int = 1 << 20,
+    ) -> "ForkBase":
         """Open (or create) a durable engine rooted at ``directory``.
 
         Chunks live in an append-only :class:`FileStore`; branch heads in
         ``branches.json`` next to it (the client-side head record of the
-        paper's threat model).
+        paper's threat model), kept crash-consistent by a write-ahead
+        commit journal (``journal.wal``): recovery loads the last heads
+        snapshot and replays every journal record it does not yet cover.
+        ``fsync`` is the journal's durability policy (``always`` /
+        ``batch`` / ``never``); ``journal_limit`` is the size at which a
+        commit triggers snapshot compaction.
         """
         os.makedirs(directory, exist_ok=True)
         engine = cls(FileStore(os.path.join(directory, "chunks")), author=author)
         engine._directory = directory
+        engine._journal_limit = journal_limit
+        table = BranchTable()
+        snapshot_seq = 0
         heads_path = os.path.join(directory, "branches.json")
         if os.path.exists(heads_path):
             with open(heads_path, "r", encoding="utf-8") as handle:
-                engine.branch_table = BranchTable.from_dict(json.load(handle))
+                data = json.load(handle)
+            if isinstance(data, dict) and "heads" in data:
+                snapshot_seq = int(data.get("seq", 0))
+                table = BranchTable.from_dict(data["heads"])
+            else:  # legacy snapshot: the bare heads dict, pre-journal
+                table = BranchTable.from_dict(data)
+        journal = CommitJournal(os.path.join(directory, "journal.wal"), fsync=fsync)
+        engine._seq = replay_into(table, journal.records, after_seq=snapshot_seq)
+        engine.branch_table = table
+        engine._journal = journal
         return engine
+
+    def _journal_op(self, op: str, **fields: object) -> None:
+        """Append one head mutation to the commit journal (then maybe compact).
+
+        The in-memory table has already applied (and CAS-validated) the
+        mutation; the journal append makes it durable before the verb
+        returns — a crash in between loses only an *unacknowledged* op.
+        """
+        if self._journal is None:
+            return
+        self._seq += 1
+        record: Dict[str, object] = {"op": op, "seq": self._seq}
+        record.update(fields)
+        self._journal.append(record)
+        if self._journal.size() >= self._journal_limit:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the heads snapshot durably, then truncate the journal.
+
+        Ordering is the whole crash-safety argument: the snapshot
+        (stamped with the last journaled sequence number) is fully
+        durable *before* the journal is truncated, and replay skips
+        records the snapshot covers — a crash anywhere in between loses
+        nothing and double-applies nothing.
+        """
+        if self._directory is None:
+            return
+        heads_path = os.path.join(self._directory, "branches.json")
+        tmp = heads_path + ".tmp"
+        payload = json.dumps(
+            {
+                "format": "forkbase-heads/2",
+                "seq": self._seq,
+                "heads": self.branch_table.to_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        ).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            crashing_write(handle, payload, kind="snapshot-write", label="branches.json")
+            crashpoint("snapshot-fsync", "branches.json")
+            fsync_file(handle)
+        crashpoint("snapshot-replace", "branches.json")
+        durable_replace(tmp, heads_path)
+        if self._journal is not None and not self._journal.closed:
+            self._journal.reset()
 
     def close(self) -> None:
         """Persist branch heads (if durable) and close the store."""
         if self._directory is not None:
-            heads_path = os.path.join(self._directory, "branches.json")
-            tmp = heads_path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(self.branch_table.to_dict(), handle, indent=2, sort_keys=True)
-            os.replace(tmp, heads_path)
+            self._compact()
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
         self.store.close()
+
+    def abandon(self) -> None:
+        """Drop the engine without persisting anything (crash simulation).
+
+        The in-process SIGKILL analogue for tests: OS handles are
+        released, no heads snapshot is written, and the journal stays
+        exactly as the last append left it — recovery happens in the
+        next :meth:`open`.
+        """
+        if self._journal is not None:
+            self._journal.abandon()
+            self._journal = None
+        self.store.abandon()
 
     def __enter__(self) -> "ForkBase":
         return self
@@ -171,6 +262,7 @@ class ForkBase:
         """
         obj = wrap(self.store, value)
         bases: Tuple[Uid, ...] = ()
+        expected: Optional[Uid] = None
         if self.branch_table.has_branch(key, branch):
             parent_uid = self.branch_table.head(key, branch)
             parent = self.graph.load(parent_uid)
@@ -179,6 +271,7 @@ class ForkBase:
                     f"{key!r} is {parent.type_name}, cannot put {obj.TYPE_NAME}"
                 )
             bases = (parent_uid,)
+            expected = parent_uid
         fnode = FNode(
             key=key,
             type_name=obj.TYPE_NAME,
@@ -189,7 +282,16 @@ class ForkBase:
             timestamp=float(self._clock()),
         )
         uid = self.graph.commit(fnode)
-        self.branch_table.set_head(key, branch, uid)
+        # CAS against the parent this commit was derived from: if another
+        # writer moved the head in between, fail instead of orphaning them.
+        self.branch_table.set_head(key, branch, uid, expected=expected)
+        self._journal_op(
+            "set-head",
+            key=key,
+            branch=branch,
+            head=uid.base32(),
+            prev=expected.base32() if expected is not None else None,
+        )
         return VersionInfo(key, branch, uid, obj.TYPE_NAME, fnode.author, message)
 
     def get(
@@ -249,6 +351,7 @@ class ForkBase:
         """Fork a branch from another branch's head or from a version."""
         head = self._resolve(key, from_branch, version)
         self.branch_table.create(key, new_branch, head)
+        self._journal_op("create-branch", key=key, branch=new_branch, head=head.base32())
         return head
 
     fork = branch  # the paper uses both words for the same operation
@@ -256,14 +359,24 @@ class ForkBase:
     def rename_branch(self, key: str, old: str, new: str) -> None:
         """Rename a branch (head preserved)."""
         self.branch_table.rename(key, old, new)
+        self._journal_op("rename-branch", key=key, old=old, new=new)
 
     def delete_branch(self, key: str, branch: str) -> None:
         """Drop a branch head; its versions remain addressable."""
         self.branch_table.delete(key, branch)
+        self._journal_op("delete-branch", key=key, branch=branch)
 
     def rename(self, key: str, new_key: str) -> None:
         """Rename a data key (branch heads move; history keeps old name)."""
         self.branch_table.rename_key(key, new_key)
+        self._journal_op("rename-key", old=key, new=new_key)
+
+    def drop(self, key: str) -> None:
+        """Forget every branch head of ``key`` (versions stay addressable)."""
+        if key not in self.branch_table.keys():
+            raise UnknownKeyError(key)
+        self.branch_table.drop_key(key)
+        self._journal_op("drop-key", key=key)
 
     def history(
         self,
@@ -360,7 +473,14 @@ class ForkBase:
             )
         if self.graph.is_ancestor(head_into, head_from):
             # Fast-forward: no new commit needed, the head just advances.
-            self.branch_table.set_head(key, into_branch, head_from)
+            self.branch_table.set_head(key, into_branch, head_from, expected=head_into)
+            self._journal_op(
+                "set-head",
+                key=key,
+                branch=into_branch,
+                head=head_from.base32(),
+                prev=head_into.base32(),
+            )
             fnode = self.graph.load(head_from)
             return VersionInfo(
                 key, into_branch, head_from, fnode.type_name, fnode.author,
@@ -389,7 +509,14 @@ class ForkBase:
             timestamp=float(self._clock()),
         )
         uid = self.graph.commit(fnode)
-        self.branch_table.set_head(key, into_branch, uid)
+        self.branch_table.set_head(key, into_branch, uid, expected=head_into)
+        self._journal_op(
+            "set-head",
+            key=key,
+            branch=into_branch,
+            head=uid.base32(),
+            prev=head_into.base32(),
+        )
         return VersionInfo(
             key, into_branch, uid, fnode.type_name, fnode.author, fnode.message
         )

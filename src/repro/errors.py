@@ -97,6 +97,39 @@ class BranchExistsError(VersionError):
     """Attempted to create a branch that already exists."""
 
 
+class HeadMovedError(VersionError):
+    """A compare-and-swap head update found the branch head moved.
+
+    Raised instead of silently overwriting when the caller's view of the
+    head (``expected``) no longer matches the table (``actual``) — the
+    signature of a concurrent writer.  Callers re-read the head, rebase
+    their commit, and retry.
+    """
+
+    def __init__(self, key: object, branch: object, expected: object, actual: object) -> None:
+        super().__init__(
+            f"head of {branch!r}@{key!r} moved: expected {expected}, found {actual}"
+        )
+        self.key = key
+        self.branch = branch
+        self.expected = expected
+        self.actual = actual
+
+
+class JournalError(VersionError):
+    """Base class for commit-journal errors."""
+
+
+class JournalCorruptError(JournalError):
+    """A complete interior journal record failed its CRC or decode.
+
+    Contrast with a *torn tail* (a partial final record from a crash),
+    which is expected damage and silently truncated: a corrupt interior
+    record means the history between the snapshot and the tail cannot be
+    trusted, so recovery must stop loudly rather than skip it.
+    """
+
+
 class MergeConflictError(VersionError):
     """A three-way merge found conflicting edits and no resolver."""
 
@@ -146,6 +179,22 @@ class NotFoundApiError(ApiError):
     """REST-style 404."""
 
     status = 404
+
+
+class SimulatedCrash(ForkBaseError):
+    """Raised by the crash-point harness to simulate a SIGKILL.
+
+    Deliberately *not* a :class:`TransientError`: nothing may catch and
+    retry it.  Test harnesses let it propagate, abandon the process state
+    (no ``close()``), and then assert what a fresh open recovers.
+    """
+
+    def __init__(self, boundary: int, kind: str, label: str = "") -> None:
+        where = f"{kind}:{label}" if label else kind
+        super().__init__(f"simulated crash at boundary #{boundary} ({where})")
+        self.boundary = boundary
+        self.kind = kind
+        self.label = label
 
 
 class ClusterError(ForkBaseError):

@@ -13,8 +13,18 @@ number)`` — replaying the same workload against the same plan yields the
 same faults, which is what makes the chaos suite assertable.
 """
 
+from repro.faults.crash import CrashPlan, crash_zone, crashing_write, crashpoint
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, with_retry
 from repro.faults.store import FaultyStore
 
-__all__ = ["FaultPlan", "FaultyStore", "RetryPolicy", "with_retry"]
+__all__ = [
+    "CrashPlan",
+    "FaultPlan",
+    "FaultyStore",
+    "RetryPolicy",
+    "crash_zone",
+    "crashing_write",
+    "crashpoint",
+    "with_retry",
+]

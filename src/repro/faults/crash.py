@@ -1,0 +1,156 @@
+"""Deterministic crash-point injection.
+
+Where :class:`~repro.faults.plan.FaultPlan` models a *byzantine* store
+(wrong bytes, lost writes), a :class:`CrashPlan` models the honest but
+mortal process: it dies — at a write, an fsync, or a rename boundary —
+and recovery must reconstruct a consistent state from whatever the dead
+process left on disk.
+
+Persistence code marks its durability boundaries by calling
+:func:`crashpoint` (fsync / replace boundaries) and routing file appends
+through :func:`crashing_write` (write boundaries).  Outside a
+:func:`crash_zone` both are free no-ops.  Inside one, every boundary is
+assigned a global index and a replay stamp hashed from ``(seed, kind,
+label, index)`` — the same ``(seed, op, attempt)`` hashing discipline the
+chaos suite's :class:`FaultPlan` uses — and the plan's ``crash_at``-th
+boundary raises :class:`~repro.errors.SimulatedCrash`.  A crash at a
+write boundary first materializes a deterministic *strict prefix* of the
+data (a torn write), which is exactly the damage a real kill mid-append
+leaves behind.
+
+The torture recipe: run the workload once under ``CrashPlan()`` (census
+mode — nothing raises) to learn how many boundaries it crosses, then run
+it once per boundary with ``crash_at=n``, reopen, and assert recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import IO, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulatedCrash
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Which durability boundary to die at.
+
+    ``crash_at=None`` is census mode: boundaries are counted and traced
+    but the process never dies.  ``kinds`` optionally restricts which
+    boundary kinds are counted at all (e.g. only ``"journal-fsync"``);
+    uncounted boundaries are invisible to the plan.  ``tear_writes``
+    makes a crash at a write boundary leave a deterministic strict
+    prefix of the data instead of nothing.
+    """
+
+    crash_at: Optional[int] = None
+    seed: int = 0
+    kinds: Optional[FrozenSet[str]] = None
+    tear_writes: bool = True
+
+    def counts(self, kind: str) -> bool:
+        """Is this boundary kind visible to the plan?"""
+        return self.kinds is None or kind in self.kinds
+
+    def digest(self, kind: str, label: str, index: int) -> bytes:
+        """The (seed, kind, label, index) replay hash for one boundary."""
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(kind.encode("utf-8"))
+        hasher.update(label.encode("utf-8"))
+        hasher.update(struct.pack(">q", index))
+        return hasher.digest()
+
+
+@dataclass(frozen=True)
+class BoundaryHit:
+    """One durability boundary the workload crossed."""
+
+    index: int
+    kind: str
+    label: str
+    stamp: str  # replay-hash prefix: equal traces ⇔ equal executions
+
+
+class CrashClock:
+    """Mutable per-zone state: the boundary counter and trace."""
+
+    def __init__(self, plan: CrashPlan) -> None:
+        self.plan = plan
+        self.trace: List[BoundaryHit] = []
+        self.crashed: Optional[BoundaryHit] = None
+
+    @property
+    def count(self) -> int:
+        """How many boundaries have been crossed so far."""
+        return len(self.trace)
+
+    def register(self, kind: str, label: str) -> Tuple[int, bool]:
+        """Record one boundary; return (index, should-crash-here)."""
+        index = len(self.trace)
+        hit = BoundaryHit(
+            index, kind, label, self.plan.digest(kind, label, index).hex()[:16]
+        )
+        self.trace.append(hit)
+        crash = self.plan.crash_at == index
+        if crash:
+            self.crashed = hit
+        return index, crash
+
+
+_ACTIVE: Optional[CrashClock] = None
+
+
+@contextmanager
+def crash_zone(plan: CrashPlan) -> Iterator[CrashClock]:
+    """Arm ``plan`` for the duration of the block; yields the clock."""
+    global _ACTIVE
+    clock = CrashClock(plan)
+    previous = _ACTIVE
+    _ACTIVE = clock
+    try:
+        yield clock
+    finally:
+        _ACTIVE = previous
+
+
+def crashpoint(kind: str, label: str = "") -> None:
+    """Mark a durability boundary (fsync, rename, …).
+
+    Raises :class:`SimulatedCrash` when the armed plan's ``crash_at``
+    lands here; the boundary's side effect (the fsync, the rename) has
+    then *not* happened.  No-op outside a :func:`crash_zone`.
+    """
+    clock = _ACTIVE
+    if clock is None or not clock.plan.counts(kind):
+        return
+    index, crash = clock.register(kind, label)
+    if crash:
+        raise SimulatedCrash(index, kind, label)
+
+
+def crashing_write(handle: IO[bytes], data: bytes, kind: str = "write", label: str = "") -> None:
+    """Write ``data`` to ``handle`` through a write boundary.
+
+    A crash here tears the write: a deterministic strict prefix of
+    ``data`` (derived from the boundary's replay hash) is materialized
+    and flushed before :class:`SimulatedCrash` is raised — recovery code
+    must cope with the partial record.
+    """
+    clock = _ACTIVE
+    if clock is None or not clock.plan.counts(kind):
+        handle.write(data)
+        return
+    index, crash = clock.register(kind, label)
+    if crash:
+        if clock.plan.tear_writes and len(data) > 1:
+            keep = int.from_bytes(
+                clock.plan.digest(kind, label, index)[8:16], "big"
+            ) % len(data)
+            handle.write(data[:keep])
+            handle.flush()
+        raise SimulatedCrash(index, kind, label)
+    handle.write(data)

@@ -112,6 +112,14 @@ class ChunkStore:
     def close(self) -> None:
         """Release resources; default is a no-op."""
 
+    def abandon(self) -> None:
+        """Drop the store without orderly shutdown (crash simulation).
+
+        Durable stores override this to release OS handles while skipping
+        the snapshot/flush work ``close`` does; the default is ``close``.
+        """
+        self.close()
+
     def __enter__(self) -> "ChunkStore":
         return self
 

@@ -1,0 +1,68 @@
+"""Fsync discipline for the persistence paths.
+
+An ``os.replace`` only makes a rename atomic; it says nothing about the
+*contents* of the source file reaching the platter, nor about the rename
+itself surviving a power cut.  Every write-snapshot-then-rename sequence
+in this repo therefore goes through these helpers:
+
+1. write the temp file, :func:`fsync_file` it while still open;
+2. :func:`durable_replace` it over the destination, which fsyncs the
+   source path once more (cheap: no dirty pages remain) and then the
+   parent directory so the rename is itself durable.
+
+The FB-DURABLE fbcheck rule enforces that no persistence module calls
+``os.replace`` without a preceding fsync of the source.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+
+def fsync_file(handle: IO[bytes]) -> None:
+    """Flush a writable file object and fsync its descriptor."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_path(path: str) -> None:
+    """Fsync a path (file or directory) by descriptor.
+
+    On platforms where directories cannot be opened/fsynced (Windows),
+    the directory case degrades to a no-op — rename durability is then
+    the filesystem's problem, as it always was there.
+    """
+    flags = os.O_RDONLY
+    if hasattr(os, "O_DIRECTORY") and os.path.isdir(path):
+        flags |= os.O_DIRECTORY
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        if os.path.isdir(path):
+            return
+        raise
+    try:
+        os.fsync(fd)
+    except OSError:
+        if not os.path.isdir(path):
+            raise
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Fsync a directory so a rename/creation within it is durable."""
+    fsync_path(path if path else ".")
+
+
+def durable_replace(source: str, destination: str) -> None:
+    """``os.replace`` with the full fsync discipline around it.
+
+    Fsyncs ``source`` (file or directory tree root) before the rename and
+    the destination's parent directory after it, so neither the contents
+    nor the rename can be lost to a crash.
+    """
+    fsync_path(source)
+    os.replace(source, destination)
+    fsync_dir(os.path.dirname(os.path.abspath(destination)))

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import StoreClosedError, StoreError
 from repro.store.base import ChunkStore
+from repro.store.durability import durable_replace, fsync_file
 
 _RECORD_HEADER = struct.Struct(">BI")  # type tag, payload length
 _INDEX_ENTRY = struct.Struct(">32sII")  # digest, segment number, offset
@@ -169,7 +170,8 @@ class FileStore(ChunkStore):
                 handle.write(_WATERMARK_ENTRY.pack(segment, length))
             for uid, (segment, offset) in self._index.items():
                 handle.write(_INDEX_ENTRY.pack(uid.digest, segment, offset))
-        os.replace(tmp, path)
+            fsync_file(handle)
+        durable_replace(tmp, path)
 
     # -- primitives ----------------------------------------------------------
 
@@ -227,7 +229,19 @@ class FileStore(ChunkStore):
     def close(self) -> None:
         if self._closed:
             return
-        self._writer.flush()
+        fsync_file(self._writer)
         self._writer.close()
         self._save_index()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Release OS handles without persisting the index (crash sim).
+
+        Models a SIGKILL minus page-cache loss: appended records survive
+        on disk (every ``_insert`` flushed them) but no fresh index
+        snapshot is written — reopen recovers via the watermark scan.
+        """
+        if self._closed:
+            return
+        self._writer.close()
         self._closed = True

@@ -16,5 +16,6 @@ uid of every branch that has been committed."
 from repro.vcs.branches import BranchTable
 from repro.vcs.fnode import FNode
 from repro.vcs.graph import VersionGraph
+from repro.vcs.journal import CommitJournal, apply_record, replay_into
 
-__all__ = ["BranchTable", "FNode", "VersionGraph"]
+__all__ = ["BranchTable", "CommitJournal", "FNode", "VersionGraph", "apply_record", "replay_into"]

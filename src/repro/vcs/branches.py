@@ -15,9 +15,12 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Tuple
 
 from repro.chunk import Uid
-from repro.errors import BranchExistsError, UnknownBranchError
+from repro.errors import BranchExistsError, HeadMovedError, UnknownBranchError
 
 DEFAULT_BRANCH = "master"
+
+#: Sentinel distinguishing "no CAS requested" from "expect no branch" (None).
+_UNSET = object()
 
 
 class BranchTable:
@@ -65,8 +68,19 @@ class BranchTable:
 
     # -- mutations ---------------------------------------------------------------
 
-    def set_head(self, key: str, branch: str, head: Uid) -> None:
-        """Move (or create) a branch head."""
+    def set_head(self, key: str, branch: str, head: Uid, expected: object = _UNSET) -> None:
+        """Move (or create) a branch head.
+
+        With ``expected`` given, this is a compare-and-swap: ``None``
+        asserts the branch does not exist yet; a uid asserts it is the
+        current head.  A mismatch raises
+        :class:`~repro.errors.HeadMovedError` — the signature of a
+        concurrent writer — instead of silently losing their update.
+        """
+        if expected is not _UNSET:
+            actual = self._heads.get(key, {}).get(branch)
+            if actual != expected:
+                raise HeadMovedError(key, branch, expected, actual)
         self._heads.setdefault(key, {})[branch] = head
 
     def create(self, key: str, branch: str, head: Uid) -> None:

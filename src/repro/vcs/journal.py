@@ -1,0 +1,276 @@
+"""Write-ahead commit journal for branch heads.
+
+Branch heads are the only mutable state in the system (see
+:mod:`repro.vcs.branches`) and the anchor of tamper evidence — losing a
+head silently un-acknowledges every commit behind it.  The journal makes
+head mutations durable *before* they are acknowledged: each operation is
+appended as a length-prefixed, CRC-32-checksummed record, and recovery
+replays the journal over the last heads snapshot.
+
+On-disk format::
+
+    FBWJ0001                          8-byte magic
+    [len:u32][crc32:u32][payload]...  records, payload = canonical JSON
+
+Records carry a monotonically increasing ``seq``; the heads snapshot
+stores the last sequence it covers, so replay skips records the snapshot
+already contains — that is what makes replay idempotent across a crash
+that lands *between* snapshot rewrite and journal truncation.
+
+Damage model, matching the append-only segment files:
+
+- a **torn tail** (partial final record: the process died mid-append) is
+  expected damage — the tail is truncated and recovery proceeds;
+- a **corrupt interior record** (all bytes present, CRC or decode fails)
+  means history between snapshot and tail cannot be trusted — recovery
+  raises :class:`~repro.errors.JournalCorruptError` instead of guessing.
+
+Fsync policy: ``always`` fsyncs after every append (a commit survives
+power loss before it is acknowledged), ``batch`` every ``batch_interval``
+appends, ``never`` leaves it to the OS.  Every append is *flushed*
+regardless, so an acknowledged commit always survives a process kill.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import IO, Dict, Iterable, List, Mapping
+
+from repro.chunk import Uid
+from repro.errors import JournalCorruptError, JournalError, VersionError
+from repro.faults.crash import crashing_write, crashpoint
+from repro.store.durability import durable_replace, fsync_file
+from repro.vcs.branches import BranchTable
+
+MAGIC = b"FBWJ0001"
+_HEADER = struct.Struct(">II")  # payload length, CRC-32 of payload
+FSYNC_POLICIES = ("always", "batch", "never")
+
+Record = Dict[str, object]
+
+
+class CommitJournal:
+    """Append-only head-mutation log with checksummed records."""
+
+    def __init__(self, path: str, fsync: str = "batch", batch_interval: int = 64) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        self.path = path
+        self.fsync = fsync
+        self.batch_interval = max(1, batch_interval)
+        self._records: List[Record] = []
+        self._size = 0
+        self._pending = 0
+        self._closed = False
+        self._handle = self._open_and_scan()
+
+    # -- open / scan ---------------------------------------------------------
+
+    def _create(self) -> IO[bytes]:
+        handle = open(self.path, "wb")
+        crashing_write(handle, MAGIC, kind="journal-write", label="magic")
+        handle.flush()
+        if self.fsync != "never":
+            self._fsync(handle, label="magic")
+        self._size = len(MAGIC)
+        return handle
+
+    def _open_and_scan(self) -> IO[bytes]:
+        """Open the journal, validating records and truncating a torn tail."""
+        if not os.path.exists(self.path):
+            return self._create()
+        handle = open(self.path, "r+b")
+        data = handle.read()  # journals are bounded by compaction
+        if len(data) < len(MAGIC):
+            # Torn creation: the process died writing the magic, so no
+            # record can possibly follow.  Start fresh.
+            handle.close()
+            return self._create()
+        if data[: len(MAGIC)] != MAGIC:
+            handle.close()
+            raise JournalCorruptError(f"{self.path}: bad journal magic {data[:8]!r}")
+        offset = len(MAGIC)
+        total = len(data)
+        while offset < total:
+            if offset + _HEADER.size > total:
+                break  # torn header: crash mid-append
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            if start + length > total:
+                break  # torn payload: crash mid-append
+            payload = data[start : start + length]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                handle.close()
+                raise JournalCorruptError(
+                    f"{self.path}: CRC mismatch in record at offset {offset}"
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                handle.close()
+                raise JournalCorruptError(
+                    f"{self.path}: undecodable record at offset {offset}"
+                ) from exc
+            if not isinstance(record, dict) or "op" not in record:
+                handle.close()
+                raise JournalCorruptError(
+                    f"{self.path}: record at offset {offset} is not an op"
+                )
+            self._records.append(record)
+            offset = start + length
+        if offset < total:
+            handle.truncate(offset)  # drop the torn tail for good
+        handle.seek(offset)
+        self._size = offset
+        return handle
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably (per policy) append one op record."""
+        if self._closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        blob = _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        crashing_write(
+            self._handle, blob, kind="journal-write", label=str(record.get("op", ""))
+        )
+        # Flush unconditionally: an acknowledged commit must survive a
+        # process kill under every policy; fsync is about power loss.
+        self._handle.flush()
+        self._records.append(dict(record))
+        self._size += len(blob)
+        self._pending += 1
+        if self.fsync == "always" or (
+            self.fsync == "batch" and self._pending >= self.batch_interval
+        ):
+            self.sync()
+
+    def _fsync(self, handle: IO[bytes], label: str = "") -> None:
+        crashpoint("journal-fsync", label or os.path.basename(self.path))
+        os.fsync(handle.fileno())
+
+    def sync(self) -> None:
+        """Flush and fsync pending appends regardless of policy."""
+        if self._closed:
+            return
+        self._handle.flush()
+        self._fsync(self._handle)
+        self._pending = 0
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def records(self) -> List[Record]:
+        """Every valid record currently in the journal (copies)."""
+        return [dict(record) for record in self._records]
+
+    def size(self) -> int:
+        """Journal file size in bytes (valid region)."""
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Truncate to an empty journal (call only after a durable snapshot).
+
+        Atomic: a fresh magic-only file is fsynced and renamed over the
+        old journal.  A crash before the rename leaves the full journal
+        (replay skips what the snapshot covers); the rename itself is
+        all-or-nothing.
+        """
+        if self._closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            crashing_write(handle, MAGIC, kind="journal-write", label="reset-magic")
+            crashpoint("journal-fsync", "reset-magic")
+            fsync_file(handle)
+        crashpoint("journal-replace", os.path.basename(self.path))
+        self._handle.close()
+        durable_replace(tmp, self.path)
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(len(MAGIC))
+        self._records = []
+        self._size = len(MAGIC)
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush (and fsync unless policy is ``never``) and close."""
+        if self._closed:
+            return
+        self._handle.flush()
+        if self.fsync != "never" and self._pending:
+            self._fsync(self._handle, label="close")
+        self._handle.close()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Release the OS handle without flushing bookkeeping (crash sim)."""
+        if self._closed:
+            return
+        self._handle.close()
+        self._closed = True
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def apply_record(table: BranchTable, record: Mapping[str, object]) -> None:
+    """Apply one journal record to a branch table.
+
+    Replay is unconditional (no CAS): the journal *is* the serialization
+    order, so re-checking expectations would only re-litigate history.
+    A record that cannot apply means the snapshot/journal pair diverged,
+    which is corruption, not a conflict.
+    """
+    op = record.get("op")
+    try:
+        if op == "set-head" or op == "create-branch":
+            table.set_head(
+                str(record["key"]), str(record["branch"]),
+                Uid.from_base32(str(record["head"])),
+            )
+        elif op == "rename-branch":
+            table.rename(str(record["key"]), str(record["old"]), str(record["new"]))
+        elif op == "delete-branch":
+            table.delete(str(record["key"]), str(record["branch"]))
+        elif op == "rename-key":
+            table.rename_key(str(record["old"]), str(record["new"]))
+        elif op == "drop-key":
+            table.drop_key(str(record["key"]))
+        else:
+            raise JournalCorruptError(f"unknown journal op {op!r}")
+    except JournalCorruptError:
+        raise
+    except (VersionError, KeyError, ValueError) as exc:
+        raise JournalCorruptError(f"journal op {op!r} does not apply: {exc}") from exc
+
+
+def replay_into(
+    table: BranchTable, records: Iterable[Mapping[str, object]], after_seq: int = 0
+) -> int:
+    """Replay ``records`` with ``seq > after_seq`` onto ``table``.
+
+    Returns the highest sequence number now covered (``after_seq`` when
+    nothing applied).  Skipping by sequence is what makes replay
+    idempotent: records a snapshot already covers are never re-applied.
+    """
+    last = after_seq
+    for record in records:
+        seq = int(record.get("seq", 0))  # type: ignore[call-overload]
+        if seq <= after_seq:
+            continue
+        apply_record(table, record)
+        last = max(last, seq)
+    return last

@@ -35,6 +35,7 @@ RULE_BY_PREFIX = {
     "errors": "FB-ERRORS",
     "layers": "FB-LAYERS",
     "optdep": "FB-OPTDEP",
+    "durable": "FB-DURABLE",
 }
 
 
@@ -146,6 +147,30 @@ def test_allowlist_entry_suppresses_matching_detail():
         allow={"FB-DETERM": ("src/repro/chunk/p.py::time.time",)}
     )
     assert check_source(src, "p.py", config=allowing) == []
+
+
+def test_durable_ignores_fsync_in_other_scope():
+    # The fsync must precede the rename in the *same* function: syncing
+    # somewhere else in the module proves nothing about this rename.
+    src = (
+        "# fbcheck-fixture-path: src/repro/store/q.py\n"
+        "import os\n"
+        "def sync_elsewhere(handle):\n"
+        "    os.fsync(handle.fileno())\n"
+        "def publish(tmp, path):\n"
+        "    os.replace(tmp, path)\n"
+    )
+    assert [v.rule for v in check_source(src, "q.py")] == ["FB-DURABLE"]
+
+
+def test_durable_scoped_to_persistence_paths():
+    src = (
+        "# fbcheck-fixture-path: src/repro/workloads/q.py\n"
+        "import os\n"
+        "def publish(tmp, path):\n"
+        "    os.replace(tmp, path)\n"
+    )
+    assert check_source(src, "q.py") == []
 
 
 def test_violation_render_format():

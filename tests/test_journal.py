@@ -1,0 +1,395 @@
+"""Write-ahead commit journal + head CAS (crash-consistent version layer).
+
+Covers the journal file format (round-trip, torn tails, corrupt interior
+records, reset/compaction), record replay onto a :class:`BranchTable`,
+the compare-and-swap head update, and the engine-level guarantees: no
+acknowledged commit is lost across a simulated SIGKILL, and a concurrent
+head move surfaces as :class:`HeadMovedError` instead of a lost update.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.chunk import Uid
+from repro.db.engine import ForkBase
+from repro.errors import (
+    BranchExistsError,
+    HeadMovedError,
+    JournalCorruptError,
+    JournalError,
+    UnknownBranchError,
+)
+from repro.vcs import BranchTable, CommitJournal, FNode, apply_record, replay_into
+from repro.vcs.journal import MAGIC, _HEADER
+
+
+def _uid(n: int) -> Uid:
+    return Uid(bytes([n % 256]) * 32)
+
+
+def _records(count: int):
+    return [
+        {"op": "set-head", "seq": i + 1, "key": "k", "branch": "master",
+         "head": _uid(i + 1).base32(), "prev": None}
+        for i in range(count)
+    ]
+
+
+# -- journal file format -------------------------------------------------------
+
+
+def test_roundtrip_close_reopen(tmp_path):
+    path = str(tmp_path / "journal.wal")
+    journal = CommitJournal(path, fsync="always")
+    for record in _records(5):
+        journal.append(record)
+    assert len(journal) == 5
+    journal.close()
+
+    reopened = CommitJournal(path)
+    assert reopened.records == _records(5)
+    reopened.close()
+
+
+def test_records_returns_copies(tmp_path):
+    journal = CommitJournal(str(tmp_path / "j.wal"))
+    journal.append(_records(1)[0])
+    journal.records[0]["op"] = "mutated"
+    assert journal.records[0]["op"] == "set-head"
+    journal.close()
+
+
+def test_invalid_fsync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        CommitJournal(str(tmp_path / "j.wal"), fsync="sometimes")
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "never"])
+def test_all_policies_survive_abandon(tmp_path, policy):
+    # Every append is at least *flushed*, so an acknowledged record
+    # survives a process kill under every policy (fsync is about power).
+    path = str(tmp_path / policy / "j.wal")
+    os.makedirs(os.path.dirname(path))
+    journal = CommitJournal(path, fsync=policy)
+    for record in _records(3):
+        journal.append(record)
+    journal.abandon()
+    reopened = CommitJournal(path)
+    assert reopened.records == _records(3)
+    reopened.close()
+
+
+def test_torn_tail_truncated_at_every_offset(tmp_path):
+    # Build a journal with 3 records, then chop the file anywhere inside
+    # the final record: recovery must keep the first two and physically
+    # truncate the tail.
+    path = str(tmp_path / "j.wal")
+    journal = CommitJournal(path, fsync="always")
+    for record in _records(3):
+        journal.append(record)
+    journal.close()
+    blob = open(path, "rb").read()
+    payload = json.dumps(_records(3)[1], sort_keys=True, separators=(",", ":"))
+    record_size = _HEADER.size + len(payload)
+    full = len(blob)
+    last_start = full - record_size
+    for cut in range(last_start + 1, full):
+        torn = str(tmp_path / f"torn{cut}.wal")
+        with open(torn, "wb") as handle:
+            handle.write(blob[:cut])
+        reopened = CommitJournal(torn)
+        assert reopened.records == _records(2), f"cut at {cut}"
+        assert os.path.getsize(torn) == last_start  # tail is gone for good
+        reopened.close()
+
+
+def test_torn_magic_recreated(tmp_path):
+    path = str(tmp_path / "j.wal")
+    with open(path, "wb") as handle:
+        handle.write(MAGIC[:3])  # died while writing the magic
+    journal = CommitJournal(path)
+    assert len(journal) == 0
+    journal.append(_records(1)[0])
+    journal.close()
+    assert CommitJournal(path).records == _records(1)
+
+
+def test_bad_magic_raises(tmp_path):
+    path = str(tmp_path / "j.wal")
+    with open(path, "wb") as handle:
+        handle.write(b"NOTMYWAL" + b"\x00" * 16)
+    with pytest.raises(JournalCorruptError):
+        CommitJournal(path)
+
+
+def test_corrupt_interior_record_raises(tmp_path):
+    path = str(tmp_path / "j.wal")
+    journal = CommitJournal(path, fsync="always")
+    for record in _records(3):
+        journal.append(record)
+    journal.close()
+    blob = bytearray(open(path, "rb").read())
+    # Flip one payload byte of the *first* record: all bytes present, so
+    # this is rot/tampering, not a torn append — recovery must refuse.
+    flip = len(MAGIC) + _HEADER.size + 4
+    blob[flip] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    with pytest.raises(JournalCorruptError):
+        CommitJournal(path)
+
+
+def test_reset_truncates_and_survives_reopen(tmp_path):
+    path = str(tmp_path / "j.wal")
+    journal = CommitJournal(path, fsync="always")
+    for record in _records(4):
+        journal.append(record)
+    journal.reset()
+    assert len(journal) == 0
+    assert journal.size() == len(MAGIC)
+    journal.append({"op": "drop-key", "seq": 9, "key": "k"})
+    journal.close()
+    assert CommitJournal(path).records == [{"op": "drop-key", "seq": 9, "key": "k"}]
+
+
+def test_append_after_close_raises(tmp_path):
+    journal = CommitJournal(str(tmp_path / "j.wal"))
+    journal.close()
+    with pytest.raises(JournalError):
+        journal.append(_records(1)[0])
+
+
+# -- replay --------------------------------------------------------------------
+
+
+def test_apply_record_covers_every_op():
+    table = BranchTable()
+    ops = [
+        {"op": "set-head", "key": "a", "branch": "master", "head": _uid(1).base32()},
+        {"op": "create-branch", "key": "a", "branch": "dev", "head": _uid(1).base32()},
+        {"op": "set-head", "key": "a", "branch": "dev", "head": _uid(2).base32()},
+        {"op": "rename-branch", "key": "a", "old": "dev", "new": "stable"},
+        {"op": "set-head", "key": "b", "branch": "master", "head": _uid(3).base32()},
+        {"op": "rename-key", "old": "b", "new": "c"},
+        {"op": "delete-branch", "key": "a", "branch": "stable"},
+        {"op": "set-head", "key": "d", "branch": "master", "head": _uid(4).base32()},
+        {"op": "drop-key", "key": "d"},
+    ]
+    for record in ops:
+        apply_record(table, record)
+    assert table.keys() == ["a", "c"]
+    assert table.branches("a") == ["master"]
+    assert table.head("a", "master") == _uid(1)
+    assert table.head("c", "master") == _uid(3)
+
+
+def test_apply_unknown_op_raises():
+    with pytest.raises(JournalCorruptError):
+        apply_record(BranchTable(), {"op": "transmogrify", "key": "a"})
+
+
+def test_apply_inapplicable_op_raises():
+    # Deleting a branch that does not exist means snapshot and journal
+    # diverged — corruption, not a conflict to paper over.
+    with pytest.raises(JournalCorruptError):
+        apply_record(BranchTable(), {"op": "delete-branch", "key": "a", "branch": "x"})
+
+
+def test_replay_skips_records_snapshot_covers():
+    table = BranchTable()
+    table.set_head("k", "master", _uid(2))  # snapshot state at seq 2
+    records = _records(4)
+    last = replay_into(table, records, after_seq=2)
+    assert last == 4
+    assert table.head("k", "master") == _uid(4)
+    # Replaying again from the same snapshot point is a no-op in effect.
+    assert replay_into(table, records, after_seq=last) == last
+    assert table.head("k", "master") == _uid(4)
+
+
+# -- head CAS ------------------------------------------------------------------
+
+
+def test_set_head_cas_semantics():
+    table = BranchTable()
+    # expected=None asserts "branch does not exist yet".
+    table.set_head("k", "master", _uid(1), expected=None)
+    with pytest.raises(HeadMovedError):
+        table.set_head("k", "master", _uid(2), expected=None)
+    # A stale expectation is a concurrent writer.
+    with pytest.raises(HeadMovedError) as info:
+        table.set_head("k", "master", _uid(3), expected=_uid(9))
+    assert info.value.expected == _uid(9)
+    assert info.value.actual == _uid(1)
+    # The right expectation swaps.
+    table.set_head("k", "master", _uid(3), expected=_uid(1))
+    assert table.head("k", "master") == _uid(3)
+    # No expectation = unconditional (replay path).
+    table.set_head("k", "master", _uid(4))
+    assert table.head("k", "master") == _uid(4)
+
+
+def test_engine_put_detects_concurrent_head_move(tmp_path):
+    # Deterministic race: a rival commit moves the head between our
+    # graph.commit and the CAS, so put() must raise instead of silently
+    # orphaning the rival's acknowledged commit.
+    engine = ForkBase.open(str(tmp_path / "db"))
+    engine.put("k", {"a": "1"})
+    journal_len_before = None
+    real_commit = engine.graph.commit
+    raced = []
+
+    def racing_commit(fnode: FNode):
+        uid = real_commit(fnode)
+        if not raced:
+            raced.append(True)
+            rival = FNode(
+                key=fnode.key,
+                type_name=fnode.type_name,
+                value_root=fnode.value_root,
+                bases=fnode.bases,
+                author="rival",
+                message="sneaked in",
+                timestamp=fnode.timestamp + 1.0,
+            )
+            engine.branch_table.set_head("k", "master", real_commit(rival))
+        return uid
+
+    engine.graph.commit = racing_commit  # type: ignore[method-assign]
+    journal_len_before = len(engine._journal)
+    with pytest.raises(HeadMovedError):
+        engine.put("k", {"a": "2"})
+    # The rival's update is intact and the failed put journaled nothing.
+    assert engine.graph.load(engine.branch_table.head("k", "master")).author == "rival"
+    assert len(engine._journal) == journal_len_before
+    engine.close()
+
+
+def test_merge_cas_guards_fast_forward(tmp_path):
+    engine = ForkBase.open(str(tmp_path / "db"))
+    engine.put("k", {"a": "1"})
+    engine.branch("k", "feature")
+    engine.put("k", {"a": "2"}, branch="feature")
+    head_into = engine.branch_table.head("k", "master")
+    # Move master underneath the merge (the concurrent writer).
+    real_head = engine.branch_table.head
+    engine.branch_table.set_head("k", "master", engine.branch_table.head("k", "feature"))
+    engine.branch_table.set_head("k", "master", head_into)  # restore
+    info = engine.merge("k", "feature", "master")
+    assert info.message == "fast-forward"
+    assert real_head("k", "master") == engine.branch_table.head("k", "feature")
+    engine.close()
+
+
+# -- engine recovery (the seed data-loss regression) ---------------------------
+
+
+def test_heads_survive_process_kill(tmp_path):
+    """The seed bug: puts acknowledged, process killed before close() —
+    pre-journal, branches.json was never written and every head vanished."""
+    directory = str(tmp_path / "db")
+    engine = ForkBase.open(directory, fsync="never")  # worst policy on purpose
+    expected = {}
+    for i in range(20):
+        info = engine.put(f"key-{i}", {"n": str(i)}, message=f"put {i}")
+        expected[f"key-{i}"] = info.uid
+    engine.abandon()  # SIGKILL analogue: no close(), no snapshot
+
+    recovered = ForkBase.open(directory)
+    assert sorted(recovered.keys()) == sorted(expected)
+    for key, uid in expected.items():
+        assert recovered.branch_table.head(key, "master") == uid
+        assert recovered.get_value(key) == {b"n": key.split("-")[1].encode()}
+        assert recovered.verify(key).ok
+    recovered.close()
+
+
+def test_recovery_replays_full_workload(tmp_path):
+    directory = str(tmp_path / "db")
+    engine = ForkBase.open(directory, fsync="always")
+    engine.put("doc", {"v": "1"})
+    engine.branch("doc", "draft")
+    engine.put("doc", {"v": "2"}, branch="draft")
+    engine.rename_branch("doc", "draft", "final")
+    engine.merge("doc", "final", "master")
+    engine.put("tmp", ["1", "2", "3"])
+    engine.drop("tmp")
+    engine.put("old", {"x": "1"})
+    engine.rename("old", "new")
+    engine.branch("new", "dead")
+    engine.delete_branch("new", "dead")
+    snapshot = {
+        (key, branch): head for key, branch, head in engine.branch_table.all_heads()
+    }
+    engine.abandon()
+
+    recovered = ForkBase.open(directory)
+    assert {
+        (key, branch): head for key, branch, head in recovered.branch_table.all_heads()
+    } == snapshot
+    assert recovered.get_value("doc") == {b"v": b"2"}
+    assert recovered.get_value("new") == {b"x": b"1"}
+    assert "tmp" not in recovered.keys()
+    recovered.close()
+
+
+def test_compaction_bounds_journal_size(tmp_path):
+    directory = str(tmp_path / "db")
+    engine = ForkBase.open(directory, fsync="never", journal_limit=512)
+    for i in range(40):
+        engine.put("k", {"i": str(i)})
+    # Compaction kept the journal under limit + one record's worth.
+    assert engine._journal.size() < 512 + 256
+    with open(os.path.join(directory, "branches.json"), encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    assert snapshot["format"] == "forkbase-heads/2"
+    assert snapshot["seq"] > 0
+    engine.abandon()
+    recovered = ForkBase.open(directory)
+    assert recovered.get_value("k") == {b"i": b"39"}
+    recovered.close()
+
+
+def test_clean_close_truncates_journal(tmp_path):
+    directory = str(tmp_path / "db")
+    engine = ForkBase.open(directory)
+    engine.put("k", {"a": "1"})
+    engine.close()
+    # close() compacts: snapshot holds the heads, journal is magic-only.
+    assert os.path.getsize(os.path.join(directory, "journal.wal")) == len(MAGIC)
+    reopened = ForkBase.open(directory)
+    assert reopened.get_value("k") == {b"a": b"1"}
+    reopened.close()
+
+
+def test_legacy_bare_snapshot_still_loads(tmp_path):
+    directory = str(tmp_path / "db")
+    engine = ForkBase.open(directory)
+    engine.put("k", {"a": "1"})
+    engine.close()
+    heads_path = os.path.join(directory, "branches.json")
+    with open(heads_path, encoding="utf-8") as handle:
+        heads = json.load(handle)["heads"]
+    with open(heads_path, "w", encoding="utf-8") as handle:
+        json.dump(heads, handle)  # pre-journal format: the bare dict
+    os.remove(os.path.join(directory, "journal.wal"))
+    reopened = ForkBase.open(directory)
+    assert reopened.get_value("k") == {b"a": b"1"}
+    reopened.close()
+
+
+def test_branch_errors_not_journaled(tmp_path):
+    engine = ForkBase.open(str(tmp_path / "db"))
+    engine.put("k", {"a": "1"})
+    engine.branch("k", "b")
+    before = len(engine._journal)
+    with pytest.raises(BranchExistsError):
+        engine.branch("k", "b")
+    with pytest.raises(UnknownBranchError):
+        engine.delete_branch("k", "nope")
+    assert len(engine._journal) == before
+    engine.close()
