@@ -39,10 +39,13 @@ LAYERS: Mapping[str, int] = {
     "repro.store.filestore": 3,
     "repro.store.cached": 3,
     "repro.faults": 4,
+    "repro.faults.network": 4,
     "repro.postree": 5,
     "repro.types": 6,
     "repro.vcs": 7,
     "repro.cluster": 8,
+    "repro.cluster.membership": 8,
+    "repro.cluster.antientropy": 8,
     "repro.store.gc": 9,
     "repro.store.scrub": 9,
     "repro.store": 9,  # the facade re-exports gc/scrub
@@ -116,6 +119,9 @@ DETERM_CORE_PATHS: Tuple[str, ...] = (
     "src/repro/store/",
     "src/repro/security/",
     "src/repro/db/",
+    # The cluster's heartbeat/anti-entropy machinery must replay exactly:
+    # logical clocks only, never the wall clock.
+    "src/repro/cluster/",
 )
 
 #: Seeded consumers of randomness: the fault planner and workload

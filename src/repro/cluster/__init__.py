@@ -15,8 +15,32 @@ that makes the substitution faithful: dedup, diff, merge and verification
 run the same code paths against it.
 """
 
-from repro.cluster.cluster import ClusterStore
+from repro.cluster.antientropy import (
+    DigestTree,
+    SyncReport,
+    anti_entropy_pass,
+    digests_agree,
+    sync,
+)
+from repro.cluster.cluster import ClusterClient, ClusterStore
+from repro.cluster.membership import ALIVE, DEAD, SUSPECT, FailureDetector, LogicalClock
 from repro.cluster.node import StorageNode
-from repro.cluster.ring import HashRing
+from repro.cluster.ring import HashRing, ring_position
 
-__all__ = ["ClusterStore", "StorageNode", "HashRing"]
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "ClusterClient",
+    "ClusterStore",
+    "DigestTree",
+    "FailureDetector",
+    "HashRing",
+    "LogicalClock",
+    "StorageNode",
+    "SyncReport",
+    "anti_entropy_pass",
+    "digests_agree",
+    "ring_position",
+    "sync",
+]

@@ -5,6 +5,10 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.chunk import Chunk, Uid
+from repro.cluster.antientropy import SyncReport, anti_entropy_pass
+from repro.cluster.membership import FailureDetector
+from repro.cluster.node import StorageNode
+from repro.cluster.ring import HashRing
 from repro.errors import (
     ChunkCorruptionError,
     NodeDownError,
@@ -12,8 +16,7 @@ from repro.errors import (
     TransientError,
     TransientStoreError,
 )
-from repro.cluster.node import StorageNode
-from repro.cluster.ring import HashRing
+from repro.faults.network import PartitionedTransport
 from repro.faults.retry import RetryPolicy
 from repro.store.base import ChunkStore
 
@@ -32,6 +35,18 @@ class ClusterStore(ChunkStore):
     :class:`~repro.faults.retry.RetryPolicy` (instant by default — the
     cluster is simulated).
 
+    Pass a :class:`~repro.faults.network.PartitionedTransport` and every
+    request flows through the simulated network: partitions, drops,
+    delays and duplicates hit the cluster exactly as the plan dictates.
+    A :class:`~repro.cluster.membership.FailureDetector` per client
+    origin turns missed heartbeats into SUSPECT verdicts, and the write
+    path routes around suspected nodes: with ``sloppy_quorum`` it
+    extends past the home replicas along the ring so writes stay
+    available during a partition (stand-in copies migrate home via
+    hinted handoff and Merkle anti-entropy);
+    :class:`~repro.errors.QuorumWriteError` is raised only when no
+    quorum of *reachable* nodes exists at all.
+
     The content address doubles as both the placement key and the
     checksum, so every healing decision is local: a copy is good iff its
     bytes hash to its uid, and any good copy can repair any replica.
@@ -48,6 +63,10 @@ class ClusterStore(ChunkStore):
         verify_writes: bool = True,
         retry: Optional[RetryPolicy] = None,
         node_store_factory: Optional[Callable[[str], ChunkStore]] = None,
+        transport: Optional[PartitionedTransport] = None,
+        heartbeat_interval: Optional[int] = None,
+        suspicion_threshold: int = 3,
+        sloppy_quorum: bool = True,
     ) -> None:
         super().__init__(verify_reads=verify_reads)
         if node_count < 1:
@@ -56,6 +75,8 @@ class ClusterStore(ChunkStore):
             raise ValueError("replication must be >= 1")
         if write_quorum is not None and not 1 <= write_quorum <= replication:
             raise ValueError("write_quorum must be in [1, replication]")
+        if heartbeat_interval is not None and heartbeat_interval < 1:
+            raise ValueError("heartbeat_interval must be >= 1")
         self.replication = replication
         #: Acks required for a put to succeed (default 1: availability-first,
         #: the seed behaviour; pass ``replication // 2 + 1`` for majority).
@@ -67,6 +88,20 @@ class ClusterStore(ChunkStore):
         #: read-back plus one hash.
         self.verify_writes = verify_writes
         self.retry = retry if retry is not None else RetryPolicy.instant()
+        #: None means requests are direct function calls (the seed behaviour);
+        #: set to route every request through the simulated network.
+        self.transport = transport
+        #: The endpoint name requests are currently issued from.  Clients
+        #: made with :meth:`client` swap this for the duration of a call,
+        #: so each client sits on its own side of a partition.
+        self.origin = "client"
+        #: When set, every N data-plane operations run one heartbeat probe
+        #: round for the acting origin (background failure detection).
+        self.heartbeat_interval = heartbeat_interval
+        self.suspicion_threshold = suspicion_threshold
+        #: Extend writes past the home replicas along the ring when the
+        #: placement set cannot meet quorum (Dynamo-style sloppy quorum).
+        self.sloppy_quorum = sloppy_quorum
         self._store_factory = node_store_factory
         self.nodes: Dict[str, StorageNode] = {}
         names = [f"node-{index:02d}" for index in range(node_count)]
@@ -74,6 +109,11 @@ class ClusterStore(ChunkStore):
             self.nodes[name] = self._make_node(name)
         self.ring = HashRing(names, vnodes=vnodes)
         self._hints: Dict[str, Dict[Uid, Chunk]] = {}
+        self._detectors: Dict[str, FailureDetector] = {}
+        self._ping_uids: Dict[str, Uid] = {}
+        self._ops_since_probe = 0
+        #: The report from the most recent :meth:`repair` pass, if any.
+        self.last_sync_report: Optional[SyncReport] = None
         self.failed_reads = 0
         self.failovers = 0
         self.corrupt_reads = 0
@@ -81,6 +121,11 @@ class ClusterStore(ChunkStore):
         self.hints_queued = 0
         self.hints_replayed = 0
         self.transient_failures = 0
+        self.suspect_skips = 0
+        self.sloppy_writes = 0
+        #: Chunks examined by the last :meth:`full_sweep_repair` (the
+        #: baseline the anti-entropy benchmark compares against).
+        self.sweep_examined = 0
 
     def _make_node(self, name: str) -> StorageNode:
         store = self._store_factory(name) if self._store_factory else None
@@ -112,6 +157,89 @@ class ClusterStore(ChunkStore):
     def live_nodes(self) -> List[StorageNode]:
         """Nodes currently serving requests."""
         return [node for node in self.nodes.values() if node.up]
+
+    # -- network & failure detection ------------------------------------------------
+
+    def _send(
+        self,
+        node: StorageNode,
+        op: str,
+        uid: Uid,
+        fn: Callable[[], object],
+        origin: Optional[str] = None,
+    ) -> object:
+        """One request to a node, through the transport when one is set."""
+        if self.transport is None:
+            return fn()
+        return self.transport.send(origin or self.origin, node.name, op, uid, fn)
+
+    def _ping_uid(self, name: str) -> Uid:
+        uid = self._ping_uids.get(name)
+        if uid is None:
+            uid = Uid.of(b"ping:" + name.encode("utf-8"))
+            self._ping_uids[name] = uid
+        return uid
+
+    def probe(self, origin: str, name: str) -> bool:
+        """One heartbeat from ``origin`` to node ``name``.
+
+        Goes through the transport, so a probe fails for the same reasons
+        a request would: the node is down, or the network between this
+        origin and the node is partitioned, dropping, or delaying.  No
+        retry — absorbing isolated losses is the failure detector's job.
+        """
+        node = self.nodes[name]
+        try:
+            self._send(node, "ping", self._ping_uid(name), node.ping, origin=origin)
+        except TransientError:
+            return False
+        return True
+
+    def failure_detector(self, origin: Optional[str] = None) -> FailureDetector:
+        """The per-origin failure detector (created on first use).
+
+        Each origin keeps its own view: during a partition, clients on
+        side A suspect the nodes on side B and vice versa.
+        """
+        origin = origin if origin is not None else self.origin
+        detector = self._detectors.get(origin)
+        if detector is None:
+            detector = FailureDetector(
+                self, origin=origin, suspicion_threshold=self.suspicion_threshold
+            )
+            self._detectors[origin] = detector
+        return detector
+
+    def tick(self) -> Dict[str, str]:
+        """Run one heartbeat round for the acting origin; returns states."""
+        return self.failure_detector().probe_round()
+
+    def _maybe_tick(self) -> None:
+        """Background heartbeats: probe every ``heartbeat_interval`` ops."""
+        if self.heartbeat_interval is None:
+            return
+        self._ops_since_probe += 1
+        if self._ops_since_probe >= self.heartbeat_interval:
+            self._ops_since_probe = 0
+            self.tick()
+
+    def _suspected(self, name: str) -> bool:
+        """Does the acting origin's detector currently distrust this node?
+
+        False when no detector has been started for the origin — routing
+        only changes once somebody is actually measuring heartbeats.
+        """
+        detector = self._detectors.get(self.origin)
+        return detector is not None and detector.is_suspect(name)
+
+    def _writable(self, node: StorageNode) -> bool:
+        """Should a write even be attempted at this node right now?"""
+        if not node.up:
+            return False
+        if self._suspected(node.name):
+            self.suspect_skips += 1
+            return False
+        return True
 
     # -- hinted handoff ---------------------------------------------------------------
 
@@ -154,6 +282,18 @@ class ClusterStore(ChunkStore):
             if self.nodes[name].up
         )
 
+    def drop_hints(self) -> int:
+        """Forget every queued hint (simulates the hint holder restarting).
+
+        Hinted handoff is best-effort — the queue lives in the writer's
+        memory and dies with it.  Losing it must not lose data: Merkle
+        anti-entropy re-derives the same repairs from the replicas
+        themselves.  Returns the number of hints dropped.
+        """
+        dropped = sum(len(hints) for hints in self._hints.values())
+        self._hints.clear()
+        return dropped
+
     # -- ChunkStore primitives -------------------------------------------------------
 
     def replica_nodes(self, uid: Uid) -> List[StorageNode]:
@@ -165,15 +305,18 @@ class ClusterStore(ChunkStore):
         """
         return [self.nodes[name] for name in self.ring.replicas(uid, self.replication)]
 
-    def _node_put(self, node: StorageNode, chunk: Chunk) -> None:
+    def _node_put(
+        self, node: StorageNode, chunk: Chunk, origin: Optional[str] = None
+    ) -> None:
         """One replica write, retried through the policy.
 
         With ``verify_writes`` the written copy is read back and checked
         against the uid before it counts: a torn or dropped write looks like
-        any other transient failure and gets retried.
+        any other transient failure and gets retried.  The whole write-and-
+        verify exchange is one message on the transport.
         """
 
-        def attempt() -> None:
+        def exchange() -> None:
             node.put(chunk)
             if not self.verify_writes:
                 return
@@ -186,13 +329,34 @@ class ClusterStore(ChunkStore):
                     f"write of {chunk.uid.short()} to {node.name} did not verify"
                 )
 
-        self.retry.call(attempt)
+        self.retry.call(
+            lambda: self._send(node, "put", chunk.uid, exchange, origin=origin)
+        )
+
+    def transfer(self, source: StorageNode, target: StorageNode, chunk: Chunk) -> bool:
+        """Ship one replica copy node-to-node (the anti-entropy path).
+
+        The message travels ``source -> target`` on the transport — a
+        partition between the *client* and the nodes does not block two
+        nodes on the same side syncing each other.  Returns False when the
+        write cannot complete within the retry budget (a later pass
+        retries); the copy is verified on arrival like any other write.
+        """
+        try:
+            self._node_put(target, chunk, origin=source.name)
+        except TransientError:
+            self.transient_failures += 1
+            return False
+        return True
 
     def _insert(self, chunk: Chunk) -> None:
+        self._maybe_tick()
         acked = 0
         missed: List[StorageNode] = []
+        attempted: Set[str] = set()
         for node in self.replica_nodes(chunk.uid):
-            if not node.up:
+            attempted.add(node.name)
+            if not self._writable(node):
                 missed.append(node)
                 continue
             try:
@@ -202,10 +366,31 @@ class ClusterStore(ChunkStore):
                 missed.append(node)
                 continue
             acked += 1
+        if self.sloppy_quorum and acked < max(self.write_quorum, 1):
+            # Sloppy quorum: walk further clockwise and let the next
+            # reachable nodes stand in for the unreachable home replicas.
+            # The home nodes still get hints (queued below), and Merkle
+            # anti-entropy migrates the stand-in copies home after heal.
+            for name in self.ring.replicas(chunk.uid, len(self.nodes)):
+                if acked >= max(self.write_quorum, 1):
+                    break
+                if name in attempted:
+                    continue
+                attempted.add(name)
+                stand_in = self.nodes[name]
+                if not self._writable(stand_in):
+                    continue
+                try:
+                    self._node_put(stand_in, chunk)
+                except TransientError:
+                    self.transient_failures += 1
+                    continue
+                acked += 1
+                self.sloppy_writes += 1
         if acked == 0:
             raise NodeDownError(
-                f"no live replica target for {chunk.uid.short()} "
-                f"(all {self.replication} placement nodes down)"
+                f"no reachable replica target for {chunk.uid.short()} "
+                f"(all {len(attempted)} candidate nodes down or cut off)"
             )
         if acked < self.write_quorum:
             raise QuorumWriteError(
@@ -228,7 +413,9 @@ class ClusterStore(ChunkStore):
         saw_corrupt = False
         for _ in range(attempts):
             try:
-                chunk = self.retry.call(lambda: node.get(uid))
+                chunk = self.retry.call(
+                    lambda: self._send(node, "get", uid, lambda: node.get(uid))
+                )
             except TransientError:
                 self.transient_failures += 1
                 return "unreachable", None
@@ -241,10 +428,17 @@ class ClusterStore(ChunkStore):
         return ("corrupt" if saw_corrupt else "missing"), None
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        self._maybe_tick()
+        placement = self.replica_nodes(uid)
+        # Suspected replicas go to the back of the line: they still get
+        # tried (suspicion can be wrong) but no longer burn the retry
+        # budget before a healthy replica gets a chance.
+        ordered = [n for n in placement if not self._suspected(n.name)]
+        ordered += [n for n in placement if self._suspected(n.name)]
         found: Optional[Chunk] = None
         repair_targets: List[StorageNode] = []
         saw_rot = False
-        for index, node in enumerate(self.replica_nodes(uid)):
+        for index, node in enumerate(ordered):
             if not node.up:
                 continue
             status, chunk = self._read_replica(node, uid)
@@ -282,7 +476,9 @@ class ClusterStore(ChunkStore):
             if not node.up:
                 continue
             try:
-                if self.retry.call(lambda: node.has(uid)):
+                if self.retry.call(
+                    lambda: self._send(node, "has", uid, lambda: node.has(uid))
+                ):
                     return True
             except TransientError:
                 self.transient_failures += 1
@@ -303,6 +499,18 @@ class ClusterStore(ChunkStore):
         for hints in self._hints.values():
             hints.pop(uid, None)
         return removed
+
+    # -- clients ---------------------------------------------------------------------
+
+    def client(self, origin: str) -> "ClusterClient":
+        """A named client endpoint on this cluster.
+
+        Each client's requests are tagged with its ``origin``, so the
+        transport can partition clients independently (two engines on
+        opposite sides of a split) and each origin accrues its own
+        failure-detector view.
+        """
+        return ClusterClient(self, origin)
 
     # -- maintenance --------------------------------------------------------------------
 
@@ -325,15 +533,42 @@ class ClusterStore(ChunkStore):
         return None
 
     def repair(self) -> int:
-        """Re-replicate: ensure every chunk sits on all its live replicas.
+        """Merkle anti-entropy repair: converge every live replica.
 
-        Run after failures or membership changes; returns copies made.
-        Source copies are verified against their uid before being copied,
-        so repair never propagates rot.
+        Replaces the old full-sweep loop (kept as
+        :meth:`full_sweep_repair` — the benchmark baseline): instead of
+        walking every uid in the cluster, each node pair compares compact
+        digest trees over the ring's arcs and ships exactly the chunks
+        that differ, so a mostly-converged cluster pays O(divergence),
+        not O(N).  Rotten copies are quarantined during tree construction
+        and re-shipped from healthy peers, so this pass also subsumes the
+        scrubber's repair role.  Returns replica copies shipped; the full
+        :class:`~repro.cluster.antientropy.SyncReport` lands in
+        ``last_sync_report``.
+        """
+        report = anti_entropy_pass(self)
+        self.last_sync_report = report
+        return report.chunks_transferred
+
+    def anti_entropy_pass(self) -> SyncReport:
+        """One Merkle reconciliation round; returns the full report."""
+        report = anti_entropy_pass(self)
+        self.last_sync_report = report
+        return report
+
+    def full_sweep_repair(self) -> int:
+        """The pre-Merkle repair loop: walk EVERY uid, check EVERY replica.
+
+        Kept as the O(N·R) baseline the anti-entropy benchmark measures
+        against; ``sweep_examined`` records how many chunks it touched.
+        Returns copies made.  Source copies are verified against their
+        uid before being copied, so repair never propagates rot.
         """
         self.flush_hints()
         copies = 0
+        self.sweep_examined = 0
         for uid in list(self._ids()):
+            self.sweep_examined += 1
             targets = [
                 node
                 for node in self.replica_nodes(uid)
@@ -388,9 +623,14 @@ class ClusterStore(ChunkStore):
         """Sum of replicas across nodes."""
         return sum(node.chunk_count() for node in self.nodes.values())
 
-    def durability_check(self) -> Dict[str, int]:
+    def durability_check(self, verify: bool = True) -> Dict[str, int]:
         """How many chunks have 0 / 1 / ≥2 live replicas right now.
 
+        With ``verify`` (the default) a copy only counts when its stored
+        bytes re-hash to the uid — the scrubber's wire-vs-disk
+        discrimination, so a transient wire mismatch is re-read rather
+        than miscounted.  Silent rot therefore shows up as
+        under-replication instead of posing as a healthy replica.
         Counts hinted-handoff copies as live: a chunk whose only copies
         sit in the hint queue is recoverable, not lost.
         """
@@ -398,22 +638,35 @@ class ClusterStore(ChunkStore):
         hinted: Set[Uid] = set()
         for hints in self._hints.values():
             hinted.update(hints)
+        live = self.live_nodes()
+        holdings: Dict[str, Set[Uid]] = {}
+        if verify:
+            from repro.store.scrub import diagnose_copy  # deferred: scrub sits a layer above
+
+            for node in live:
+                held: Set[Uid] = set()
+                for uid in list(node.store.ids()):
+                    status, _, _ = diagnose_copy(node.store, uid, retry=self.retry)
+                    if status == "ok":
+                        held.add(uid)
+                holdings[node.name] = held
+        else:
+            for node in live:
+                holdings[node.name] = set(node.store.ids())
         for uid in self._ids():
-            live = sum(
+            copies = sum(
                 1
                 for node in self.replica_nodes(uid)
-                if node.up and node.store.has(uid)
+                if node.up and uid in holdings.get(node.name, ())
             )
-            if live == 0:
+            if copies == 0:
                 # May still survive on a non-placement node (pre-rebalance).
-                live = sum(
-                    1 for node in self.live_nodes() if node.store.has(uid)
-                )
-            if live == 0 and uid in hinted:
-                live = 1
-            if live == 0:
+                copies = sum(1 for node in live if uid in holdings[node.name])
+            if copies == 0 and uid in hinted:
+                copies = 1
+            if copies == 0:
                 buckets["lost"] += 1
-            elif live == 1:
+            elif copies == 1:
                 buckets["single"] += 1
             else:
                 buckets["replicated"] += 1
@@ -421,7 +674,7 @@ class ClusterStore(ChunkStore):
 
     def health_report(self) -> Dict[str, object]:
         """Operational counters in one place (chaos-suite assertions)."""
-        return {
+        report: Dict[str, object] = {
             "nodes_up": len(self.live_nodes()),
             "nodes_total": len(self.nodes),
             "failed_reads": self.failed_reads,
@@ -432,5 +685,69 @@ class ClusterStore(ChunkStore):
             "hints_replayed": self.hints_replayed,
             "hints_pending": sum(len(h) for h in self._hints.values()),
             "transient_failures": self.transient_failures,
+            "suspect_skips": self.suspect_skips,
+            "sloppy_writes": self.sloppy_writes,
+            "suspected": sorted(
+                {
+                    name
+                    for detector in self._detectors.values()
+                    for name in detector.suspected()
+                }
+            ),
             "durability": self.durability_check(),
         }
+        if self.transport is not None:
+            report["network"] = self.transport.stats()
+        return report
+
+
+class ClusterClient(ChunkStore):
+    """A named endpoint issuing requests against a shared cluster.
+
+    Everything delegates to the cluster's public ChunkStore surface; the
+    only twist is that the cluster's acting ``origin`` is swapped to this
+    client's name for the duration of each call, so the transport sees
+    the request coming from *this* endpoint (its partition side, its
+    fault stream) and failure detection accrues to this origin's view.
+    Two engines opened over two clients therefore experience a split
+    exactly the way two application servers would.
+    """
+
+    def __init__(self, cluster: ClusterStore, origin: str) -> None:
+        super().__init__(verify_reads=cluster.verify_reads)
+        self.cluster = cluster
+        self.origin = origin
+
+    def _as_origin(self, fn: Callable[[], object]) -> object:
+        previous = self.cluster.origin
+        self.cluster.origin = self.origin
+        try:
+            return fn()
+        finally:
+            self.cluster.origin = previous
+
+    def _insert(self, chunk: Chunk) -> None:
+        self._as_origin(lambda: self.cluster.put(chunk))
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        return self._as_origin(lambda: self.cluster.get_maybe(uid))  # type: ignore[return-value]
+
+    def _contains(self, uid: Uid) -> bool:
+        return bool(self._as_origin(lambda: self.cluster.has(uid)))
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(list(self.cluster.ids()))
+
+    def _delete(self, uid: Uid) -> bool:
+        return bool(self._as_origin(lambda: self.cluster.delete(uid)))
+
+    def failure_detector(self) -> FailureDetector:
+        """This origin's membership view."""
+        return self.cluster.failure_detector(self.origin)
+
+    def tick(self) -> Dict[str, str]:
+        """Run one heartbeat round from this origin."""
+        return dict(self._as_origin(lambda: self.cluster.tick()))  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"ClusterClient(origin={self.origin!r})"

@@ -1,0 +1,167 @@
+"""Failure detection and membership for the simulated cluster.
+
+A :class:`FailureDetector` watches the cluster from one named network
+endpoint (its *origin*): each probe round pings every node through the
+cluster's transport, so a node looks dead for exactly the reasons it would
+in production — it crashed, or the network between here and there is
+partitioned, dropping, or delaying.  Consecutive missed heartbeats push a
+node through ``ALIVE -> SUSPECT -> DEAD``; one successful probe snaps it
+straight back to ``ALIVE``.
+
+Every detector runs on a :class:`LogicalClock` — a deterministic tick
+counter, never the wall clock (FB-DETERM): two runs of the same workload
+see identical heartbeat timing, which is what makes suspicion-dependent
+routing decisions replayable.
+
+Suspicion is *per observer*: during a partition the clients on side A
+suspect the nodes on side B and vice versa, which is exactly the split-
+brain view a real cluster has.  The cluster consults the detector bound
+to the origin a request came from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no cycle at runtime
+    from repro.cluster.cluster import ClusterStore
+
+#: Node states, in order of decay.
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class LogicalClock:
+    """A deterministic monotonic clock: time is a tick counter.
+
+    The heartbeat layer must not read the wall clock (replays would
+    diverge), so "time" advances only when the simulation says so —
+    once per probe round by default, or explicitly via :meth:`advance`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    def now(self) -> int:
+        """Current tick."""
+        return self._now
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move time forward; returns the new tick."""
+        if ticks < 0:
+            raise ValueError("time only moves forward")
+        self._now += ticks
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(t={self._now})"
+
+
+class FailureDetector:
+    """Heartbeat-based membership from one endpoint's point of view.
+
+    ``suspicion_threshold`` consecutive missed probes mark a node
+    SUSPECT (the cluster stops routing writes at it and queues hints
+    instead); ``dead_threshold`` (default twice the suspicion threshold)
+    escalates to DEAD — same routing behaviour, stronger signal for
+    operators.  The thresholds absorb isolated message drops: a single
+    lost heartbeat on a healthy link never triggers rerouting.
+    """
+
+    def __init__(
+        self,
+        cluster: "ClusterStore",
+        origin: str = "client",
+        suspicion_threshold: int = 3,
+        dead_threshold: Optional[int] = None,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        self.cluster = cluster
+        self.origin = origin
+        self.suspicion_threshold = suspicion_threshold
+        self.dead_threshold = (
+            dead_threshold if dead_threshold is not None else 2 * suspicion_threshold
+        )
+        if self.dead_threshold < self.suspicion_threshold:
+            raise ValueError("dead_threshold must be >= suspicion_threshold")
+        self.clock = clock if clock is not None else LogicalClock()
+        self._missed: Dict[str, int] = {}
+        self._states: Dict[str, str] = {}
+        self._last_heard: Dict[str, int] = {}
+        self.rounds = 0
+        self.suspicions_raised = 0
+        self.recoveries = 0
+
+    # -- probing -------------------------------------------------------------
+
+    def probe_round(self) -> Dict[str, str]:
+        """Ping every node once; returns the post-round state map."""
+        self.rounds += 1
+        self.clock.advance()
+        for name in sorted(self.cluster.nodes):
+            if self.cluster.probe(self.origin, name):
+                if self._states.get(name, ALIVE) != ALIVE:
+                    self.recoveries += 1
+                self._missed[name] = 0
+                self._states[name] = ALIVE
+                self._last_heard[name] = self.clock.now()
+            else:
+                missed = self._missed.get(name, 0) + 1
+                self._missed[name] = missed
+                if missed >= self.dead_threshold:
+                    self._states[name] = DEAD
+                elif missed >= self.suspicion_threshold:
+                    if self._states.get(name, ALIVE) == ALIVE:
+                        self.suspicions_raised += 1
+                    self._states[name] = SUSPECT
+        return dict(self._states)
+
+    # -- queries -------------------------------------------------------------
+
+    def state(self, name: str) -> str:
+        """Current verdict for a node (optimistically ALIVE before data)."""
+        return self._states.get(name, ALIVE)
+
+    def is_suspect(self, name: str) -> bool:
+        """True when the node should be routed around (SUSPECT or DEAD)."""
+        return self.state(name) != ALIVE
+
+    def alive(self, name: str) -> bool:
+        """True when the node is believed reachable and serving."""
+        return self.state(name) == ALIVE
+
+    def suspected(self) -> List[str]:
+        """Names currently routed around, sorted."""
+        return sorted(
+            name for name, state in self._states.items() if state != ALIVE
+        )
+
+    def missed(self, name: str) -> int:
+        """Consecutive missed heartbeats for a node."""
+        return self._missed.get(name, 0)
+
+    def last_heard(self, name: str) -> Optional[int]:
+        """Tick of the last successful probe, or None if never heard."""
+        return self._last_heard.get(name)
+
+    def report(self) -> Dict[str, object]:
+        """Counter snapshot (membership assertions in the torture suite)."""
+        return {
+            "origin": self.origin,
+            "rounds": self.rounds,
+            "tick": self.clock.now(),
+            "suspected": self.suspected(),
+            "suspicions_raised": self.suspicions_raised,
+            "recoveries": self.recoveries,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureDetector(origin={self.origin!r}, rounds={self.rounds}, "
+            f"suspected={self.suspected()})"
+        )

@@ -39,6 +39,11 @@ class StorageNode:
         self.requests += 1
         self.simulated_ms += self.latency_ms
 
+    def ping(self) -> bool:
+        """Heartbeat: the cheapest liveness check (raises if down)."""
+        self._touch()
+        return True
+
     def put(self, chunk: Chunk) -> bool:
         """Store a replica (raises if the node is down)."""
         self._touch()

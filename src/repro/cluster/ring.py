@@ -14,6 +14,20 @@ def _point(label: bytes) -> int:
     return int.from_bytes(hashlib.sha256(label).digest()[:8], "big")
 
 
+#: Width of a ring coordinate in bits (anti-entropy buckets by prefix).
+POSITION_BITS = 64
+
+
+def ring_position(uid: Uid) -> int:
+    """Public: the 64-bit ring coordinate of a uid.
+
+    Placement and anti-entropy bucketing share this coordinate, so a
+    digest-tree bucket corresponds to a contiguous arc of the ring — the
+    property that keeps replica digests comparable across nodes.
+    """
+    return _point(uid.digest)
+
+
 class HashRing:
     """Maps chunk uids to an ordered replica list of node names."""
 

@@ -16,7 +16,12 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
+from typing import IO, Callable, Dict, List, Optional, Tuple, TypeVar, Union
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 T = TypeVar("T")
 
@@ -24,6 +29,7 @@ from repro.chunk import Uid
 from repro.errors import (
     ChunkCorruptionError,
     EngineError,
+    EngineLockedError,
     MergeConflictError,
     TypeMismatchError,
     UnknownKeyError,
@@ -80,6 +86,9 @@ class ForkBase:
         # default is the injectable-clock escape hatch, not a hashing input.
         self._clock = clock if clock is not None else time.time  # fbcheck: ignore[FB-DETERM]
         self._directory: Optional[str] = None
+        #: Open handle on ``<directory>/.lock`` while this engine holds the
+        #: single-writer advisory lock (durable engines only).
+        self._lock_handle: Optional[IO[str]] = None
         #: Write-ahead commit journal (durable engines only): every head
         #: mutation is recorded here before it is acknowledged.
         self._journal: Optional[CommitJournal] = None
@@ -125,27 +134,70 @@ class ForkBase:
         ``fsync`` is the journal's durability policy (``always`` /
         ``batch`` / ``never``); ``journal_limit`` is the size at which a
         commit triggers snapshot compaction.
+
+        The directory is guarded by an advisory ``fcntl.flock`` on
+        ``<directory>/.lock``: a second live process opening the same
+        directory gets :class:`~repro.errors.EngineLockedError` instead
+        of interleaving journal appends.  The OS releases the lock when
+        its holder dies, so a stale ``.lock`` file never wedges the
+        store.
         """
         os.makedirs(directory, exist_ok=True)
-        engine = cls(FileStore(os.path.join(directory, "chunks")), author=author)
-        engine._directory = directory
-        engine._journal_limit = journal_limit
-        table = BranchTable()
-        snapshot_seq = 0
-        heads_path = os.path.join(directory, "branches.json")
-        if os.path.exists(heads_path):
-            with open(heads_path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if isinstance(data, dict) and "heads" in data:
-                snapshot_seq = int(data.get("seq", 0))
-                table = BranchTable.from_dict(data["heads"])
-            else:  # legacy snapshot: the bare heads dict, pre-journal
-                table = BranchTable.from_dict(data)
-        journal = CommitJournal(os.path.join(directory, "journal.wal"), fsync=fsync)
-        engine._seq = replay_into(table, journal.records, after_seq=snapshot_seq)
-        engine.branch_table = table
-        engine._journal = journal
+        lock_handle = cls._acquire_lock(directory)
+        try:
+            engine = cls(FileStore(os.path.join(directory, "chunks")), author=author)
+            engine._lock_handle = lock_handle
+            engine._directory = directory
+            engine._journal_limit = journal_limit
+            table = BranchTable()
+            snapshot_seq = 0
+            heads_path = os.path.join(directory, "branches.json")
+            if os.path.exists(heads_path):
+                with open(heads_path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if isinstance(data, dict) and "heads" in data:
+                    snapshot_seq = int(data.get("seq", 0))
+                    table = BranchTable.from_dict(data["heads"])
+                else:  # legacy snapshot: the bare heads dict, pre-journal
+                    table = BranchTable.from_dict(data)
+            journal = CommitJournal(os.path.join(directory, "journal.wal"), fsync=fsync)
+            engine._seq = replay_into(table, journal.records, after_seq=snapshot_seq)
+            engine.branch_table = table
+            engine._journal = journal
+        except BaseException:
+            cls._release_lock(lock_handle)
+            raise
         return engine
+
+    @staticmethod
+    def _acquire_lock(directory: str) -> Optional[IO[str]]:
+        """Take the single-writer advisory lock on ``<directory>/.lock``.
+
+        ``flock`` is bound to the open file description, so the OS drops
+        the lock the moment the holder exits or crashes — stale lock
+        files are harmless.  Returns None where ``fcntl`` is unavailable
+        (no advisory locking on this platform).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return None
+        handle = open(os.path.join(directory, ".lock"), "a+", encoding="utf-8")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise EngineLockedError(directory) from None
+        return handle
+
+    @staticmethod
+    def _release_lock(handle: Optional[IO[str]]) -> None:
+        """Release and close the advisory lock handle (idempotent)."""
+        if handle is None or handle.closed:
+            return
+        try:
+            if fcntl is not None:  # pragma: no branch
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
     def _journal_op(self, op: str, **fields: object) -> None:
         """Append one head mutation to the commit journal (then maybe compact).
@@ -202,6 +254,8 @@ class ForkBase:
                 self._journal.close()
                 self._journal = None
         self.store.close()
+        self._release_lock(self._lock_handle)
+        self._lock_handle = None
 
     def abandon(self) -> None:
         """Drop the engine without persisting anything (crash simulation).
@@ -215,6 +269,8 @@ class ForkBase:
             self._journal.abandon()
             self._journal = None
         self.store.abandon()
+        self._release_lock(self._lock_handle)
+        self._lock_handle = None
 
     def __enter__(self) -> "ForkBase":
         return self

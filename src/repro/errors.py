@@ -157,6 +157,22 @@ class TypeMismatchError(EngineError, TypeError):
     """An operation was applied to an object of the wrong ForkBase type."""
 
 
+class EngineLockedError(EngineError):
+    """Another process holds the advisory lock on the data directory.
+
+    :meth:`repro.db.engine.ForkBase.open` takes an ``fcntl.flock`` on
+    ``<directory>/.lock`` so two processes cannot interleave journal
+    appends.  The lock dies with its holder, so a leftover ``.lock``
+    file after a crash is harmless — only a *live* holder blocks.
+    """
+
+    def __init__(self, directory: object) -> None:
+        super().__init__(
+            f"data directory {directory!r} is locked by another live process"
+        )
+        self.directory = directory
+
+
 class TamperError(ForkBaseError):
     """Integrity validation failed: the storage returned tampered content."""
 
@@ -203,6 +219,30 @@ class ClusterError(ForkBaseError):
 
 class NodeDownError(ClusterError, TransientError):
     """A storage node (or every replica target) is down right now."""
+
+
+class NetworkError(ClusterError):
+    """Base class for simulated-network faults between cluster endpoints."""
+
+
+class NetworkPartitionedError(NetworkError, TransientError):
+    """The sender and receiver sit on different sides of a partition.
+
+    Transient by design: partitions heal, and the retry/hint machinery
+    must treat an unreachable peer exactly like a flaky one.
+    """
+
+
+class MessageDroppedError(NetworkError, TransientError):
+    """The network silently lost this message (the sender times out)."""
+
+
+class NetworkTimeoutError(NetworkError, TransientError):
+    """The message was delayed past the sender's deadline.
+
+    The payload may still be delivered later (a late packet applying a
+    stale write), which is why idempotent, content-addressed puts matter.
+    """
 
 
 class QuorumWriteError(ClusterError):

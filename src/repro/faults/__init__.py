@@ -14,6 +14,7 @@ same faults, which is what makes the chaos suite assertable.
 """
 
 from repro.faults.crash import CrashPlan, crash_zone, crashing_write, crashpoint
+from repro.faults.network import NetworkPlan, PartitionedTransport, apply_schedule_event
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, with_retry
 from repro.faults.store import FaultyStore
@@ -22,7 +23,10 @@ __all__ = [
     "CrashPlan",
     "FaultPlan",
     "FaultyStore",
+    "NetworkPlan",
+    "PartitionedTransport",
     "RetryPolicy",
+    "apply_schedule_event",
     "crash_zone",
     "crashing_write",
     "crashpoint",

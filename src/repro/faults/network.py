@@ -1,0 +1,330 @@
+"""Deterministic network fault model: partitions, loss, delay, duplication.
+
+The cluster layer simulates distribution in-process, so the "network"
+between a client and a storage node (or between two nodes) is just a
+function call.  :class:`PartitionedTransport` turns that call into a
+message send that can fail the way real networks fail — partitioned,
+dropped, delayed past the sender's deadline, or duplicated — with every
+fault drawn from a :class:`NetworkPlan` by hashing ``(seed, fault kind,
+src, dst, op kind, uid, attempt)``: the same discipline as
+:class:`~repro.faults.plan.FaultPlan`, so a workload replayed against the
+same plan sees byte-identical network weather.
+
+Time is a logical tick counter (every send is a tick; tests may also call
+:meth:`PartitionedTransport.tick`), never the wall clock: delayed messages
+are queued with a due tick and pumped deterministically, which keeps the
+whole model FB-DETERM-clean and replayable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.chunk import Uid
+from repro.errors import (
+    MessageDroppedError,
+    NetworkPartitionedError,
+    NetworkTimeoutError,
+)
+
+T = TypeVar("T")
+
+_SCALE = float(1 << 64)
+
+#: A partition layout: each endpoint name maps to the index of its side.
+Groups = Tuple[FrozenSet[str], ...]
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """Fault rates for the simulated network, reproducible from a seed.
+
+    Rates are independent probabilities per message attempt:
+
+    - ``drop_rate`` — the message vanishes; the sender gets a timeout.
+    - ``delay_rate`` — the message is delivered late (after a tick count
+      drawn from ``delay_ticks``); the sender still times out, so the
+      effect is a *stale* delivery racing the sender's retry.
+    - ``dup_rate`` — the message is applied twice (retransmission after a
+      lost ack).  Content-addressed puts make duplication harmless; the
+      counter proves it happened.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_ticks: Tuple[int, int] = (1, 8)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "dup_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        low, high = self.delay_ticks
+        if not 1 <= low <= high:
+            raise ValueError(f"delay_ticks must satisfy 1 <= low <= high, got {self.delay_ticks}")
+
+    # -- deterministic draws -------------------------------------------------
+
+    def _digest(self, fault: str, src: str, dst: str, op: str, uid: Uid, attempt: int) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(fault.encode("utf-8"))
+        hasher.update(src.encode("utf-8"))
+        hasher.update(b"->")
+        hasher.update(dst.encode("utf-8"))
+        hasher.update(op.encode("utf-8"))
+        hasher.update(uid.digest)
+        hasher.update(struct.pack(">q", attempt))
+        return hasher.digest()
+
+    def draw(self, fault: str, src: str, dst: str, op: str, uid: Uid, attempt: int) -> float:
+        """Uniform value in ``[0, 1)`` for one message event."""
+        digest = self._digest(fault, src, dst, op, uid, attempt)
+        return int.from_bytes(digest[:8], "big") / _SCALE
+
+    def drop(self, src: str, dst: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this message be silently lost?"""
+        return self.draw("drop", src, dst, op, uid, attempt) < self.drop_rate
+
+    def delay(self, src: str, dst: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this message arrive after the sender's deadline?"""
+        return self.draw("delay", src, dst, op, uid, attempt) < self.delay_rate
+
+    def duplicate(self, src: str, dst: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this message be applied twice?"""
+        return self.draw("dup", src, dst, op, uid, attempt) < self.dup_rate
+
+    def delay_for(self, src: str, dst: str, op: str, uid: Uid, attempt: int) -> int:
+        """How many ticks a delayed message stays in flight."""
+        digest = self._digest("delay-ticks", src, dst, op, uid, attempt)
+        low, high = self.delay_ticks
+        return low + int.from_bytes(digest[8:16], "big") % (high - low + 1)
+
+    def scoped(self, label: str) -> "NetworkPlan":
+        """Same rates, seed re-derived from ``label`` (per-link decorrelation)."""
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(b"net-scope:")
+        hasher.update(label.encode("utf-8"))
+        derived = int.from_bytes(hasher.digest()[:8], "big") - (1 << 63)
+        return dataclasses.replace(self, seed=derived)
+
+    # -- schedule generation -------------------------------------------------
+
+    def rng(self, label: str) -> random.Random:
+        """A named RNG stream derived from the seed (schedule shaping)."""
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(b"net-rng:")
+        hasher.update(label.encode("utf-8"))
+        return random.Random(int.from_bytes(hasher.digest()[:8], "big"))
+
+    def partition_schedule(
+        self,
+        endpoints: Iterable[str],
+        events: int,
+        horizon: int,
+    ) -> List[Tuple[int, Optional[Groups]]]:
+        """Deterministic partition/heal events: ``(op_index, groups | None)``.
+
+        ``None`` means heal; otherwise the endpoints are split into two
+        non-empty sides.  Events are sorted by op index, alternate between
+        split and heal (a split while split re-partitions), and the same
+        ``(seed, endpoints, events, horizon)`` always yields the same
+        schedule.
+        """
+        names = sorted(endpoints)
+        if len(names) < 2 or events < 1 or horizon < 1:
+            return []
+        rng = self.rng("partitions")
+        schedule: List[Tuple[int, Optional[Groups]]] = []
+        partitioned = False
+        for at in sorted(rng.randrange(horizon) for _ in range(events)):
+            if partitioned and rng.random() < 0.5:
+                schedule.append((at, None))
+                partitioned = False
+                continue
+            cut = rng.randint(1, len(names) - 1)
+            members = list(names)
+            rng.shuffle(members)
+            groups: Groups = (frozenset(members[:cut]), frozenset(members[cut:]))
+            schedule.append((at, groups))
+            partitioned = True
+        return schedule
+
+
+class PartitionedTransport:
+    """The message layer between named cluster endpoints.
+
+    Endpoints are plain strings — node names plus any number of client
+    names.  A partition assigns endpoints to sides; endpoints never named
+    in a partition call default to side 0 (they stay with the first
+    group).  ``heal()`` reconnects everyone; messages that were delayed
+    in flight still deliver on later ticks, which is exactly the stale
+    packet a healed network replays.
+    """
+
+    def __init__(self, plan: Optional[NetworkPlan] = None) -> None:
+        self.plan = plan if plan is not None else NetworkPlan()
+        #: Logical time: advanced once per send and per explicit tick.
+        self.clock = 0
+        self._sides: Dict[str, int] = {}
+        self._attempts: Dict[Tuple[str, str, str, Uid], int] = {}
+        #: Delayed deliveries: (due tick, sequence number, thunk).
+        self._in_flight: List[Tuple[int, int, Callable[[], object]]] = []
+        self._sequence = 0
+        self.partitions = 0
+        self.heals = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.messages_duplicated = 0
+        self.partition_rejections = 0
+        #: Delayed deliveries whose late execution failed (dead host etc.).
+        self.late_failures = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: endpoints in different groups cannot talk.
+
+        Endpoints absent from every group implicitly join group 0.
+        """
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        sides: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in sides:
+                    raise ValueError(f"endpoint {name!r} appears in two groups")
+                sides[name] = index
+        self._sides = sides
+        self.partitions += 1
+
+    def heal(self) -> None:
+        """Reconnect every endpoint (in-flight delays still deliver late)."""
+        self._sides = {}
+        self.heals += 1
+
+    @property
+    def partitioned(self) -> bool:
+        """True while a partition is in force."""
+        return bool(self._sides)
+
+    def side_of(self, endpoint: str) -> int:
+        """Which side of the current partition an endpoint sits on."""
+        return self._sides.get(endpoint, 0)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can ``src`` currently exchange messages with ``dst``?"""
+        return self.side_of(src) == self.side_of(dst)
+
+    # -- message delivery ----------------------------------------------------
+
+    def _next_attempt(self, src: str, dst: str, op: str, uid: Uid) -> int:
+        key = (src, dst, op, uid)
+        index = self._attempts.get(key, 0)
+        self._attempts[key] = index + 1
+        return index
+
+    def _pump(self) -> None:
+        """Deliver every in-flight message whose due tick has passed."""
+        if not self._in_flight:
+            return
+        due = [entry for entry in self._in_flight if entry[0] <= self.clock]
+        if not due:
+            return
+        self._in_flight = [entry for entry in self._in_flight if entry[0] > self.clock]
+        for _, _, thunk in sorted(due):
+            try:
+                thunk()
+            except Exception:  # fbcheck: ignore[FB-ERRORS]
+                # A late packet hitting a dead or partitioned host: the
+                # original sender timed out long ago, nobody is listening
+                # for this failure — count it and move on.
+                self.late_failures += 1
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance logical time and deliver due in-flight messages."""
+        for _ in range(ticks):
+            self.clock += 1
+            self._pump()
+
+    def send(self, src: str, dst: str, op: str, uid: Uid, fn: Callable[[], T]) -> T:
+        """One request/response exchange from ``src`` to ``dst``.
+
+        Applies, in order: partition check, drop, delay (executes ``fn``
+        on a later tick but raises a timeout now), duplication (``fn``
+        applied twice), then normal delivery.  All faults raise
+        :class:`~repro.errors.TransientError` subtypes so the cluster's
+        retry/hint machinery handles them like any flaky component.
+        """
+        self.clock += 1
+        self._pump()
+        self.messages_sent += 1
+        if not self.reachable(src, dst):
+            self.partition_rejections += 1
+            raise NetworkPartitionedError(
+                f"{src} cannot reach {dst}: partition "
+                f"(side {self.side_of(src)} vs {self.side_of(dst)})"
+            )
+        attempt = self._next_attempt(src, dst, op, uid)
+        if self.plan.drop(src, dst, op, uid, attempt):
+            self.messages_dropped += 1
+            raise MessageDroppedError(f"{op} {src}->{dst} lost in transit")
+        if self.plan.delay(src, dst, op, uid, attempt):
+            self.messages_delayed += 1
+            self._sequence += 1
+            due = self.clock + self.plan.delay_for(src, dst, op, uid, attempt)
+            self._in_flight.append((due, self._sequence, fn))
+            raise NetworkTimeoutError(
+                f"{op} {src}->{dst} delayed past deadline (due tick {due})"
+            )
+        if self.plan.duplicate(src, dst, op, uid, attempt):
+            self.messages_duplicated += 1
+            result = fn()
+            fn()
+            return result
+        return fn()
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Messages currently queued for late delivery."""
+        return len(self._in_flight)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (torture-suite assertions)."""
+        return {
+            "clock": self.clock,
+            "sent": self.messages_sent,
+            "dropped": self.messages_dropped,
+            "delayed": self.messages_delayed,
+            "duplicated": self.messages_duplicated,
+            "partition_rejections": self.partition_rejections,
+            "late_failures": self.late_failures,
+            "in_flight": len(self._in_flight),
+            "partitions": self.partitions,
+            "heals": self.heals,
+        }
+
+    def __repr__(self) -> str:
+        state = "partitioned" if self.partitioned else "connected"
+        return f"PartitionedTransport({state}, tick={self.clock}, sent={self.messages_sent})"
+
+
+def apply_schedule_event(
+    transport: PartitionedTransport, groups: Optional[Sequence[Iterable[str]]]
+) -> None:
+    """Apply one :meth:`NetworkPlan.partition_schedule` event."""
+    if groups is None:
+        transport.heal()
+    else:
+        transport.partition(*groups)

@@ -1,13 +1,23 @@
-"""Bounded retry with exponential backoff.
+"""Bounded retry with exponential backoff and deterministic seeded jitter.
 
 Clock and sleep are injectable so tests run instantly and deterministically;
 production callers get ``time.sleep`` by default.  Retries trigger only on
 :class:`~repro.errors.TransientError` subtypes — corruption and missing
 chunks are *not* transient and must surface to the healing layers instead.
+
+Jitter exists because pure exponential backoff keeps concurrent clients in
+lockstep: every client that failed at t=0 retries at exactly t=base,
+t=base*m, ... — a transient fault amplifies into a synchronized retry
+storm.  Each policy therefore derates every delay by a deterministic
+factor drawn from ``(seed, attempt index)``, so two clients with different
+seeds spread out while any single schedule stays exactly replayable.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import struct
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
@@ -16,13 +26,18 @@ from repro.errors import TransientError
 
 T = TypeVar("T")
 
+_SCALE = float(1 << 64)
+
 
 @dataclass
 class RetryPolicy:
     """How many times to retry a transient failure, and how to wait.
 
     ``attempts`` counts total tries (so ``attempts=1`` means no retry).
-    Delays grow as ``base_delay * multiplier**n`` capped at ``max_delay``.
+    Delays grow as ``base_delay * multiplier**n`` capped at ``max_delay``,
+    then shrink by up to ``jitter`` (a fraction in ``[0, 1]``) using a
+    draw derived from ``(seed, attempt index)`` — give each concurrent
+    client its own ``seed`` to decorrelate their retry schedules.
     ``sleep`` is the waiting primitive — inject a no-op for instant tests.
     """
 
@@ -30,6 +45,8 @@ class RetryPolicy:
     base_delay: float = 0.005
     multiplier: float = 2.0
     max_delay: float = 0.25
+    jitter: float = 0.1
+    seed: int = 0
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
     #: Operations retried so far (diagnostic; shared across calls).
     retries: int = 0
@@ -39,17 +56,27 @@ class RetryPolicy:
             raise ValueError("attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     @classmethod
-    def instant(cls, attempts: int = 4) -> "RetryPolicy":
+    def instant(cls, attempts: int = 4, seed: int = 0) -> "RetryPolicy":
         """A policy that never actually sleeps (for tests and simulation)."""
-        return cls(attempts=attempts, sleep=lambda _seconds: None)
+        return cls(attempts=attempts, seed=seed, sleep=lambda _seconds: None)
+
+    def _jitter_unit(self, index: int) -> float:
+        """Deterministic uniform draw in ``[0, 1)`` for one delay slot."""
+        digest = hashlib.sha256(struct.pack(">qq", self.seed, index)).digest()
+        return int.from_bytes(digest[:8], "big") / _SCALE
 
     def delays(self) -> Iterator[float]:
-        """The backoff delay before each retry, in order."""
+        """The backoff delay before each retry, in order (jitter applied)."""
         delay = self.base_delay
-        for _ in range(self.attempts - 1):
-            yield min(delay, self.max_delay)
+        for index in range(self.attempts - 1):
+            capped = min(delay, self.max_delay)
+            if self.jitter:
+                capped *= 1.0 - self.jitter * self._jitter_unit(index)
+            yield capped
             delay *= self.multiplier
 
     def call(
@@ -80,6 +107,15 @@ def with_retry(
     fn: Callable[[], T],
     policy: Optional[RetryPolicy] = None,
     retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+    seed: Optional[int] = None,
 ) -> T:
-    """Functional form of :meth:`RetryPolicy.call` (default policy if None)."""
-    return (policy or RetryPolicy()).call(fn, retry_on=retry_on)
+    """Functional form of :meth:`RetryPolicy.call` (default policy if None).
+
+    ``seed`` re-seeds the policy's jitter stream for this caller, so
+    concurrent clients passing distinct seeds (a worker id, a request id)
+    do not retry in lockstep.
+    """
+    policy = policy or RetryPolicy()
+    if seed is not None:
+        policy = dataclasses.replace(policy, seed=seed)
+    return policy.call(fn, retry_on=retry_on)

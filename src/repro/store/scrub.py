@@ -66,6 +66,50 @@ class ScrubReport:
         )
 
 
+def _read_copy_once(
+    store: ChunkStore, uid: Uid, retry: RetryPolicy
+) -> Tuple[str, Optional[Chunk]]:
+    """One verified read: ('ok'|'corrupt'|'missing'|'unreadable', chunk)."""
+    try:
+        chunk = retry.call(lambda: store.get_maybe(uid))
+    except ChunkCorruptionError:
+        return "corrupt", None
+    except TransientError:
+        return "unreadable", None
+    except StoreError:
+        # e.g. a torn record on disk: bytes exist but cannot be framed.
+        return "corrupt", None
+    if chunk is None:
+        return "missing", None
+    if not chunk.is_valid():
+        return "corrupt", chunk
+    return "ok", chunk
+
+
+def diagnose_copy(
+    store: ChunkStore,
+    uid: Uid,
+    retry: Optional[RetryPolicy] = None,
+    reread_on_mismatch: bool = True,
+) -> Tuple[str, Optional[Chunk], bool]:
+    """Verify one stored copy against its content address.
+
+    Returns ``(status, chunk, resolved)`` where ``status`` is one of
+    ``'ok' | 'corrupt' | 'missing' | 'unreadable'`` and ``resolved`` is
+    True when the first read mismatched but a re-read verified — wire
+    corruption, not rot on disk.  This is the shared verification
+    primitive: the scrubber, the cluster's ``durability_check``, and
+    Merkle anti-entropy all discriminate wire from disk the same way.
+    """
+    retry = retry if retry is not None else RetryPolicy.instant()
+    status, chunk = _read_copy_once(store, uid, retry)
+    if status == "corrupt" and reread_on_mismatch:
+        second_status, second_chunk = _read_copy_once(store, uid, retry)
+        if second_status == "ok":
+            return second_status, second_chunk, True
+    return status, chunk, False
+
+
 class Scrubber:
     """Walks a store re-hashing every copy; quarantines and repairs rot."""
 
@@ -85,31 +129,17 @@ class Scrubber:
 
     def _read_copy(self, store: ChunkStore, uid: Uid) -> Tuple[str, Optional[Chunk]]:
         """One verified read: ('ok'|'corrupt'|'missing'|'unreadable', chunk)."""
-        try:
-            chunk = self.retry.call(lambda: store.get_maybe(uid))
-        except ChunkCorruptionError:
-            return "corrupt", None
-        except TransientError:
-            return "unreadable", None
-        except StoreError:
-            # e.g. a torn record on disk: bytes exist but cannot be framed.
-            return "corrupt", None
-        if chunk is None:
-            return "missing", None
-        if not chunk.is_valid():
-            return "corrupt", chunk
-        return "ok", chunk
+        return _read_copy_once(store, uid, self.retry)
 
     def _diagnose(
         self, store: ChunkStore, uid: Uid, report: ScrubReport
     ) -> Tuple[str, Optional[Chunk]]:
         """Read a copy, re-reading once to filter transient mismatches."""
-        status, chunk = self._read_copy(store, uid)
-        if status == "corrupt" and self.reread_on_mismatch:
-            second_status, second_chunk = self._read_copy(store, uid)
-            if second_status == "ok":
-                report.transient_mismatches += 1
-                return second_status, second_chunk
+        status, chunk, resolved = diagnose_copy(
+            store, uid, retry=self.retry, reread_on_mismatch=self.reread_on_mismatch
+        )
+        if resolved:
+            report.transient_mismatches += 1
         return status, chunk
 
     # -- scrub entry points ---------------------------------------------------

@@ -1,0 +1,258 @@
+"""Tests for Merkle anti-entropy repair (repro.cluster.antientropy)."""
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.cluster import (
+    ClusterStore,
+    DigestTree,
+    StorageNode,
+    anti_entropy_pass,
+    digests_agree,
+    ring_position,
+    sync,
+)
+from repro.cluster.ring import POSITION_BITS
+from repro.faults import RetryPolicy
+
+
+def _chunk(n: int, size: int = 64) -> Chunk:
+    return Chunk(ChunkType.BLOB, (b"ae-payload-%d-" % n) * (size // 12 + 1))
+
+
+def _rot(node: StorageNode, chunk: Chunk) -> None:
+    node.store.delete(chunk.uid)
+    node.store.put(Chunk(chunk.type, b"ROT" + chunk.data, uid=chunk.uid))
+
+
+def _cluster(**kwargs) -> ClusterStore:
+    kwargs.setdefault("retry", RetryPolicy.instant(attempts=2))
+    return ClusterStore(**kwargs)
+
+
+class TestDigestTree:
+    def test_equal_holdings_equal_roots(self):
+        uids = [_chunk(i).uid for i in range(100)]
+        a = DigestTree.from_uids(uids)
+        b = DigestTree.from_uids(reversed(uids))  # order-independent
+        assert a.root() == b.root()
+        assert a == b
+
+    def test_add_remove_roundtrip(self):
+        uids = [_chunk(i).uid for i in range(20)]
+        tree = DigestTree.from_uids(uids)
+        root = tree.root()
+        extra = _chunk(999).uid
+        tree.add(extra)
+        assert tree.root() != root
+        tree.remove(extra)
+        assert tree.root() == root
+        assert len(tree) == 20
+
+    def test_bucket_matches_ring_position_prefix(self):
+        tree = DigestTree(depth=8)
+        uid = _chunk(7).uid
+        assert tree.bucket_of(uid) == ring_position(uid) >> (POSITION_BITS - 8)
+
+    def test_diff_finds_exactly_the_differing_buckets(self):
+        uids = [_chunk(i).uid for i in range(200)]
+        a = DigestTree.from_uids(uids)
+        b = DigestTree.from_uids(uids)
+        missing = uids[17]
+        b.remove(missing)
+        differing, _ = a.diff(b)
+        assert differing == [a.bucket_of(missing)]
+
+    def test_diff_descends_only_divergent_subtrees(self):
+        uids = [_chunk(i).uid for i in range(1000)]
+        a = DigestTree.from_uids(uids)
+        b = DigestTree.from_uids(uids[:-1])  # one uid missing
+        _, compared = a.diff(b)
+        # A full comparison would touch every node of a depth-8 tree
+        # (2^9 - 1 = 511); the Merkle descent touches one path.
+        assert compared <= 2 * a.depth + 1
+
+    def test_identical_trees_compare_one_node(self):
+        uids = [_chunk(i).uid for i in range(50)]
+        a = DigestTree.from_uids(uids)
+        b = DigestTree.from_uids(uids)
+        differing, compared = a.diff(b)
+        assert differing == [] and compared == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            DigestTree(depth=0)
+        with pytest.raises(ValueError):
+            DigestTree(depth=17)
+        with pytest.raises(ValueError):
+            DigestTree(depth=4).diff(DigestTree(depth=8))
+
+
+class TestPairwiseSync:
+    def test_sync_ships_missing_chunks(self):
+        cluster = _cluster(node_count=2, replication=2)
+        chunks = [_chunk(i) for i in range(30)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        node_a, node_b = cluster.nodes["node-00"], cluster.nodes["node-01"]
+        dropped = [c for c in chunks[:5]]
+        for chunk in dropped:
+            node_b.store.delete(chunk.uid)
+        report = sync(cluster, node_a, node_b)
+        assert report.chunks_transferred == len(dropped)
+        assert all(node_b.store.has(c.uid) for c in dropped)
+
+    def test_sync_on_converged_nodes_ships_nothing(self):
+        cluster = _cluster(node_count=2, replication=2)
+        for i in range(30):
+            cluster.put(_chunk(i))
+        node_a, node_b = cluster.nodes["node-00"], cluster.nodes["node-01"]
+        report = sync(cluster, node_a, node_b)
+        assert report.chunks_transferred == 0
+        assert report.buckets_differing == 0
+
+    def test_sync_respects_ownership(self):
+        # A chunk b holds but a does NOT own must not be pushed onto a.
+        cluster = _cluster(node_count=4, replication=2)
+        chunks = [_chunk(i) for i in range(40)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        node_a, node_b = cluster.nodes["node-00"], cluster.nodes["node-01"]
+        before = set(node_a.store.ids())
+        sync(cluster, node_a, node_b)
+        gained = set(node_a.store.ids()) - before
+        owners = {uid: cluster.ring.replicas(uid, 2) for uid in gained}
+        assert all("node-00" in names for names in owners.values())
+
+
+class TestAntiEntropyPass:
+    def test_wipe_revive_heals(self):
+        cluster = _cluster(node_count=3, replication=2)
+        chunks = [_chunk(i) for i in range(50)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        cluster.kill_node("node-01")
+        cluster.revive_node("node-01", wipe=True)
+        report = anti_entropy_pass(cluster)
+        assert report.chunks_transferred > 0
+        for chunk in chunks:
+            live = sum(
+                1
+                for node in cluster.replica_nodes(chunk.uid)
+                if node.up and node.store.has(chunk.uid)
+            )
+            assert live == 2
+        assert digests_agree(cluster)
+
+    def test_rot_is_quarantined_and_reshipped(self):
+        cluster = _cluster(node_count=3, replication=2)
+        chunks = [_chunk(i) for i in range(30)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        victim_chunk = chunks[4]
+        victim_node = cluster.replica_nodes(victim_chunk.uid)[0]
+        _rot(victim_node, victim_chunk)
+        report = anti_entropy_pass(cluster)
+        assert report.rotten_quarantined == 1
+        assert report.chunks_transferred >= 1
+        got = victim_node.store.get_maybe(victim_chunk.uid)
+        assert got is not None and got.is_valid()
+
+    def test_transfers_bounded_by_divergence(self):
+        """Regression: anti-entropy must ship O(divergence), not O(N)."""
+        cluster = _cluster(node_count=4, replication=2)
+        total = 400
+        for i in range(total):
+            cluster.put(_chunk(i))
+        # Diverge ~2%: drop a handful of replicas from one node.
+        victim = cluster.nodes["node-02"]
+        held = sorted(victim.store.ids())
+        dropped = held[: max(1, len(held) // 25)]
+        for uid in dropped:
+            victim.store.delete(uid)
+        report = anti_entropy_pass(cluster)
+        assert report.chunks_transferred == len(dropped)
+        # The full sweep touches every chunk in the cluster; the Merkle
+        # pass must examine only the divergent arcs.
+        cluster.full_sweep_repair()
+        assert cluster.sweep_examined == total
+        assert report.chunks_examined <= 4 * len(dropped)
+        assert report.chunks_examined < total
+
+    def test_repair_delegates_to_anti_entropy(self):
+        cluster = _cluster(node_count=3, replication=2)
+        for i in range(20):
+            cluster.put(_chunk(i))
+        cluster.kill_node("node-00")
+        cluster.revive_node("node-00", wipe=True)
+        copies = cluster.repair()
+        assert copies > 0
+        assert cluster.last_sync_report is not None
+        assert cluster.last_sync_report.chunks_transferred == copies
+        assert digests_agree(cluster)
+
+    def test_pass_is_deterministic(self):
+        def run():
+            cluster = _cluster(node_count=3, replication=2)
+            for i in range(40):
+                cluster.put(_chunk(i))
+            cluster.kill_node("node-01")
+            cluster.revive_node("node-01", wipe=True)
+            report = anti_entropy_pass(cluster)
+            return (
+                report.chunks_transferred,
+                report.tree_nodes_compared,
+                report.buckets_differing,
+                sorted(
+                    (name, sorted(u.hex() for u in node.store.ids()))
+                    for name, node in cluster.nodes.items()
+                ),
+            )
+
+        assert run() == run()
+
+    def test_digests_agree_detects_divergence(self):
+        cluster = _cluster(node_count=2, replication=2)
+        chunks = [_chunk(i) for i in range(20)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        assert digests_agree(cluster)
+        cluster.nodes["node-01"].store.delete(chunks[0].uid)
+        assert not digests_agree(cluster)
+        anti_entropy_pass(cluster)
+        assert digests_agree(cluster)
+
+
+class TestVerifiedDurabilityCheck:
+    def test_silent_rot_counts_as_under_replication(self):
+        cluster = _cluster(node_count=2, replication=2)
+        chunk = _chunk(0)
+        cluster.put(chunk)
+        assert cluster.durability_check()["replicated"] == 1
+        _rot(cluster.nodes["node-00"], chunk)
+        verified = cluster.durability_check()
+        assert verified["replicated"] == 0
+        assert verified["single"] == 1
+        # The unverified legacy count still believes the rotten copy.
+        unverified = cluster.durability_check(verify=False)
+        assert unverified["replicated"] == 1
+
+    def test_rot_everywhere_counts_as_lost(self):
+        cluster = _cluster(node_count=2, replication=2)
+        chunk = _chunk(1)
+        cluster.put(chunk)
+        for node in cluster.nodes.values():
+            if node.store.has(chunk.uid):
+                _rot(node, chunk)
+        assert cluster.durability_check()["lost"] == 1
+
+    def test_anti_entropy_restores_verified_durability(self):
+        cluster = _cluster(node_count=3, replication=2)
+        chunks = [_chunk(i) for i in range(15)]
+        for chunk in chunks:
+            cluster.put(chunk)
+        _rot(cluster.replica_nodes(chunks[3].uid)[1], chunks[3])
+        assert cluster.durability_check()["single"] >= 1
+        anti_entropy_pass(cluster)
+        check = cluster.durability_check()
+        assert check["lost"] == 0 and check["single"] == 0

@@ -1,0 +1,75 @@
+"""Tests for the single-writer advisory lock on durable engines."""
+
+import os
+
+import pytest
+
+from repro.db import ForkBase
+from repro.errors import EngineLockedError
+
+fcntl = pytest.importorskip("fcntl", reason="advisory locking is POSIX-only")
+
+
+class TestEngineLock:
+    def test_second_open_raises_typed_error(self, tmp_path):
+        directory = str(tmp_path / "db")
+        engine = ForkBase.open(directory)
+        try:
+            with pytest.raises(EngineLockedError) as info:
+                ForkBase.open(directory)
+            assert info.value.directory == directory
+            assert "locked" in str(info.value)
+        finally:
+            engine.close()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        directory = str(tmp_path / "db")
+        engine = ForkBase.open(directory)
+        engine.put("k", "v1")
+        engine.close()
+        reopened = ForkBase.open(directory)
+        try:
+            assert reopened.get_value("k") == "v1"
+        finally:
+            reopened.close()
+
+    def test_context_manager_releases_the_lock(self, tmp_path):
+        directory = str(tmp_path / "db")
+        with ForkBase.open(directory) as engine:
+            engine.put("k", "v1")
+        with ForkBase.open(directory) as engine:
+            assert engine.get_value("k") == "v1"
+
+    def test_abandon_releases_the_lock(self, tmp_path):
+        # abandon() is the in-process SIGKILL: OS handles (including the
+        # flock) must be released even though nothing is persisted.
+        directory = str(tmp_path / "db")
+        engine = ForkBase.open(directory)
+        engine.put("k", "v1")
+        engine.abandon()
+        with ForkBase.open(directory) as recovered:
+            assert recovered.get_value("k") == "v1"  # journal replay
+
+    def test_stale_lock_file_is_harmless(self, tmp_path):
+        # A leftover .lock from a crashed process holds no flock: opening
+        # over it must succeed (the lock dies with its holder).
+        directory = str(tmp_path / "db")
+        os.makedirs(directory)
+        with open(os.path.join(directory, ".lock"), "w", encoding="utf-8") as handle:
+            handle.write("stale")
+        with ForkBase.open(directory) as engine:
+            engine.put("k", "v1")
+
+    def test_close_is_idempotent(self, tmp_path):
+        directory = str(tmp_path / "db")
+        engine = ForkBase.open(directory)
+        engine.close()
+        engine.close()  # second close must not blow up on the lock
+
+    def test_two_directories_do_not_conflict(self, tmp_path):
+        with ForkBase.open(str(tmp_path / "a")) as a:
+            with ForkBase.open(str(tmp_path / "b")) as b:
+                a.put("k", "from-a")
+                b.put("k", "from-b")
+                assert a.get_value("k") == "from-a"
+                assert b.get_value("k") == "from-b"

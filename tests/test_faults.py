@@ -1,5 +1,7 @@
 """Tests for the deterministic fault-injection layer (repro.faults)."""
 
+import dataclasses
+
 import pytest
 
 from repro.chunk import Chunk, ChunkType, Uid
@@ -222,13 +224,14 @@ class TestRetryPolicy:
 
     def test_backoff_delays_grow_and_cap(self):
         policy = RetryPolicy(attempts=6, base_delay=0.01, multiplier=2.0,
-                             max_delay=0.05, sleep=lambda _s: None)
+                             max_delay=0.05, jitter=0.0, sleep=lambda _s: None)
         delays = list(policy.delays())
         assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
 
     def test_sleep_is_injectable(self):
         slept = []
-        policy = RetryPolicy(attempts=3, base_delay=0.1, sleep=slept.append)
+        policy = RetryPolicy(attempts=3, base_delay=0.1, jitter=0.0,
+                             sleep=slept.append)
 
         def once():
             if not slept:
@@ -243,3 +246,49 @@ class TestRetryPolicy:
             RetryPolicy(attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(attempts=6, base_delay=0.01, seed=7, sleep=lambda _s: None)
+        b = RetryPolicy(attempts=6, base_delay=0.01, seed=7, sleep=lambda _s: None)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_jitter_decorrelates_seeds(self):
+        a = RetryPolicy(attempts=6, base_delay=0.01, seed=1, sleep=lambda _s: None)
+        b = RetryPolicy(attempts=6, base_delay=0.01, seed=2, sleep=lambda _s: None)
+        assert list(a.delays()) != list(b.delays())
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(attempts=8, base_delay=0.01, multiplier=2.0,
+                             max_delay=0.05, jitter=0.25, seed=3,
+                             sleep=lambda _s: None)
+        bare = RetryPolicy(attempts=8, base_delay=0.01, multiplier=2.0,
+                           max_delay=0.05, jitter=0.0, sleep=lambda _s: None)
+        for jittered, exact in zip(policy.delays(), bare.delays()):
+            # Jitter only derates: never above the exact schedule, never
+            # below (1 - jitter) of it.
+            assert exact * (1 - 0.25) <= jittered <= exact
+
+    def test_with_retry_threads_seed_through(self):
+        slept_a, slept_b = [], []
+
+        def fail_then_ok(log):
+            def fn():
+                if not log:
+                    raise TransientStoreError("flap")
+                return "ok"
+            return fn
+
+        base = RetryPolicy(attempts=2, base_delay=0.05)
+        assert with_retry(fail_then_ok(slept_a),
+                          dataclasses.replace(base, sleep=slept_a.append),
+                          seed=10) == "ok"
+        assert with_retry(fail_then_ok(slept_b),
+                          dataclasses.replace(base, sleep=slept_b.append),
+                          seed=11) == "ok"
+        # Both retried exactly once, but on decorrelated schedules.
+        assert len(slept_a) == len(slept_b) == 1
+        assert slept_a != slept_b
