@@ -40,6 +40,9 @@ LAYERS: Mapping[str, int] = {
     "repro.store.cached": 3,
     "repro.faults": 4,
     "repro.faults.network": 4,
+    # The pack backend sits above faults (it embeds crash-points the way
+    # the journal does) but below everything that stores chunks.
+    "repro.store.packstore": 5,
     "repro.postree": 5,
     "repro.types": 6,
     "repro.vcs": 7,
@@ -48,7 +51,10 @@ LAYERS: Mapping[str, int] = {
     "repro.cluster.antientropy": 8,
     "repro.store.gc": 9,
     "repro.store.scrub": 9,
-    "repro.store": 9,  # the facade re-exports gc/scrub
+    # The decoded-node cache decodes POS-Tree nodes, so it sits above the
+    # tree layer it understands, beside the other tree-aware store code.
+    "repro.store.nodecache": 9,
+    "repro.store": 9,  # the facade re-exports gc/scrub/nodecache
     "repro.security.verify": 10,
     "repro.security.tamper": 10,
     "repro.db": 11,
@@ -150,7 +156,9 @@ ERRORS_BUILTIN_ALLOW: FrozenSet[str] = frozenset(
 #: Optional third-party accelerators: importable only behind a guarded
 #: try/except ImportError fast-path (the rolling/fast.py pattern), so the
 #: pure-python reference build stays the source of truth.
-OPTDEP_MODULES: FrozenSet[str] = frozenset({"numpy", "pandas", "scipy", "pyarrow", "numba"})
+OPTDEP_MODULES: FrozenSet[str] = frozenset(
+    {"numpy", "pandas", "scipy", "pyarrow", "numba", "zstandard"}
+)
 
 #: Paths that persist state via rename (FB-DURABLE): any ``os.replace``
 #: here must be preceded, in the same function, by an fsync of the source

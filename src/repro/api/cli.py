@@ -291,7 +291,12 @@ def _dispatch(args: argparse.Namespace, engine: ForkBase) -> int:
         return 0 if report.ok else 3
 
     if command == "stats":
-        print(engine.storage_stats().describe())
+        snap = engine.storage_snapshot()
+        print(snap.describe())
+        print(
+            f"materialized={snap.materialized_bytes}B "
+            f"backend={type(engine.store).__name__}"
+        )
         return 0
 
     if command == "diff-datasets":
@@ -303,20 +308,24 @@ def _dispatch(args: argparse.Namespace, engine: ForkBase) -> int:
         return 0
 
     if command == "gc":
-        # Durable engines reclaim by compaction (append-only segments).
-        from repro.store import FileStore
-        from repro.store.gc import compact_into
-
         report_obj = None
         if args.dry_run:
             from repro.store.gc import collect_garbage
 
             report_obj = collect_garbage(engine, dry_run=True)
+        elif engine.store.supports_in_place_sweep:
+            # The pack backend sweeps in place and reclaims the dead bytes
+            # by rewriting its own segments — no layout swap needed.
+            report_obj = engine.collect_garbage(compact=True)
         else:
+            # The file layout reclaims by compaction into a fresh store of
+            # the same kind, then an atomic directory swap.
             import os
             import shutil
 
+            from repro.store import FileStore
             from repro.store.durability import durable_replace
+            from repro.store.gc import compact_into
 
             new_dir = os.path.join(args.data_dir, "chunks.compact")
             shutil.rmtree(new_dir, ignore_errors=True)

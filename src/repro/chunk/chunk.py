@@ -52,8 +52,10 @@ class Chunk:
     def __init__(
         self, type_: ChunkType, data: bytes, uid: Optional[Uid] = None
     ) -> None:
-        self._type = ChunkType(type_)
-        self._data = bytes(data)
+        # Enum re-construction costs ~0.4us; skip it when the caller
+        # already hands us members (every store read path does).
+        self._type = type_ if type_.__class__ is ChunkType else ChunkType(type_)
+        self._data = data if data.__class__ is bytes else bytes(data)
         self._uid = uid if uid is not None else self.compute_uid(self._type, self._data)
 
     @staticmethod

@@ -38,7 +38,7 @@ from repro.faults.crash import crashing_write, crashpoint
 from repro.faults.retry import RetryPolicy
 from repro.postree.diff import TreeDiff
 from repro.postree.merge import MergeConflict, Resolver
-from repro.store import FileStore, InMemoryStore
+from repro.store import FileStore, InMemoryStore, NodeCacheStore, PackStore
 from repro.store.base import ChunkStore
 from repro.store.durability import durable_replace, fsync_file
 from repro.types import FBlob, FList, FMap, FObject, FSet, load_object
@@ -123,17 +123,29 @@ class ForkBase:
         author: str = "anonymous",
         fsync: str = "batch",
         journal_limit: int = 1 << 20,
+        backend: str = "auto",
+        compression: str = "auto",
+        node_cache: int = 0,
     ) -> "ForkBase":
         """Open (or create) a durable engine rooted at ``directory``.
 
-        Chunks live in an append-only :class:`FileStore`; branch heads in
-        ``branches.json`` next to it (the client-side head record of the
-        paper's threat model), kept crash-consistent by a write-ahead
-        commit journal (``journal.wal``): recovery loads the last heads
-        snapshot and replays every journal record it does not yet cover.
-        ``fsync`` is the journal's durability policy (``always`` /
-        ``batch`` / ``never``); ``journal_limit`` is the size at which a
-        commit triggers snapshot compaction.
+        Chunks live in an append-only durable store — ``backend`` picks
+        one-record-per-read :class:`FileStore` (``"file"``, the default
+        for fresh directories) or mmap-backed, compressed
+        :class:`~repro.store.packstore.PackStore` (``"pack"``);
+        ``"auto"`` detects which layout already lives on disk.  Both
+        yield bit-identical uids and roots — the backend is invisible
+        above the chunk layer.  ``compression`` is the pack codec policy
+        (``auto`` / ``zstd`` / ``zlib`` / ``none``) and ``node_cache``
+        (entries; 0 disables) layers a decoded-node LRU on top for hot
+        tree descents.  Branch heads live in ``branches.json`` next to
+        the chunks (the client-side head record of the paper's threat
+        model), kept crash-consistent by a write-ahead commit journal
+        (``journal.wal``): recovery loads the last heads snapshot and
+        replays every journal record it does not yet cover.  ``fsync``
+        is the journal's durability policy (``always`` / ``batch`` /
+        ``never``); ``journal_limit`` is the size at which a commit
+        triggers snapshot compaction.
 
         The directory is guarded by an advisory ``fcntl.flock`` on
         ``<directory>/.lock``: a second live process opening the same
@@ -145,7 +157,9 @@ class ForkBase:
         os.makedirs(directory, exist_ok=True)
         lock_handle = cls._acquire_lock(directory)
         try:
-            engine = cls(FileStore(os.path.join(directory, "chunks")), author=author)
+            chunk_dir = os.path.join(directory, "chunks")
+            store = cls._open_store(chunk_dir, backend, compression, node_cache)
+            engine = cls(store, author=author)
             engine._lock_handle = lock_handle
             engine._directory = directory
             engine._journal_limit = journal_limit
@@ -168,6 +182,50 @@ class ForkBase:
             cls._release_lock(lock_handle)
             raise
         return engine
+
+    @staticmethod
+    def _open_store(
+        chunk_dir: str, backend: str, compression: str, node_cache: int
+    ) -> ChunkStore:
+        """Build the durable chunk store for :meth:`open`.
+
+        ``auto`` keeps reopen honest: an existing layout on disk decides
+        the backend, and a *fresh* directory defaults to the file layout
+        (seed-compatible) — overridable via the ``FORKBASE_BACKEND``
+        environment variable, which is how CI runs the whole suite against
+        each backend.  Asking explicitly for the wrong backend on a
+        populated directory is an :class:`~repro.errors.EngineError`
+        rather than a silently empty store.
+        """
+        file_layout = os.path.isdir(os.path.join(chunk_dir, "segments"))
+        pack_layout = os.path.isdir(os.path.join(chunk_dir, "packs"))
+        if backend == "auto":
+            if pack_layout and not file_layout:
+                backend = "pack"
+            elif file_layout and not pack_layout:
+                backend = "file"
+            else:
+                backend = os.environ.get("FORKBASE_BACKEND", "file")
+        elif backend == "file" and pack_layout and not file_layout:
+            raise EngineError(
+                f"{chunk_dir} holds a pack-layout store; open with "
+                f"backend='pack' (or 'auto')"
+            )
+        elif backend == "pack" and file_layout and not pack_layout:
+            raise EngineError(
+                f"{chunk_dir} holds a file-layout store; open with "
+                f"backend='file' (or 'auto')"
+            )
+        store: ChunkStore
+        if backend == "file":
+            store = FileStore(chunk_dir)
+        elif backend == "pack":
+            store = PackStore(chunk_dir, compression=compression)
+        else:
+            raise EngineError(f"unknown storage backend {backend!r}")
+        if node_cache:
+            store = NodeCacheStore(store, capacity=node_cache)
+        return store
 
     @staticmethod
     def _acquire_lock(directory: str) -> Optional[IO[str]]:
@@ -680,18 +738,25 @@ class ForkBase:
 
         return scrub(self.store, **kwargs)
 
-    def collect_garbage(self, dry_run: bool = False):
+    def collect_garbage(self, dry_run: bool = False, compact: bool = False):
         """Sweep chunks unreachable from any branch head (see
-        :mod:`repro.store.gc`)."""
+        :mod:`repro.store.gc`).  ``compact=True`` additionally rewrites a
+        pack-backed store's segments so swept bytes return to the OS."""
         from repro.store.gc import collect_garbage
 
-        return collect_garbage(self, dry_run=dry_run)
+        return collect_garbage(self, dry_run=dry_run, compact=compact)
 
     # -- storage accounting ----------------------------------------------------------
 
     def storage_stats(self):
         """The chunk store's accounting (Fig. 4 / Table I numbers)."""
         return self.store.stats
+
+    def storage_snapshot(self):
+        """One self-contained :class:`~repro.store.stats.StoreStats` copy:
+        logical/physical bytes, dedup ratio, cache hit rate, and I/O
+        amplification — the row the storage benches report per backend."""
+        return self.store.stats_snapshot()
 
     def physical_size(self) -> int:
         """Total materialized payload bytes."""

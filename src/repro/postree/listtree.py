@@ -198,6 +198,11 @@ class PositionalTree:
         return cls(store, _build_list_index_levels(store, descriptors, config), config)
 
     def _node(self, uid: Uid) -> Union["ListLeafNode", "ListIndexNode"]:
+        getter = getattr(self.store, "get_node", None)
+        if getter is not None:
+            decoded = getter(uid)
+            if isinstance(decoded, (ListLeafNode, ListIndexNode)):
+                return decoded
         chunk = self.store.get(uid)
         if chunk.type == ChunkType.LIST_LEAF:
             return ListLeafNode.from_chunk(chunk)
@@ -370,6 +375,11 @@ class BlobTree:
         return cls(store, root, blob_config, tree_config)
 
     def _node(self, uid: Uid) -> Union[Chunk, "ListIndexNode"]:
+        getter = getattr(self.store, "get_node", None)
+        if getter is not None:
+            decoded = getter(uid)
+            if isinstance(decoded, (Chunk, ListIndexNode)):
+                return decoded
         chunk = self.store.get(uid)
         if chunk.type == ChunkType.BLOB:
             return chunk

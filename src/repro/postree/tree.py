@@ -78,7 +78,17 @@ class PosTree:
     # -- node access ---------------------------------------------------------
 
     def node(self, uid: Uid) -> Node:
-        """Load and decode a node chunk."""
+        """Load and decode a node chunk.
+
+        Stores that cache decoded nodes advertise the duck-typed
+        ``get_node`` hook (:mod:`repro.store.nodecache`); when present, a
+        hot descent costs one dict probe instead of a fetch + decode.
+        """
+        getter = getattr(self.store, "get_node", None)
+        if getter is not None:
+            decoded = getter(uid)
+            if isinstance(decoded, (LeafNode, IndexNode)):
+                return decoded
         return load_node(self.store.get(uid))
 
     def root_node(self) -> Node:

@@ -12,19 +12,26 @@ Implementations:
 - :class:`~repro.store.memory.InMemoryStore` — dict-backed, the default.
 - :class:`~repro.store.filestore.FileStore` — append-only segment files
   with a persisted index; survives close/reopen.
-- :class:`~repro.store.cached.CachedStore` — LRU read-through cache over
-  any other store.
+- :class:`~repro.store.packstore.PackStore` — append-only pack files with
+  CRC-framed compressed records, mmap reads, a bloom filter, and segment
+  compaction; the throughput-oriented durable backend.
+- :class:`~repro.store.cached.CachedStore` — LRU read-through cache of
+  raw chunks over any other store.
+- :class:`~repro.store.nodecache.NodeCacheStore` — LRU cache of *decoded*
+  POS-Tree nodes, so hot descents skip parsing entirely.
 
 Maintenance: :mod:`repro.store.scrub` re-hashes every materialized copy
 against its content address, quarantining (and, on replicated stores,
 repairing) silent corruption; :mod:`repro.store.gc` sweeps unreachable
-chunks.
+chunks and drives pack segment compaction.
 """
 
 from repro.store.base import ChunkStore
 from repro.store.cached import CachedStore
 from repro.store.filestore import FileStore
 from repro.store.memory import InMemoryStore
+from repro.store.nodecache import NodeCacheStore
+from repro.store.packstore import PackStore
 from repro.store.scrub import ScrubReport, Scrubber, scrub
 from repro.store.stats import StoreStats
 
@@ -33,6 +40,8 @@ __all__ = [
     "CachedStore",
     "FileStore",
     "InMemoryStore",
+    "NodeCacheStore",
+    "PackStore",
     "ScrubReport",
     "Scrubber",
     "StoreStats",

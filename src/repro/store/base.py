@@ -7,7 +7,7 @@ optional read verification, and batch helpers on top.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Set
 
 from repro.chunk import Chunk, Uid
 from repro.errors import ChunkNotFoundError
@@ -23,6 +23,11 @@ class ChunkStore:
     the tamper-evidence demo (§III-C) relies on.
     """
 
+    #: True when :meth:`delete` reclaims durably in place, so the garbage
+    #: collector may sweep this store directly instead of copying live
+    #: chunks out (see :mod:`repro.store.gc`).
+    supports_in_place_sweep: bool = False
+
     def __init__(self, verify_reads: bool = False) -> None:
         self.stats = StoreStats()
         self.verify_reads = verify_reads
@@ -31,6 +36,16 @@ class ChunkStore:
 
     def _insert(self, chunk: Chunk) -> None:
         raise NotImplementedError
+
+    def _insert_many(self, chunks: List[Chunk]) -> None:
+        """Materialize several novel chunks (pre-deduplicated by the caller).
+
+        The default loops :meth:`_insert`; durable backends override it to
+        amortize per-chunk costs (one flush/fsync and one index snapshot
+        per batch instead of per chunk).
+        """
+        for chunk in chunks:
+            self._insert(chunk)
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
         raise NotImplementedError
@@ -55,13 +70,29 @@ class ChunkStore:
         return new
 
     def put_many(self, chunks: Iterable[Chunk]) -> int:
-        """Store several chunks; return how many were new."""
-        return sum(1 for chunk in chunks if self.put(chunk))
+        """Store several chunks in one batch; return how many were new.
+
+        Deduplication happens up front (against the store and within the
+        batch itself), then every novel chunk goes through the
+        :meth:`_insert_many` hook so backends can batch the physical
+        appends, fsyncs, and index snapshots.
+        """
+        fresh: List[Chunk] = []
+        seen: Set[Uid] = set()
+        for chunk in chunks:
+            new = chunk.uid not in seen and not self._contains(chunk.uid)
+            self.stats.record_put(chunk.type.name, chunk.size(), new)
+            if new:
+                seen.add(chunk.uid)
+                fresh.append(chunk)
+        if fresh:
+            self._insert_many(fresh)
+        return len(fresh)
 
     def get(self, uid: Uid) -> Chunk:
         """Fetch a chunk or raise :class:`ChunkNotFoundError`."""
         chunk = self._fetch(uid)
-        self.stats.record_get(chunk is not None)
+        self.stats.record_get(chunk is not None, chunk.size() if chunk else 0)
         if chunk is None:
             raise ChunkNotFoundError(uid)
         if self.verify_reads:
@@ -71,7 +102,7 @@ class ChunkStore:
     def get_maybe(self, uid: Uid) -> Optional[Chunk]:
         """Fetch a chunk or return None."""
         chunk = self._fetch(uid)
-        self.stats.record_get(chunk is not None)
+        self.stats.record_get(chunk is not None, chunk.size() if chunk else 0)
         if chunk is not None and self.verify_reads:
             chunk.verify()
         return chunk
@@ -108,6 +139,23 @@ class ChunkStore:
             if chunk is not None:
                 total += chunk.size()
         return total
+
+    def stats_snapshot(self) -> StoreStats:
+        """One self-contained accounting snapshot (benchmark surface).
+
+        Copies the live counters and fills ``materialized_bytes`` with the
+        store's current physical payload size, so a single object carries
+        logical size, physical size, dedup ratio, cache hit rate, and I/O
+        amplification.  Wrapper stores override this to merge their cache
+        counters with the backing store's device traffic.
+        """
+        snap = self.stats.snapshot()
+        io_read = self.stats.io_read_bytes
+        snap.materialized_bytes = self.physical_size()
+        # The default physical_size() walks _fetch; that diagnostic scan
+        # is not workload traffic, so keep it out of the amplification.
+        self.stats.io_read_bytes = io_read
+        return snap
 
     def close(self) -> None:
         """Release resources; default is a no-op."""

@@ -7,10 +7,11 @@ nicest systems consequence of content addressing.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.chunk import Chunk, Uid
 from repro.store.base import ChunkStore
+from repro.store.stats import StoreStats
 
 
 class CachedStore(ChunkStore):
@@ -22,6 +23,7 @@ class CachedStore(ChunkStore):
             raise ValueError("capacity must be >= 1")
         self.backing = backing
         self.capacity = capacity
+        self.supports_in_place_sweep = backing.supports_in_place_sweep
         self._cache: "OrderedDict[Uid, Chunk]" = OrderedDict()
         self.hits = 0
         self.lookups = 0
@@ -36,6 +38,12 @@ class CachedStore(ChunkStore):
     def _insert(self, chunk: Chunk) -> None:
         self.backing.put(chunk)
         self._remember(chunk)
+
+    def _insert_many(self, chunks: List[Chunk]) -> None:
+        """Pass the whole batch down so durable backends batch fsyncs."""
+        self.backing.put_many(chunks)
+        for chunk in chunks:
+            self._remember(chunk)
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
         self.lookups += 1
@@ -72,5 +80,15 @@ class CachedStore(ChunkStore):
     def physical_size(self) -> int:
         return self.backing.physical_size()
 
+    def stats_snapshot(self) -> StoreStats:
+        """The backing store's snapshot plus this layer's cache counters."""
+        snap = self.backing.stats_snapshot()
+        snap.cache_hits += self.hits
+        snap.cache_lookups += self.lookups
+        return snap
+
     def close(self) -> None:
         self.backing.close()
+
+    def abandon(self) -> None:
+        self.backing.abandon()

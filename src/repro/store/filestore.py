@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 import struct
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import StoreClosedError, StoreError
@@ -170,14 +170,15 @@ class FileStore(ChunkStore):
                 handle.write(_WATERMARK_ENTRY.pack(segment, length))
             for uid, (segment, offset) in self._index.items():
                 handle.write(_INDEX_ENTRY.pack(uid.digest, segment, offset))
+            written = handle.tell()
             fsync_file(handle)
         durable_replace(tmp, path)
+        self.stats.record_io(written=written)
 
     # -- primitives ----------------------------------------------------------
 
-    def _insert(self, chunk: Chunk) -> None:
-        if self._closed:
-            raise StoreClosedError("store is closed")
+    def _append(self, chunk: Chunk) -> None:
+        """Append one record to the active segment (no flush)."""
         offset = self._writer.tell()
         if offset >= self._segment_limit:
             self._writer.close()
@@ -187,8 +188,28 @@ class FileStore(ChunkStore):
             offset = 0
         self._writer.write(_RECORD_HEADER.pack(int(chunk.type), len(chunk.data)))
         self._writer.write(chunk.data)
-        self._writer.flush()
         self._index[chunk.uid] = (self._active, offset)
+        self.stats.record_io(written=_RECORD_HEADER.size + len(chunk.data))
+
+    def _insert(self, chunk: Chunk) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+        self._append(chunk)
+        self._writer.flush()
+
+    def _insert_many(self, chunks: List[Chunk]) -> None:
+        """Batched append: one fsync and one index snapshot per batch.
+
+        Single :meth:`put` stays cheap (flush only, index saved at close);
+        a batch is acknowledged durable as a unit — the whole point of
+        routing bulk loads through ``put_many``.
+        """
+        if self._closed:
+            raise StoreClosedError("store is closed")
+        for chunk in chunks:
+            self._append(chunk)
+        fsync_file(self._writer)
+        self._save_index()
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
         if self._closed:
@@ -206,6 +227,7 @@ class FileStore(ChunkStore):
             payload = handle.read(length)
         if len(payload) != length:
             raise StoreError(f"torn record for {uid.short()}")
+        self.stats.record_io(read=_RECORD_HEADER.size + length)
         return Chunk(ChunkType(tag), payload, uid=uid)
 
     def _contains(self, uid: Uid) -> bool:

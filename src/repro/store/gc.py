@@ -53,6 +53,12 @@ class GcReport:
     swept_chunks: int
     swept_bytes: int
     dry_run: bool
+    #: Pack segments that existed before / survived a segment compaction
+    #: (both zero when the backend has no segments or ``compact=False``).
+    segments_before: int = 0
+    segments_after: int = 0
+    #: On-disk bytes reclaimed by rewriting pack segments.
+    compacted_bytes: int = 0
 
     @property
     def reclaim_fraction(self) -> float:
@@ -61,6 +67,22 @@ class GcReport:
         if total == 0:
             return 0.0
         return self.swept_bytes / total
+
+
+def _unwrap(store: ChunkStore) -> ChunkStore:
+    """Peel cache wrappers down to the physical store.
+
+    Wrapper stores expose their wrapped store as the public ``backing``
+    attribute; segment compaction must talk to the physical layer.
+    """
+    seen = 0
+    while seen < 8:
+        backing = getattr(store, "backing", None)
+        if not isinstance(backing, ChunkStore):
+            return store
+        store = backing
+        seen += 1
+    return store
 
 
 def mark_live(store: ChunkStore, roots: Iterable[Uid]) -> Set[Uid]:
@@ -83,12 +105,21 @@ def collect_garbage(
     engine: Engine,
     extra_roots: Iterable[Uid] = (),
     dry_run: bool = False,
+    compact: bool = False,
 ) -> GcReport:
     """Sweep chunks unreachable from the engine's branch heads.
 
-    Only :class:`InMemoryStore`-backed engines support in-place sweeping;
-    other stores should use :func:`compact_into` (copy-live-out), which
-    matches how append-only storage actually reclaims space.
+    In-place sweeping needs a store whose ``delete`` reclaims durably
+    (``supports_in_place_sweep``): the dict-backed store frees memory
+    immediately, and the pack store drops index entries whose bytes die
+    at the next segment compaction.  One-file-per-record stores should
+    use :func:`compact_into` (copy-live-out) instead.
+
+    With ``compact=True``, a pack-backed store additionally rewrites its
+    live records into fresh segments after the sweep and unlinks the dead
+    ones, so the report's ``compacted_bytes`` shows actual disk space
+    returned to the OS — the pack-aware reclamation the append-only
+    layout calls for.
     """
     store = engine.store
     roots = [head for _, _, head in engine.branch_table.all_heads()]
@@ -111,12 +142,26 @@ def collect_garbage(
             swept_bytes += chunk.size()
 
     if not dry_run and doomed:
-        if not isinstance(store, InMemoryStore):
+        if not (store.supports_in_place_sweep or isinstance(store, InMemoryStore)):
             raise StoreError(
-                "in-place sweep requires an InMemoryStore; use compact_into()"
+                "in-place sweep requires a store with durable deletes; "
+                "use compact_into()"
             )
         for uid in doomed:
+            # Delete through the top of the stack so cache layers evict.
             store.delete(uid)
+
+    segments_before = 0
+    segments_after = 0
+    compacted_bytes = 0
+    if compact and not dry_run:
+        physical = _unwrap(store)
+        compactor = getattr(physical, "compact_segments", None)
+        if callable(compactor):
+            outcome = compactor()
+            segments_before = outcome["segments_before"]
+            segments_after = outcome["segments_after"]
+            compacted_bytes = max(0, outcome["bytes_before"] - outcome["bytes_after"])
 
     return GcReport(
         live_chunks=len(live),
@@ -124,6 +169,9 @@ def collect_garbage(
         swept_chunks=swept_chunks,
         swept_bytes=swept_bytes,
         dry_run=dry_run,
+        segments_before=segments_before,
+        segments_after=segments_after,
+        compacted_bytes=compacted_bytes,
     )
 
 

@@ -11,6 +11,8 @@ from repro.store.base import ChunkStore
 class InMemoryStore(ChunkStore):
     """Chunks held in a process-local dict keyed by uid."""
 
+    supports_in_place_sweep = True
+
     def __init__(self, verify_reads: bool = False) -> None:
         super().__init__(verify_reads=verify_reads)
         self._chunks: Dict[Uid, Chunk] = {}

@@ -1,0 +1,130 @@
+"""LRU cache of *decoded* POS-Tree nodes over another chunk store.
+
+:class:`~repro.store.cached.CachedStore` caches raw chunks, which saves
+the device read but still pays entry decoding on every descent.  At tree
+fan-outs of ~60 the decode dominates a hot lookup, so this wrapper caches
+the decoded node objects themselves — a hot descent touches no codec, no
+CRC, and no disk.  Content addressing makes this safe: a uid names one
+immutable byte string forever, so a decoded node never needs
+invalidation, and sharing the cached object across readers is sound
+because nodes are sealed (FB-IMMUT).
+
+The cache is consumed through the duck-typed :meth:`get_node` hook: tree
+handles probe ``getattr(store, "get_node", None)`` and fall back to
+``get`` + decode when absent.  That keeps :mod:`repro.postree` (layer 5)
+ignorant of this module (layer 9, beside gc/scrub) — the tree knows only
+that *some* stores can hand it pre-decoded nodes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Union
+
+from repro.chunk import Chunk, ChunkType, Uid
+from repro.postree.listtree import ListIndexNode, ListLeafNode
+from repro.postree.node import IndexNode, LeafNode, load_node
+from repro.store.base import ChunkStore
+from repro.store.stats import StoreStats
+
+#: Everything ``get_node`` can hand back: keyed-tree nodes, list-tree
+#: nodes, or the raw chunk itself for types with no richer decoding
+#: (BLOB, FNODE, META, ...).
+DecodedNode = Union[LeafNode, IndexNode, ListLeafNode, ListIndexNode, Chunk]
+
+
+def decode_chunk(chunk: Chunk) -> DecodedNode:
+    """Decode one chunk into its natural in-memory node form."""
+    if chunk.type in (ChunkType.LEAF, ChunkType.INDEX):
+        return load_node(chunk)
+    if chunk.type == ChunkType.LIST_LEAF:
+        return ListLeafNode.from_chunk(chunk)
+    if chunk.type == ChunkType.LIST_INDEX:
+        return ListIndexNode.from_chunk(chunk)
+    return chunk
+
+
+class NodeCacheStore(ChunkStore):
+    """Wraps a backing store with an LRU cache of decoded tree nodes."""
+
+    def __init__(self, backing: ChunkStore, capacity: int = 4096) -> None:
+        super().__init__(verify_reads=False)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.backing = backing
+        self.capacity = capacity
+        self.supports_in_place_sweep = backing.supports_in_place_sweep
+        self._nodes: "OrderedDict[Uid, DecodedNode]" = OrderedDict()
+        self.node_hits = 0
+        self.node_lookups = 0
+
+    # -- the decoded-node surface --------------------------------------------
+
+    def get_node(self, uid: Uid) -> DecodedNode:
+        """Fetch a chunk decoded to its node form, via the LRU cache.
+
+        Raises :class:`~repro.errors.ChunkNotFoundError` like ``get``.
+        """
+        self.node_lookups += 1
+        cached = self._nodes.get(uid)
+        if cached is not None:
+            self.node_hits += 1
+            self._nodes.move_to_end(uid)
+            return cached
+        decoded = decode_chunk(self.backing.get(uid))
+        self._remember(uid, decoded)
+        return decoded
+
+    def _remember(self, uid: Uid, decoded: DecodedNode) -> None:
+        nodes = self._nodes
+        nodes[uid] = decoded
+        nodes.move_to_end(uid)
+        while len(nodes) > self.capacity:
+            nodes.popitem(last=False)
+
+    # -- primitives delegate to the backing store ----------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        self.backing.put(chunk)
+
+    def _insert_many(self, chunks: List[Chunk]) -> None:
+        self.backing.put_many(chunks)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        return self.backing.get_maybe(uid)
+
+    def _contains(self, uid: Uid) -> bool:
+        return self.backing.has(uid)
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(self.backing.ids())
+
+    def _delete(self, uid: Uid) -> bool:
+        self._nodes.pop(uid, None)
+        return self.backing.delete(uid)
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    @property
+    def node_hit_rate(self) -> float:
+        """Fraction of ``get_node`` calls served without decoding."""
+        if self.node_lookups == 0:
+            return 0.0
+        return self.node_hits / self.node_lookups
+
+    def physical_size(self) -> int:
+        return self.backing.physical_size()
+
+    def stats_snapshot(self) -> StoreStats:
+        """The backing store's snapshot plus this layer's cache counters."""
+        snap = self.backing.stats_snapshot()
+        snap.cache_hits += self.node_hits
+        snap.cache_lookups += self.node_lookups
+        return snap
+
+    def close(self) -> None:
+        self.backing.close()
+
+    def abandon(self) -> None:
+        self.backing.abandon()

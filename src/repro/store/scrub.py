@@ -86,6 +86,28 @@ def _read_copy_once(
     return "ok", chunk
 
 
+def _frame_verdict(store: ChunkStore, uid: Uid) -> Optional[str]:
+    """Ask the physical layer for an on-disk frame diagnosis, if it has one.
+
+    Pack-style backends expose ``diagnose_record`` returning
+    ``'ok' | 'missing' | 'torn' | 'crc' | 'codec'``; cache wrappers are
+    peeled via their public ``backing`` attribute.  None when no layer
+    understands record frames (dict- and file-per-segment stores).
+    """
+    depth = 0
+    while depth < 8:
+        probe = getattr(store, "diagnose_record", None)
+        if callable(probe):
+            verdict = probe(uid)
+            return verdict if isinstance(verdict, str) else None
+        backing = getattr(store, "backing", None)
+        if not isinstance(backing, ChunkStore):
+            return None
+        store = backing
+        depth += 1
+    return None
+
+
 def diagnose_copy(
     store: ChunkStore,
     uid: Uid,
@@ -100,13 +122,22 @@ def diagnose_copy(
     corruption, not rot on disk.  This is the shared verification
     primitive: the scrubber, the cluster's ``durability_check``, and
     Merkle anti-entropy all discriminate wire from disk the same way.
+
+    On a packed backend the wire-vs-disk question has a cheaper, sharper
+    answer than a re-read: the record frame's CRC on disk.  When the
+    physical layer reports deterministic frame damage (``'crc'`` or
+    ``'torn'``), the copy is rot — no re-read can resolve it, so none is
+    spent; only an intact frame falls back to the re-read heuristic.
     """
     retry = retry if retry is not None else RetryPolicy.instant()
     status, chunk = _read_copy_once(store, uid, retry)
-    if status == "corrupt" and reread_on_mismatch:
-        second_status, second_chunk = _read_copy_once(store, uid, retry)
-        if second_status == "ok":
-            return second_status, second_chunk, True
+    if status == "corrupt":
+        if _frame_verdict(store, uid) in ("crc", "torn"):
+            return status, chunk, False
+        if reread_on_mismatch:
+            second_status, second_chunk = _read_copy_once(store, uid, retry)
+            if second_status == "ok":
+                return second_status, second_chunk, True
     return status, chunk, False
 
 

@@ -3,7 +3,12 @@
 Every benchmark number about storage efficiency in this reproduction comes
 from here: Fig. 4's "+338.54 KB then +0.04 KB" is
 ``delta(physical_bytes)`` across two loads, and Table I's dedup comparison
-is ``dedup_ratio`` across systems.
+is ``dedup_ratio`` across systems.  The indexing-structure survey
+(arXiv:2003.02090) adds two more axes the pack backend is judged on —
+read and write *amplification*, the ratio of device I/O to useful payload
+bytes — so durable stores also account raw device traffic here
+(``io_read_bytes`` / ``io_write_bytes``) and caches report their hit rate
+in the same snapshot.
 """
 
 from __future__ import annotations
@@ -28,6 +33,18 @@ class StoreStats:
     gets: int = 0
     #: get() calls that missed.
     misses: int = 0
+    #: Payload bytes returned by successful get() calls.
+    served_bytes: int = 0
+    #: Raw bytes read from the device (record frames, index loads).
+    io_read_bytes: int = 0
+    #: Raw bytes written to the device (record frames, index snapshots).
+    io_write_bytes: int = 0
+    #: Lookups served from a cache layer (decoded nodes or raw chunks).
+    cache_hits: int = 0
+    #: Lookups that consulted a cache layer at all.
+    cache_lookups: int = 0
+    #: Payload bytes currently materialized (filled by ``stats_snapshot``).
+    materialized_bytes: int = 0
     #: New-chunk counts per ChunkType name (where do bytes go?).
     by_type: Dict[str, int] = field(default_factory=dict)
 
@@ -41,12 +58,18 @@ class StoreStats:
         else:
             self.puts_dup += 1
 
-    def record_get(self, hit: bool) -> None:
-        """Account one get()."""
+    def record_get(self, hit: bool, size: int = 0) -> None:
+        """Account one get() that served ``size`` payload bytes."""
         if hit:
             self.gets += 1
+            self.served_bytes += size
         else:
             self.misses += 1
+
+    def record_io(self, read: int = 0, written: int = 0) -> None:
+        """Account raw device traffic (durable backends only)."""
+        self.io_read_bytes += read
+        self.io_write_bytes += written
 
     @property
     def dedup_ratio(self) -> float:
@@ -63,6 +86,27 @@ class StoreStats:
             return 0.0
         return self.puts_dup / total
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when no cache layer)."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    @property
+    def read_amplification(self) -> float:
+        """Device bytes read per payload byte served (arXiv:2003.02090)."""
+        if self.served_bytes == 0:
+            return 0.0
+        return self.io_read_bytes / self.served_bytes
+
+    @property
+    def write_amplification(self) -> float:
+        """Device bytes written per payload byte materialized."""
+        if self.physical_bytes == 0:
+            return 0.0
+        return self.io_write_bytes / self.physical_bytes
+
     def snapshot(self) -> "StoreStats":
         """Copy the counters (for before/after deltas)."""
         return StoreStats(
@@ -72,6 +116,12 @@ class StoreStats:
             logical_bytes=self.logical_bytes,
             gets=self.gets,
             misses=self.misses,
+            served_bytes=self.served_bytes,
+            io_read_bytes=self.io_read_bytes,
+            io_write_bytes=self.io_write_bytes,
+            cache_hits=self.cache_hits,
+            cache_lookups=self.cache_lookups,
+            materialized_bytes=self.materialized_bytes,
             by_type=dict(self.by_type),
         )
 
@@ -89,8 +139,28 @@ class StoreStats:
             logical_bytes=self.logical_bytes - earlier.logical_bytes,
             gets=self.gets - earlier.gets,
             misses=self.misses - earlier.misses,
+            served_bytes=self.served_bytes - earlier.served_bytes,
+            io_read_bytes=self.io_read_bytes - earlier.io_read_bytes,
+            io_write_bytes=self.io_write_bytes - earlier.io_write_bytes,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_lookups=self.cache_lookups - earlier.cache_lookups,
+            materialized_bytes=self.materialized_bytes - earlier.materialized_bytes,
             by_type=by_type,
         )
+
+    def summary(self) -> Dict[str, object]:
+        """The one-shot backend report the storage benches consume."""
+        return {
+            "physical_size": self.materialized_bytes,
+            "physical_bytes": self.physical_bytes,
+            "logical_bytes": self.logical_bytes,
+            "dedup_ratio": round(self.dedup_ratio, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "read_amplification": round(self.read_amplification, 4),
+            "write_amplification": round(self.write_amplification, 4),
+            "io_read_bytes": self.io_read_bytes,
+            "io_write_bytes": self.io_write_bytes,
+        }
 
     def describe(self) -> str:
         """One-line human summary."""

@@ -269,6 +269,26 @@ class TestCliExtensions:
         code, out = self._run(tmp_path, capsys, "gc", "--dry-run")
         assert code == 0 and "reclaimable=" in out and "[dry run]" in out
 
+    def test_gc_preserves_pack_layout(self, tmp_path, capsys):
+        # Regression: gc used to compact every durable backend into a
+        # FileStore layout, silently converting a pack DB on sweep.
+        eng_dir = str(tmp_path / "db")
+        from repro.db import ForkBase
+        from repro.store.packstore import PackStore
+        with ForkBase.open(eng_dir, backend="pack") as engine:
+            engine.put("keep", {"a": "1"})
+            engine.put("drop", {"big": "x"})
+            engine.delete_branch("drop", "master")
+        code, out = self._run(tmp_path, capsys, "gc")
+        assert code == 0 and "[compacted]" in out
+        assert (tmp_path / "db" / "chunks" / "packs").is_dir()
+        with ForkBase.open(eng_dir) as engine:
+            assert isinstance(engine.store, PackStore)
+        code, out = self._run(tmp_path, capsys, "get", "keep")
+        assert code == 0 and json.loads(out) == {"a": "1"}
+        code, _ = self._run(tmp_path, capsys, "verify", "keep")
+        assert code == 0
+
     def test_gc_compacts_file_store(self, tmp_path, capsys):
         self._run(tmp_path, capsys, "put", "keep", "--json", '{"a": "1"}')
         self._run(tmp_path, capsys, "put", "drop", "--json", '{"big": "x"}')

@@ -102,7 +102,8 @@ class TestCollect:
         assert report.swept_chunks < report_dry.swept_chunks
 
     def test_in_place_sweep_requires_memory_store(self, tmp_path):
-        engine = ForkBase.open(str(tmp_path / "db"))
+        # Pinned: the file backend is the one that cannot sweep in place.
+        engine = ForkBase.open(str(tmp_path / "db"), backend="file")
         engine.put("k", "v")
         engine.put("dead", "x")
         engine.delete_branch("dead", "master")
