@@ -200,9 +200,14 @@ class ForkBase:
         file_layout = os.path.isdir(os.path.join(chunk_dir, "segments"))
         pack_layout = os.path.isdir(os.path.join(chunk_dir, "packs"))
         if backend == "auto":
-            if pack_layout and not file_layout:
+            if pack_layout and file_layout:
+                raise EngineError(
+                    f"{chunk_dir} holds both a file layout (segments/) and "
+                    f"a pack layout (packs/); open with an explicit backend"
+                )
+            if pack_layout:
                 backend = "pack"
-            elif file_layout and not pack_layout:
+            elif file_layout:
                 backend = "file"
             else:
                 backend = os.environ.get("FORKBASE_BACKEND", "file")

@@ -45,7 +45,7 @@ class FileStore(ChunkStore):
         self._closed = False
         os.makedirs(self._seg_dir, exist_ok=True)
         self._segments = sorted(
-            int(name[4:10])
+            int(name[4:-4])
             for name in os.listdir(self._seg_dir)
             if name.startswith("seg-") and name.endswith(".dat")
         )
@@ -181,6 +181,10 @@ class FileStore(ChunkStore):
         """Append one record to the active segment (no flush)."""
         offset = self._writer.tell()
         if offset >= self._segment_limit:
+            # The retiring segment gets watermarked at its full size by
+            # the next index snapshot; fsync before closing so a power
+            # loss cannot shrink it below that watermark.
+            fsync_file(self._writer)
             self._writer.close()
             self._active += 1
             self._segments.append(self._active)

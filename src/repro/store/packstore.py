@@ -146,7 +146,7 @@ class PackStore(ChunkStore):
         self.bloom_negatives = 0
         os.makedirs(self._pack_dir, exist_ok=True)
         self._segments = sorted(
-            int(name[5:11])
+            int(name[5:-4])
             for name in os.listdir(self._pack_dir)
             if name.startswith("pack-") and name.endswith(".dat")
         )
@@ -154,9 +154,14 @@ class PackStore(ChunkStore):
             self._segments = [0]
             open(self._segment_path(0), "ab").close()
         self._active = self._segments[-1]
-        self._writer = open(self._segment_path(self._active), "ab")
         if not self._load_index():
             self._rebuild_index()
+        # Recovery may truncate a torn tail off the active segment, and
+        # os.truncate does not move an already-open handle's position.
+        # Open the O_APPEND writer only now, so tell() equals true EOF
+        # and appended records are indexed at the offset they land on.
+        self._active = self._segments[-1]
+        self._writer = open(self._segment_path(self._active), "ab")
         self._bloom = self._rebuild_bloom()
 
     # -- codec negotiation ---------------------------------------------------
@@ -490,6 +495,10 @@ class PackStore(ChunkStore):
         record = self._encode_record(chunk)
         offset = self._writer.tell()
         if offset >= self._segment_limit:
+            # The retiring segment gets watermarked at its full size by
+            # the next index snapshot; fsync before closing so a power
+            # loss cannot shrink it below that watermark.
+            fsync_file(self._writer)
             self._writer.close()
             self._active += 1
             self._segments.append(self._active)

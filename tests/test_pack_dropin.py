@@ -75,6 +75,17 @@ class TestBackendParity:
         with pytest.raises(EngineError):
             ForkBase.open(directory, backend="file")
 
+    def test_auto_rejects_ambiguous_layout(self, tmp_path):
+        """Both layouts present (crashed migration, stray dir): 'auto'
+        must error like the explicit-mismatch cases, not silently open
+        one layout and hide the other's chunks."""
+        directory = str(tmp_path / "db")
+        with ForkBase.open(directory, backend="pack") as engine:
+            engine.put("k", {"a": "1"})
+        os.makedirs(os.path.join(directory, "chunks", "segments"))
+        with pytest.raises(EngineError):
+            ForkBase.open(directory)
+
     def test_unknown_backend_rejected(self, tmp_path):
         with pytest.raises(EngineError):
             ForkBase.open(str(tmp_path / "db"), backend="tape")

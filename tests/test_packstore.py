@@ -86,6 +86,22 @@ class TestRoundTrip:
         assert len(os.listdir(os.path.join(directory, "packs"))) > 1
         _assert_recovers(directory, chunks)
 
+    def test_wide_segment_numbers_round_trip(self, tmp_path):
+        """Segment counters past 999999 overflow the 06d name padding;
+        discovery must parse the full number, not the first six digits."""
+        directory = str(tmp_path / "ps")
+        chunk = _chunk(1)
+        with PackStore(directory) as store:
+            store._active = 1_000_000
+            store._segments = [1_000_000]
+            store._writer.close()
+            store._writer = open(store._segment_path(1_000_000), "ab")
+            store.put(chunk)
+        os.remove(os.path.join(directory, "packs", "pack-000000.dat"))
+        with PackStore(directory) as store:
+            assert store._segments == [1_000_000]
+            assert store.get(chunk.uid).data == chunk.data
+
 
 class TestCompression:
     def test_compressible_payload_stored_smaller(self, tmp_path):

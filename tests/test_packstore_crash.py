@@ -141,6 +141,33 @@ def test_torn_tail_is_truncated_on_reopen(tmp_path):
     assert os.path.getsize(segment) == intact  # tail physically removed
 
 
+@pytest.mark.parametrize("index_survives", [True, False])
+def test_append_after_torn_tail_recovery(tmp_path, index_survives):
+    """Fresh appends after torn-tail truncation land at true EOF.
+
+    Regression: the writer used to be opened (O_APPEND) before recovery
+    ran, so truncating the tail left its position stale and the first
+    post-recovery put was indexed at the wrong offset.  Covers both
+    recovery paths: scan-from-watermark (index survives the crash) and
+    full rebuild (index missing).
+    """
+    directory = str(tmp_path / "ps")
+    with PackStore(directory) as store:
+        store.put_many(CHUNKS[:5])
+    segment = os.path.join(directory, "packs", "pack-000000.dat")
+    if not index_survives:
+        os.remove(os.path.join(directory, "pack-index.dat"))
+    with open(segment, "ab") as handle:
+        handle.write(b"\x01\x00\x00")  # torn frame from a crashed append
+    with PackStore(directory) as store:
+        store.put_many(CHUNKS[5:10])
+        for chunk in CHUNKS[:10]:
+            assert store.get(chunk.uid).data == chunk.data
+    with PackStore(directory) as again:
+        for chunk in CHUNKS[:10]:
+            assert again.get(chunk.uid).data == chunk.data
+
+
 def test_interior_rot_raises_on_rebuild(tmp_path):
     directory = str(tmp_path / "ps")
     with PackStore(directory) as store:
