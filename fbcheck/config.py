@@ -38,6 +38,9 @@ LAYERS: Mapping[str, int] = {
     "repro.store.memory": 3,
     "repro.store.filestore": 3,
     "repro.store.cached": 3,
+    # The retry helper is pure policy over repro.errors; it sits beside
+    # the storage primitives so FileStore can bound ENOSPC retries.
+    "repro.faults.retry": 3,
     "repro.faults": 4,
     "repro.faults.network": 4,
     # The pack backend sits above faults (it embeds crash-points the way
@@ -211,6 +214,23 @@ DEFAULT_ALLOW: Dict[str, Sequence[str]] = {
         "src/repro/postree/node.py::IndexNode.to_chunk",
         "src/repro/postree/listtree.py::ListLeafNode.to_chunk",
         "src/repro/postree/listtree.py::ListIndexNode.to_chunk",
+    ),
+    # The disk-fault shim *is* the faulty kernel: raising OSError with a
+    # real errno is its contract (callers classify via map_os_error).
+    "FB-ERRORS": ("src/repro/faults/fs.py::OSError",),
+    # abandon() is the SIGKILL simulator: best-effort teardown must not
+    # raise, so swallowing a close() failure there is the sanctioned
+    # exception to FB-OSFAULT.  _recover_fsync() *records* each failed
+    # rewrite attempt and raises the accumulated error after its bounded
+    # retry loop — the rule cannot see a deferred raise, so the pattern
+    # is sanctioned here instead of weakening the rule.
+    "FB-OSFAULT": (
+        "src/repro/store/filestore.py::abandon",
+        "src/repro/store/packstore.py::abandon",
+        "src/repro/vcs/journal.py::abandon",
+        "src/repro/store/filestore.py::_recover_fsync",
+        "src/repro/store/packstore.py::_recover_fsync",
+        "src/repro/vcs/journal.py::_recover_fsync",
     ),
 }
 

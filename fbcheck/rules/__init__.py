@@ -9,8 +9,27 @@ Rule ids and the ForkBase invariant each protects:
 - ``FB-LAYERS``  — the chunk → … → api import DAG (SIRI composability)
 - ``FB-OPTDEP``  — optional accelerators behind guarded imports
 - ``FB-DURABLE`` — no rename-based persistence without fsyncing the source
+- ``FB-OSFAULT`` — no swallowed broad OSError around disk I/O
 """
 
-from fbcheck.rules import determ, durable, errors, immut, layers, optdep, privacy
+from fbcheck.rules import (
+    determ,
+    durable,
+    errors,
+    immut,
+    layers,
+    optdep,
+    osfault,
+    privacy,
+)
 
-__all__ = ["determ", "durable", "errors", "immut", "layers", "optdep", "privacy"]
+__all__ = [
+    "determ",
+    "durable",
+    "errors",
+    "immut",
+    "layers",
+    "optdep",
+    "osfault",
+    "privacy",
+]

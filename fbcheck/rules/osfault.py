@@ -1,0 +1,134 @@
+"""FB-OSFAULT: persistence code must not swallow broad OSError around I/O.
+
+The disk-fault torture suite (PR 7) exists because ``except OSError:
+pass`` around a write, fsync, or rename silently converts "the disk is
+failing" into "everything is fine" — the exact bug class behind
+fsyncgate (PostgreSQL acknowledged commits whose pages a failed fsync
+had already dropped).  In persistence modules
+(:data:`fbcheck.config.DURABLE_PERSISTENCE_PATHS`), a ``try`` whose body
+performs disk I/O may not catch a *broad* OS error class (``OSError`` /
+``IOError`` / ``EnvironmentError``) and continue without raising.
+
+The sanctioned patterns:
+
+- catch ``FileNotFoundError`` (or another narrow subclass) where absence
+  is a legitimate state — narrow catches are not flagged;
+- catch ``OSError`` and re-raise through the taxonomy
+  (``raise map_os_error(exc, ...) from exc``) — a handler that raises is
+  not flagged;
+- genuinely best-effort teardown (``abandon()``, the SIGKILL simulator)
+  goes on the allowlist by enclosing-function name.
+
+Allowlist detail strings: the enclosing function name (``<module>`` for
+module-level code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from fbcheck.core import ModuleFile, Rule, Violation, register
+from fbcheck.rules.durable import _call_name, _own_calls
+
+#: Exception names whose bare catch hides a disk fault.
+BROAD_OS_ERRORS = frozenset({"OSError", "IOError", "EnvironmentError"})
+
+#: Call names in a try body that mean "this block touches the disk".
+IO_CALLS = frozenset(
+    {
+        "write",
+        "flush",
+        "fsync",
+        "truncate",
+        "ftruncate",
+        "replace",
+        "rename",
+        "remove",
+        "unlink",
+        "write_bytes",
+        "crashing_write",
+        "fsync_file",
+        "fsync_dir",
+        "fsync_path",
+        "durable_replace",
+    }
+)
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    """The exception class names one handler catches (empty for bare)."""
+    node = handler.type
+    if node is None:
+        return ["OSError"]  # a bare except catches OSError too
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: List[str] = []
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            names.append(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.append(item.attr)
+    return names
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when no execution path through the handler re-raises."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+    return True
+
+
+@register
+class OsFaultRule(Rule):
+    rule_id = "FB-OSFAULT"
+    summary = "persistence code must not swallow broad OSError around disk I/O"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(tuple(self.config.durable_persistence_paths))
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            io_calls = [
+                call
+                for call in _own_calls(node.body)
+                if _call_name(call) in IO_CALLS
+            ]
+            if not io_calls:
+                continue
+            for handler in node.handlers:
+                if not (set(_handler_names(handler)) & BROAD_OS_ERRORS):
+                    continue
+                if not _swallows(handler):
+                    continue
+                scope = self._enclosing_function(module.tree, handler)
+                if self.allowed(module, scope):
+                    continue
+                yield self.violation(
+                    module,
+                    handler.lineno,
+                    f"broad OSError swallowed around disk I/O in {scope}(); "
+                    "a failing disk must surface through the repro.errors "
+                    "taxonomy (raise map_os_error(exc, ...) from exc) or be "
+                    "narrowed to FileNotFoundError where absence is expected",
+                )
+
+    @staticmethod
+    def _enclosing_function(tree: ast.Module, target: ast.AST) -> str:
+        """Name of the innermost function containing ``target``."""
+        best = "<module>"
+        best_span = None
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None:  # pragma: no cover - py<3.8 has no end_lineno
+                continue
+            if node.lineno <= target.lineno <= end:
+                span = end - node.lineno
+                if best_span is None or span < best_span:
+                    best = node.name
+                    best_span = span
+        return best

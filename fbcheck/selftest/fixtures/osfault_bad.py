@@ -1,0 +1,27 @@
+# fbcheck-fixture-path: src/repro/store/osf_bad.py
+"""FB-OSFAULT must fail: broad OSError swallowed around disk I/O."""
+
+import os
+
+
+def drop_segment(path):
+    try:
+        os.remove(path)
+    except OSError:
+        pass  # a failing unlink silently leaks the segment forever
+
+
+def append_record(handle, blob):
+    try:
+        handle.write(blob)
+        handle.flush()
+    except OSError:
+        return False  # the caller acks a record the disk never took
+    return True
+
+
+def sync_segment(handle):
+    try:
+        os.fsync(handle.fileno())
+    except (ValueError, OSError):
+        handle.seek(0)  # fsyncgate: the dropped pages are gone for good

@@ -1,0 +1,32 @@
+# fbcheck-fixture-path: src/repro/store/osf_ok.py
+"""FB-OSFAULT must pass: narrow catches, classified re-raises, no I/O."""
+
+import os
+
+from repro.errors import map_os_error
+
+
+def drop_segment(path):
+    try:
+        os.remove(path)
+    except FileNotFoundError:
+        pass  # narrow: absence is a legitimate state after a crash
+    except OSError as exc:
+        raise map_os_error(exc, "unlink", path) from exc
+
+
+def append_record(handle, blob, path):
+    try:
+        handle.write(blob)
+        handle.flush()
+    except OSError as exc:
+        raise map_os_error(exc, "write", path) from exc
+
+
+def parse_header(data):
+    # No disk I/O in the try body: a broad catch here is outside the
+    # rule's domain (it guards decoding, not persistence).
+    try:
+        return data.decode("utf-8")
+    except (UnicodeDecodeError, OSError):
+        return None

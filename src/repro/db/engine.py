@@ -12,11 +12,13 @@ content deduplicates at the page level in the chunk store (Fig. 4).
 
 from __future__ import annotations
 
+import errno
+import functools
 import json
 import os
 import time
 from dataclasses import dataclass
-from typing import IO, Callable, Dict, List, Optional, Tuple, TypeVar, Union
+from typing import IO, Any, Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 try:  # POSIX advisory locking; absent on some platforms.
     import fcntl
@@ -28,11 +30,15 @@ T = TypeVar("T")
 from repro.chunk import Uid
 from repro.errors import (
     ChunkCorruptionError,
+    DiskFaultError,
+    DiskFullError,
     EngineError,
     EngineLockedError,
     MergeConflictError,
+    ReadOnlyError,
     TypeMismatchError,
     UnknownKeyError,
+    map_os_error,
 )
 from repro.faults.crash import crashing_write, crashpoint
 from repro.faults.retry import RetryPolicy
@@ -40,11 +46,53 @@ from repro.postree.diff import TreeDiff
 from repro.postree.merge import MergeConflict, Resolver
 from repro.store import FileStore, InMemoryStore, NodeCacheStore, PackStore
 from repro.store.base import ChunkStore
-from repro.store.durability import durable_replace, fsync_file
+from repro.store.durability import durable_replace, fsync_file, read_check
 from repro.types import FBlob, FList, FMap, FObject, FSet, load_object
 from repro.types.convert import PyValue, unwrap, wrap
 from repro.vcs import BranchTable, CommitJournal, FNode, VersionGraph, replay_into
 from repro.vcs.branches import DEFAULT_BRANCH
+
+#: Engine health states: a disk fault that may have lost acknowledged
+#: state demotes the engine to read-only; a disk fault on the *read*
+#: path while already degraded fails it outright.  Reopening the
+#: directory runs recovery and yields a fresh, healthy engine.
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded-read-only"
+HEALTH_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """What :meth:`ForkBase.health` returns."""
+
+    state: str
+    reason: Optional[str] = None
+
+    @property
+    def writable(self) -> bool:
+        return self.state == HEALTH_HEALTHY
+
+
+def _writable_verb(fn: Callable[..., T]) -> Callable[..., T]:
+    """Gate a mutating verb on engine health and degrade on disk faults.
+
+    A :class:`DiskFullError` passes through untouched: ENOSPC exhausts
+    its bounded retries with the op cleanly un-acked, so the engine
+    stays healthy and the caller may free space and try again.  A
+    :class:`DiskFaultError` means state on disk can no longer be
+    trusted to advance: the engine drops to read-only.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: "ForkBase", *args: Any, **kwargs: Any) -> T:
+        self._check_writable()
+        try:
+            return fn(self, *args, **kwargs)
+        except DiskFaultError as exc:
+            self._degrade(str(exc))
+            raise
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -103,6 +151,31 @@ class ForkBase:
         #: where replicas allow) and retry once — the read then returns
         #: healed data or an honest ChunkNotFoundError, never wrong bytes.
         self.self_heal = self_heal
+        #: Disk-fault health machine: HEALTHY → DEGRADED_READ_ONLY → FAILED.
+        self._health = HEALTH_HEALTHY
+        self._health_reason: Optional[str] = None
+
+    # -- health machine -----------------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """Current engine health (see :class:`HealthReport`)."""
+        return HealthReport(self._health, self._health_reason)
+
+    def _degrade(self, reason: str) -> None:
+        """Demote to read-only after a write-path disk fault (one-way)."""
+        if self._health == HEALTH_HEALTHY:
+            self._health = HEALTH_DEGRADED
+            self._health_reason = reason
+
+    def _fail(self, reason: str) -> None:
+        """Terminal state: the read path faulted while already degraded."""
+        if self._health != HEALTH_FAILED:
+            self._health = HEALTH_FAILED
+            self._health_reason = reason
+
+    def _check_writable(self) -> None:
+        if self._health != HEALTH_HEALTHY:
+            raise ReadOnlyError(self._health, self._health_reason)
 
     def _guarded(self, fn: Callable[[], T]) -> T:
         """Run a read verb with transient retry and corruption self-healing."""
@@ -113,6 +186,10 @@ class ForkBase:
                 raise
             self.scrub()
             return self.retry.call(fn) if self.retry is not None else fn()
+        except DiskFaultError as exc:
+            if self._health == HEALTH_DEGRADED:
+                self._fail(str(exc))
+            raise
 
     # -- persistence -------------------------------------------------------------
 
@@ -167,8 +244,12 @@ class ForkBase:
             snapshot_seq = 0
             heads_path = os.path.join(directory, "branches.json")
             if os.path.exists(heads_path):
-                with open(heads_path, "r", encoding="utf-8") as handle:
-                    data = json.load(handle)
+                try:
+                    read_check(heads_path, label="branches.json")
+                    with open(heads_path, "r", encoding="utf-8") as handle:
+                        data = json.load(handle)
+                except OSError as exc:
+                    raise map_os_error(exc, "read", heads_path) from exc
                 if isinstance(data, dict) and "heads" in data:
                     snapshot_seq = int(data.get("seq", 0))
                     table = BranchTable.from_dict(data["heads"])
@@ -246,9 +327,13 @@ class ForkBase:
         handle = open(os.path.join(directory, ".lock"), "a+", encoding="utf-8")
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
+        except OSError as exc:
             handle.close()
-            raise EngineLockedError(directory) from None
+            # Contention is the only OSError that means "locked"; a disk
+            # fault here must not masquerade as a second live writer.
+            if exc.errno in (errno.EAGAIN, errno.EACCES, errno.EWOULDBLOCK):
+                raise EngineLockedError(directory) from None
+            raise map_os_error(exc, "flock", directory) from exc
         return handle
 
     @staticmethod
@@ -262,21 +347,38 @@ class ForkBase:
         finally:
             handle.close()
 
-    def _journal_op(self, op: str, **fields: object) -> None:
+    def _journal_op(
+        self, op: str, undo: Optional[Callable[[], None]] = None, **fields: object
+    ) -> None:
         """Append one head mutation to the commit journal (then maybe compact).
 
         The in-memory table has already applied (and CAS-validated) the
         mutation; the journal append makes it durable before the verb
         returns — a crash in between loses only an *unacknowledged* op.
+        If the append fails on a disk fault, ``undo`` rolls the in-memory
+        table back so it matches what recovery will reconstruct: the verb
+        raises with the op cleanly un-acked, never half-applied.
         """
         if self._journal is None:
             return
         self._seq += 1
         record: Dict[str, object] = {"op": op, "seq": self._seq}
         record.update(fields)
-        self._journal.append(record)
+        try:
+            self._journal.append(record)
+        except (DiskFullError, DiskFaultError):
+            self._seq -= 1
+            if undo is not None:
+                undo()
+            raise
         if self._journal.size() >= self._journal_limit:
-            self._compact()
+            try:
+                self._compact()
+            except DiskFullError:
+                # Deferred, not lost: the op itself is acked and durable
+                # in the journal; the snapshot rewrite just could not fit.
+                # The journal keeps growing until space frees up.
+                pass
 
     def _compact(self) -> None:
         """Rewrite the heads snapshot durably, then truncate the journal.
@@ -310,15 +412,35 @@ class ForkBase:
             self._journal.reset()
 
     def close(self) -> None:
-        """Persist branch heads (if durable) and close the store."""
-        if self._directory is not None:
-            self._compact()
-            if self._journal is not None:
-                self._journal.close()
-                self._journal = None
-        self.store.close()
-        self._release_lock(self._lock_handle)
-        self._lock_handle = None
+        """Persist branch heads (if durable) and close the store.
+
+        A degraded or failed engine does **not** rewrite snapshots over a
+        faulty device — it abandons, leaving the journal exactly as the
+        last successful append left it; the next :meth:`open` recovers.
+        """
+        if self._health != HEALTH_HEALTHY:
+            self.abandon()
+            return
+        try:
+            if self._directory is not None:
+                try:
+                    self._compact()
+                    if self._journal is not None:
+                        self._journal.close()
+                        self._journal = None
+                except (DiskFullError, DiskFaultError) as exc:
+                    self._degrade(str(exc))
+                    self.abandon()
+                    raise
+            try:
+                self.store.close()
+            except (DiskFullError, DiskFaultError) as exc:
+                self._degrade(str(exc))
+                self.abandon()
+                raise
+        finally:
+            self._release_lock(self._lock_handle)
+            self._lock_handle = None
 
     def abandon(self) -> None:
         """Drop the engine without persisting anything (crash simulation).
@@ -365,6 +487,7 @@ class ForkBase:
 
     # -- core verbs -------------------------------------------------------------------
 
+    @_writable_verb
     def put(
         self,
         key: str,
@@ -404,12 +527,20 @@ class ForkBase:
         # CAS against the parent this commit was derived from: if another
         # writer moved the head in between, fail instead of orphaning them.
         self.branch_table.set_head(key, branch, uid, expected=expected)
+
+        def _undo() -> None:
+            if expected is not None:
+                self.branch_table.set_head(key, branch, expected)
+            else:
+                self.branch_table.delete(key, branch)
+
         self._journal_op(
             "set-head",
             key=key,
             branch=branch,
             head=uid.base32(),
             prev=expected.base32() if expected is not None else None,
+            undo=_undo,
         )
         return VersionInfo(key, branch, uid, obj.TYPE_NAME, fnode.author, message)
 
@@ -460,6 +591,7 @@ class ForkBase:
             raise UnknownKeyError(key)
         return self.branch_table.branches(key)
 
+    @_writable_verb
     def branch(
         self,
         key: str,
@@ -470,32 +602,65 @@ class ForkBase:
         """Fork a branch from another branch's head or from a version."""
         head = self._resolve(key, from_branch, version)
         self.branch_table.create(key, new_branch, head)
-        self._journal_op("create-branch", key=key, branch=new_branch, head=head.base32())
+        self._journal_op(
+            "create-branch",
+            key=key,
+            branch=new_branch,
+            head=head.base32(),
+            undo=lambda: self.branch_table.delete(key, new_branch),
+        )
         return head
 
     fork = branch  # the paper uses both words for the same operation
 
+    @_writable_verb
     def rename_branch(self, key: str, old: str, new: str) -> None:
         """Rename a branch (head preserved)."""
         self.branch_table.rename(key, old, new)
-        self._journal_op("rename-branch", key=key, old=old, new=new)
+        self._journal_op(
+            "rename-branch",
+            key=key,
+            old=old,
+            new=new,
+            undo=lambda: self.branch_table.rename(key, new, old),
+        )
 
+    @_writable_verb
     def delete_branch(self, key: str, branch: str) -> None:
         """Drop a branch head; its versions remain addressable."""
+        head = self.branch_table.head(key, branch)
         self.branch_table.delete(key, branch)
-        self._journal_op("delete-branch", key=key, branch=branch)
+        self._journal_op(
+            "delete-branch",
+            key=key,
+            branch=branch,
+            undo=lambda: self.branch_table.set_head(key, branch, head),
+        )
 
+    @_writable_verb
     def rename(self, key: str, new_key: str) -> None:
         """Rename a data key (branch heads move; history keeps old name)."""
         self.branch_table.rename_key(key, new_key)
-        self._journal_op("rename-key", old=key, new=new_key)
+        self._journal_op(
+            "rename-key",
+            old=key,
+            new=new_key,
+            undo=lambda: self.branch_table.rename_key(new_key, key),
+        )
 
+    @_writable_verb
     def drop(self, key: str) -> None:
         """Forget every branch head of ``key`` (versions stay addressable)."""
         if key not in self.branch_table.keys():
             raise UnknownKeyError(key)
+        heads = self.branch_table.heads(key)
+
+        def _undo() -> None:
+            for branch, head in heads.items():
+                self.branch_table.set_head(key, branch, head)
+
         self.branch_table.drop_key(key)
-        self._journal_op("drop-key", key=key)
+        self._journal_op("drop-key", key=key, undo=_undo)
 
     def history(
         self,
@@ -566,6 +731,7 @@ class ForkBase:
             f"differential query unsupported for type {fnode_a.type_name}"
         )
 
+    @_writable_verb
     def merge(
         self,
         key: str,
@@ -599,6 +765,7 @@ class ForkBase:
                 branch=into_branch,
                 head=head_from.base32(),
                 prev=head_into.base32(),
+                undo=lambda: self.branch_table.set_head(key, into_branch, head_into),
             )
             fnode = self.graph.load(head_from)
             return VersionInfo(
@@ -635,6 +802,7 @@ class ForkBase:
             branch=into_branch,
             head=uid.base32(),
             prev=head_into.base32(),
+            undo=lambda: self.branch_table.set_head(key, into_branch, head_into),
         )
         return VersionInfo(
             key, into_branch, uid, fnode.type_name, fnode.author, fnode.message
@@ -743,6 +911,7 @@ class ForkBase:
 
         return scrub(self.store, **kwargs)
 
+    @_writable_verb
     def collect_garbage(self, dry_run: bool = False, compact: bool = False):
         """Sweep chunks unreachable from any branch head (see
         :mod:`repro.store.gc`).  ``compact=True`` additionally rewrites a

@@ -8,6 +8,8 @@ API); see DESIGN.md for the layer map.
 
 from __future__ import annotations
 
+import errno as _errno
+
 
 class ForkBaseError(Exception):
     """Base class for all errors raised by this library."""
@@ -56,6 +58,52 @@ class StoreClosedError(StoreError):
 
 class TransientStoreError(StoreError, TransientError):
     """A store operation failed for a reason that retrying may fix."""
+
+
+class DiskFullError(TransientStoreError):
+    """The filesystem refused a write for lack of space (ENOSPC/EDQUOT).
+
+    Transient by design: space can be freed (compaction, operator
+    action), so bounded retry is legitimate — unlike :class:`DiskFaultError`,
+    where retrying can silently *lose* data (see the fsyncgate note there).
+    """
+
+    def __init__(self, message: str, syscall: str = "", path: str = "") -> None:
+        super().__init__(message)
+        self.syscall = syscall
+        self.path = path
+
+
+class DiskFaultError(StoreError):
+    """The disk itself failed (EIO, a failed fsync, a poisoned writer).
+
+    Deliberately *not* transient: after a failed ``fsync`` the kernel has
+    already dropped the dirty pages and cleared the error flag, so a
+    retried fsync on the same descriptor reports success for data that
+    never reached the platter (the PostgreSQL "fsyncgate" bug class).
+    The only sound reactions are reopen-and-rewrite from a known-durable
+    watermark or refusing further writes — never a blind retry.
+    """
+
+    def __init__(self, message: str, syscall: str = "", path: str = "") -> None:
+        super().__init__(message)
+        self.syscall = syscall
+        self.path = path
+
+
+def map_os_error(exc: OSError, syscall: str, path: str) -> StoreError:
+    """Classify an :class:`OSError` from a persistence path into the taxonomy.
+
+    ENOSPC/EDQUOT become the retryable :class:`DiskFullError`; everything
+    else (EIO above all) is an unrecoverable :class:`DiskFaultError`.
+    """
+    if exc.errno in (_errno.ENOSPC, _errno.EDQUOT):
+        return DiskFullError(
+            f"disk full during {syscall} on {path}: {exc}", syscall=syscall, path=path
+        )
+    return DiskFaultError(
+        f"disk fault during {syscall} on {path}: {exc}", syscall=syscall, path=path
+    )
 
 
 class TreeError(ForkBaseError):
@@ -171,6 +219,23 @@ class EngineLockedError(EngineError):
             f"data directory {directory!r} is locked by another live process"
         )
         self.directory = directory
+
+
+class ReadOnlyError(EngineError):
+    """A write verb was refused because the engine is not HEALTHY.
+
+    Raised once an unrecoverable write-path disk fault has flipped the
+    engine into ``degraded-read-only`` (or ``failed``): reads,
+    verification, and scrubbing still serve, but nothing may mutate
+    state until a fresh :meth:`repro.db.engine.ForkBase.open` recovers
+    the store.
+    """
+
+    def __init__(self, state: str, reason: object = None) -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"engine is {state}, writes are refused{detail}")
+        self.state = state
+        self.reason = reason
 
 
 class TamperError(ForkBaseError):

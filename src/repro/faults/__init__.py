@@ -14,6 +14,7 @@ same faults, which is what makes the chaos suite assertable.
 """
 
 from repro.faults.crash import CrashPlan, crash_zone, crashing_write, crashpoint
+from repro.faults.fs import FaultyOS, FsFaultPlan, fs_zone
 from repro.faults.network import NetworkPlan, PartitionedTransport, apply_schedule_event
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, with_retry
@@ -22,7 +23,9 @@ from repro.faults.store import FaultyStore
 __all__ = [
     "CrashPlan",
     "FaultPlan",
+    "FaultyOS",
     "FaultyStore",
+    "FsFaultPlan",
     "NetworkPlan",
     "PartitionedTransport",
     "RetryPolicy",
@@ -30,5 +33,6 @@ __all__ = [
     "crash_zone",
     "crashing_write",
     "crashpoint",
+    "fs_zone",
     "with_retry",
 ]

@@ -132,17 +132,32 @@ def crashpoint(kind: str, label: str = "") -> None:
         raise SimulatedCrash(index, kind, label)
 
 
+def _disk_write(handle: IO[bytes], data: bytes, label: str) -> None:
+    """The actual write, routed through the disk-fault seam.
+
+    Deferred import: :mod:`repro.store.durability` sits below this module
+    in the layer DAG, but importing it at module scope would close an
+    import cycle through the :mod:`repro.store` package facade.
+    """
+    from repro.store.durability import write_bytes
+
+    write_bytes(handle, data, label=label)
+
+
 def crashing_write(handle: IO[bytes], data: bytes, kind: str = "write", label: str = "") -> None:
     """Write ``data`` to ``handle`` through a write boundary.
 
     A crash here tears the write: a deterministic strict prefix of
     ``data`` (derived from the boundary's replay hash) is materialized
     and flushed before :class:`SimulatedCrash` is raised — recovery code
-    must cope with the partial record.
+    must cope with the partial record.  The write itself goes through
+    :func:`repro.store.durability.write_bytes`, so an armed
+    :class:`~repro.faults.fs.FsFaultPlan` can fail it with ENOSPC or a
+    short write even when no crash plan is active.
     """
     clock = _ACTIVE
     if clock is None or not clock.plan.counts(kind):
-        handle.write(data)
+        _disk_write(handle, data, label)
         return
     index, crash = clock.register(kind, label)
     if crash:
@@ -153,4 +168,4 @@ def crashing_write(handle: IO[bytes], data: bytes, kind: str = "write", label: s
             handle.write(data[:keep])
             handle.flush()
         raise SimulatedCrash(index, kind, label)
-    handle.write(data)
+    _disk_write(handle, data, label)

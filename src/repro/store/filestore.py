@@ -18,9 +18,16 @@ import struct
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.chunk import Chunk, ChunkType, Uid
-from repro.errors import StoreClosedError, StoreError
+from repro.errors import (
+    DiskFaultError,
+    DiskFullError,
+    StoreClosedError,
+    StoreError,
+    map_os_error,
+)
+from repro.faults.retry import RetryPolicy
 from repro.store.base import ChunkStore
-from repro.store.durability import durable_replace, fsync_file
+from repro.store.durability import durable_replace, fsync_file, read_check, write_bytes
 
 _RECORD_HEADER = struct.Struct(">BI")  # type tag, payload length
 _INDEX_ENTRY = struct.Struct(">32sII")  # digest, segment number, offset
@@ -30,6 +37,10 @@ _INDEX_MAGIC = b"FBIX0002"  # 0002 added the per-segment watermark table
 
 class FileStore(ChunkStore):
     """Durable chunk store over append-only segment files."""
+
+    #: Unsynced appends kept in memory for fsync-failure recovery; once
+    #: the buffer exceeds this, the store forces a durable point.
+    _TAIL_LIMIT = 4 * 1024 * 1024
 
     def __init__(
         self,
@@ -43,6 +54,14 @@ class FileStore(ChunkStore):
         self._segment_limit = segment_limit
         self._index: Dict[Uid, Tuple[int, int]] = {}
         self._closed = False
+        self._poisoned = False
+        #: Record blobs appended since the last successful fsync: the
+        #: rewrite buffer for fsyncgate recovery (reopen-and-rewrite).
+        self._tail: List[bytes] = []
+        self._tail_bytes = 0
+        #: Bounded backoff for transient ENOSPC on the append path only;
+        #: a failed *fsync* is never retried (see :meth:`_recover_fsync`).
+        self._disk_retry = RetryPolicy(attempts=3, base_delay=0.002, max_delay=0.01)
         os.makedirs(self._seg_dir, exist_ok=True)
         self._segments = sorted(
             int(name[4:-4])
@@ -54,8 +73,15 @@ class FileStore(ChunkStore):
             open(self._segment_path(0), "ab").close()
         self._active = self._segments[-1]
         self._writer = open(self._segment_path(self._active), "ab")
+        #: Segment offset at the last successful fsync (durable floor).
+        self._synced = self._writer.tell()
         if not self._load_index():
             self._rebuild_index()
+
+    @property
+    def poisoned(self) -> bool:
+        """True once an unrecoverable disk fault disabled the writer."""
+        return self._poisoned
 
     def _segment_path(self, number: int) -> str:
         return os.path.join(self._seg_dir, f"seg-{number:06d}.dat")
@@ -165,8 +191,10 @@ class FileStore(ChunkStore):
             for segment in self._segments:
                 try:
                     length = os.path.getsize(self._segment_path(segment))
-                except OSError:
-                    length = 0
+                except FileNotFoundError:
+                    length = 0  # never-flushed fresh segment: watermark at zero
+                except OSError as exc:
+                    raise map_os_error(exc, "stat", self._segment_path(segment)) from exc
                 handle.write(_WATERMARK_ENTRY.pack(segment, length))
             for uid, (segment, offset) in self._index.items():
                 handle.write(_INDEX_ENTRY.pack(uid.digest, segment, offset))
@@ -177,29 +205,140 @@ class FileStore(ChunkStore):
 
     # -- primitives ----------------------------------------------------------
 
-    def _append(self, chunk: Chunk) -> None:
-        """Append one record to the active segment (no flush)."""
-        offset = self._writer.tell()
-        if offset >= self._segment_limit:
-            # The retiring segment gets watermarked at its full size by
-            # the next index snapshot; fsync before closing so a power
-            # loss cannot shrink it below that watermark.
-            fsync_file(self._writer)
-            self._writer.close()
-            self._active += 1
-            self._segments.append(self._active)
-            self._writer = open(self._segment_path(self._active), "ab")
-            offset = 0
-        self._writer.write(_RECORD_HEADER.pack(int(chunk.type), len(chunk.data)))
-        self._writer.write(chunk.data)
-        self._index[chunk.uid] = (self._active, offset)
-        self.stats.record_io(written=_RECORD_HEADER.size + len(chunk.data))
-
-    def _insert(self, chunk: Chunk) -> None:
+    def _check_writer(self) -> None:
         if self._closed:
             raise StoreClosedError("store is closed")
-        self._append(chunk)
-        self._writer.flush()
+        if self._poisoned:
+            raise DiskFaultError(
+                f"{self._dir}: writer poisoned by an unrecoverable disk fault",
+                syscall="write",
+                path=self._segment_path(self._active),
+            )
+
+    def _roll_segment(self) -> None:
+        """Retire the active segment and open the next one.
+
+        The retiring segment gets watermarked at its full size by the
+        next index snapshot; fsync (with fsync-failure recovery) before
+        closing so a power loss cannot shrink it below that watermark.
+        """
+        self._sync_writer(f"roll:{self._active}")
+        self._writer.close()
+        self._active += 1
+        self._segments.append(self._active)
+        self._writer = open(self._segment_path(self._active), "ab")
+        self._synced = 0
+        self._tail = []
+        self._tail_bytes = 0
+
+    def _unwind_append(self, offset: int) -> None:
+        """Un-ack a failed append: truncate the partial record away.
+
+        A short write may have materialized a strict prefix; the index
+        has not been touched yet, so truncating back to ``offset`` keeps
+        the segment ending on a record boundary.  If even the truncate
+        fails the writer is poisoned — no further appends are accepted.
+        """
+        try:
+            self._writer.flush()
+            os.ftruncate(self._writer.fileno(), offset)
+            self._writer.seek(0, os.SEEK_END)
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "truncate", self._segment_path(self._active)) from exc
+
+    def _sync_writer(self, label: str) -> None:
+        """Fsync the active segment, recovering a failed fsync safely."""
+        try:
+            fsync_file(self._writer, label)
+        except (DiskFullError, DiskFaultError) as exc:
+            self._recover_fsync(exc)
+        self._synced = self._writer.tell()
+        self._tail = []
+        self._tail_bytes = 0
+
+    def _recover_fsync(self, cause: StoreError) -> None:
+        """Reopen-and-rewrite after a failed fsync (fsyncgate discipline).
+
+        The failed descriptor may have dropped the unsynced tail and
+        would falsely report success if fsynced again, so it is never
+        reused: open a fresh descriptor, truncate to the durable floor,
+        rewrite the tail records, and fsync *that*.  Failing twice
+        poisons the writer and un-indexes the records that never made it
+        to the platter (acked ⇒ durable must not be claimed for them).
+        """
+        path = self._segment_path(self._active)
+        self._writer.close()
+        last: StoreError = cause
+        for _ in range(2):
+            try:
+                handle = open(path, "r+b")
+            except OSError as exc:
+                last = map_os_error(exc, "open", path)
+                break
+            try:
+                handle.truncate(self._synced)
+                handle.seek(self._synced)
+                for blob in self._tail:
+                    write_bytes(handle, blob)
+                fsync_file(handle, "fsync-recovery")
+            except (DiskFullError, DiskFaultError) as exc:
+                last = exc
+                handle.close()
+                continue
+            except OSError as exc:
+                last = map_os_error(exc, "write", path)
+                handle.close()
+                continue
+            self._writer = handle
+            return
+        self._poisoned = True
+        doomed = [
+            uid
+            for uid, (segment, offset) in self._index.items()
+            if segment == self._active and offset >= self._synced
+        ]
+        for uid in doomed:
+            del self._index[uid]
+        raise DiskFaultError(
+            f"{path}: writer poisoned after failed fsync recovery "
+            f"({len(doomed)} unsynced records un-acked): {last}",
+            syscall="fsync",
+            path=path,
+        ) from last
+
+    def _append(self, chunk: Chunk) -> None:
+        """Append one record to the active segment (no flush)."""
+        if self._writer.tell() >= self._segment_limit:
+            self._roll_segment()
+        record = _RECORD_HEADER.pack(int(chunk.type), len(chunk.data)) + chunk.data
+        offset = self._writer.tell()
+        try:
+            write_bytes(self._writer, record)
+        except (DiskFullError, DiskFaultError):
+            self._unwind_append(offset)
+            raise
+        self._index[chunk.uid] = (self._active, offset)
+        self._tail.append(record)
+        self._tail_bytes += len(record)
+        self.stats.record_io(written=len(record))
+        if self._tail_bytes > self._TAIL_LIMIT:
+            # Bound the rewrite buffer: force a durable point so the
+            # fsync-recovery tail cannot grow without limit.
+            self._sync_writer("tail-limit")
+
+    def _flush_writer(self) -> None:
+        try:
+            self._writer.flush()
+        except OSError as exc:
+            # Buffer state is unknowable after a failed flush: poison.
+            self._poisoned = True
+            raise map_os_error(exc, "write", self._segment_path(self._active)) from exc
+
+    def _insert(self, chunk: Chunk) -> None:
+        self._check_writer()
+        self._disk_retry.call(lambda: self._append(chunk), retry_on=(DiskFullError,))
+        self._flush_writer()
 
     def _insert_many(self, chunks: List[Chunk]) -> None:
         """Batched append: one fsync and one index snapshot per batch.
@@ -208,11 +347,10 @@ class FileStore(ChunkStore):
         a batch is acknowledged durable as a unit — the whole point of
         routing bulk loads through ``put_many``.
         """
-        if self._closed:
-            raise StoreClosedError("store is closed")
+        self._check_writer()
         for chunk in chunks:
-            self._append(chunk)
-        fsync_file(self._writer)
+            self._disk_retry.call(lambda c=chunk: self._append(c), retry_on=(DiskFullError,))
+        self._sync_writer(f"batch:{len(chunks)}")
         self._save_index()
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
@@ -222,13 +360,18 @@ class FileStore(ChunkStore):
         if location is None:
             return None
         segment, offset = location
-        with open(self._segment_path(segment), "rb") as handle:
-            handle.seek(offset)
-            header = handle.read(_RECORD_HEADER.size)
-            if len(header) != _RECORD_HEADER.size:
-                raise StoreError(f"torn record for {uid.short()}")
-            tag, length = _RECORD_HEADER.unpack(header)
-            payload = handle.read(length)
+        path = self._segment_path(segment)
+        try:
+            read_check(path)
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                header = handle.read(_RECORD_HEADER.size)
+                if len(header) != _RECORD_HEADER.size:
+                    raise StoreError(f"torn record for {uid.short()}")
+                tag, length = _RECORD_HEADER.unpack(header)
+                payload = handle.read(length)
+        except OSError as exc:
+            raise map_os_error(exc, "read", path) from exc
         if len(payload) != length:
             raise StoreError(f"torn record for {uid.short()}")
         self.stats.record_io(read=_RECORD_HEADER.size + length)
@@ -255,7 +398,14 @@ class FileStore(ChunkStore):
     def close(self) -> None:
         if self._closed:
             return
-        fsync_file(self._writer)
+        if self._poisoned:
+            # The writer is disabled and the in-memory index already had
+            # its un-durable entries removed; persisting a snapshot would
+            # launder the poisoned state into "clean close".  Abandon and
+            # let reopen rebuild from the watermark scan.
+            self.abandon()
+            return
+        self._sync_writer("close")
         self._writer.close()
         self._save_index()
         self._closed = True
@@ -269,5 +419,8 @@ class FileStore(ChunkStore):
         """
         if self._closed:
             return
-        self._writer.close()
+        try:
+            self._writer.close()
+        except OSError:
+            pass  # a SIGKILL simulator must not raise on teardown
         self._closed = True

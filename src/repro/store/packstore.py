@@ -42,13 +42,24 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import (
     ChunkCorruptionError,
+    DiskFaultError,
+    DiskFullError,
     StoreClosedError,
     StoreError,
     TransientStoreError,
+    map_os_error,
 )
 from repro.faults.crash import crashing_write, crashpoint
+from repro.faults.retry import RetryPolicy
 from repro.store.base import ChunkStore
-from repro.store.durability import durable_replace, fsync_dir, fsync_file, fsync_path
+from repro.store.durability import (
+    durable_replace,
+    fsync_dir,
+    fsync_file,
+    fsync_path,
+    read_check,
+    write_bytes,
+)
 
 try:  # optional accelerator: per-record zstd compression
     import zstandard as _zstd
@@ -123,6 +134,10 @@ class PackStore(ChunkStore):
 
     supports_in_place_sweep = True
 
+    #: Unsynced appends kept in memory for fsync-failure recovery; once
+    #: the buffer exceeds this, the store forces a durable point.
+    _TAIL_LIMIT = 4 * 1024 * 1024
+
     def __init__(
         self,
         directory: str,
@@ -141,6 +156,14 @@ class PackStore(ChunkStore):
         self._index: Dict[Uid, Tuple[int, int, int]] = {}
         self._maps: Dict[int, mmap.mmap] = {}
         self._closed = False
+        self._poisoned = False
+        #: Record blobs appended since the last successful fsync: the
+        #: rewrite buffer for fsyncgate recovery (reopen-and-rewrite).
+        self._tail: List[bytes] = []
+        self._tail_bytes = 0
+        #: Bounded backoff for transient ENOSPC on the append path only;
+        #: a failed *fsync* is never retried (see :meth:`_recover_fsync`).
+        self._disk_retry = RetryPolicy(attempts=3, base_delay=0.002, max_delay=0.01)
         self._dead_records = 0
         self._dead_bytes = 0
         self.bloom_negatives = 0
@@ -162,7 +185,14 @@ class PackStore(ChunkStore):
         # and appended records are indexed at the offset they land on.
         self._active = self._segments[-1]
         self._writer = open(self._segment_path(self._active), "ab")
+        #: Segment offset at the last successful fsync (durable floor).
+        self._synced = self._writer.tell()
         self._bloom = self._rebuild_bloom()
+
+    @property
+    def poisoned(self) -> bool:
+        """True once an unrecoverable disk fault disabled the writer."""
+        return self._poisoned
 
     # -- codec negotiation ---------------------------------------------------
 
@@ -423,8 +453,10 @@ class PackStore(ChunkStore):
         for segment in self._segments:
             try:
                 length = os.path.getsize(self._segment_path(segment))
-            except OSError:
-                length = 0
+            except FileNotFoundError:
+                length = 0  # never-flushed fresh segment: watermark at zero
+            except OSError as exc:
+                raise map_os_error(exc, "stat", self._segment_path(segment)) from exc
             parts.append(_WATERMARK_ENTRY.pack(segment, length))
         for uid, (segment, offset, length) in self._index.items():
             parts.append(_INDEX_ENTRY.pack(uid.digest, segment, offset, length))
@@ -457,20 +489,29 @@ class PackStore(ChunkStore):
             if mapped is not None:
                 mapped.close()
                 self._maps.pop(segment, None)
-            if segment == self._active and not self._writer.closed:
-                self._writer.flush()
             path = self._segment_path(segment)
+            if segment == self._active and not self._writer.closed:
+                try:
+                    self._writer.flush()
+                except OSError as exc:
+                    raise map_os_error(exc, "write", path) from exc
             try:
+                read_check(path, label=f"pack:{segment}")
                 size = os.path.getsize(path)
-            except OSError as exc:
+            except FileNotFoundError as exc:
                 raise StoreError(f"pack segment {segment} vanished") from exc
+            except OSError as exc:
+                raise map_os_error(exc, "read", path) from exc
             if offset + length > size:
                 raise StoreError(
                     f"pack segment {segment} holds {size}B, record needs "
                     f"{offset + length}"
                 )
-            with open(path, "rb") as handle:
-                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                with open(path, "rb") as handle:
+                    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except OSError as exc:
+                raise map_os_error(exc, "read", path) from exc
             self._maps[segment] = mapped
         return mapped[offset : offset + length]
 
@@ -485,48 +526,161 @@ class PackStore(ChunkStore):
             mapped.close()
         try:
             os.remove(self._segment_path(segment))
-        except OSError:
-            pass
+        except FileNotFoundError:
+            pass  # already gone: unlink is idempotent across crashes
+        except OSError as exc:
+            raise map_os_error(exc, "unlink", self._segment_path(segment)) from exc
 
     # -- primitives ----------------------------------------------------------
+
+    def _check_writer(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+        if self._poisoned:
+            raise DiskFaultError(
+                f"{self._dir}: writer poisoned by an unrecoverable disk fault",
+                syscall="write",
+                path=self._segment_path(self._active),
+            )
+
+    def _roll_segment(self) -> None:
+        """Retire the active segment and open the next one.
+
+        The retiring segment gets watermarked at its full size by the
+        next index snapshot; fsync (with fsync-failure recovery) before
+        closing so a power loss cannot shrink it below that watermark.
+        """
+        self._sync_writer(f"roll:{self._active}")
+        self._writer.close()
+        self._active += 1
+        self._segments.append(self._active)
+        self._writer = open(self._segment_path(self._active), "ab")
+        self._synced = 0
+        self._tail = []
+        self._tail_bytes = 0
+
+    def _unwind_append(self, offset: int) -> None:
+        """Un-ack a failed append: truncate the partial record away.
+
+        A short write may have materialized a strict prefix; the index
+        and bloom have not been touched yet, so truncating back to
+        ``offset`` keeps the segment ending on a record boundary.  If
+        even the truncate fails the writer is poisoned.
+        """
+        try:
+            self._writer.flush()
+            os.ftruncate(self._writer.fileno(), offset)
+            self._writer.seek(0, os.SEEK_END)
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "truncate", self._segment_path(self._active)) from exc
+
+    def _sync_writer(self, label: str) -> None:
+        """Fsync the active segment, recovering a failed fsync safely."""
+        try:
+            fsync_file(self._writer, label)
+        except (DiskFullError, DiskFaultError) as exc:
+            self._recover_fsync(exc)
+        self._synced = self._writer.tell()
+        self._tail = []
+        self._tail_bytes = 0
+
+    def _recover_fsync(self, cause: StoreError) -> None:
+        """Reopen-and-rewrite after a failed fsync (fsyncgate discipline).
+
+        The failed descriptor may have dropped the unsynced tail and
+        would falsely report success if fsynced again, so it is never
+        reused: open a fresh descriptor, truncate to the durable floor,
+        rewrite the tail records, and fsync *that*.  Failing twice
+        poisons the writer, un-indexes the records that never made it to
+        the platter, and rebuilds the bloom over the pruned index.
+        """
+        path = self._segment_path(self._active)
+        self._writer.close()
+        last: StoreError = cause
+        for _ in range(2):
+            try:
+                handle = open(path, "r+b")
+            except OSError as exc:
+                last = map_os_error(exc, "open", path)
+                break
+            try:
+                handle.truncate(self._synced)
+                handle.seek(self._synced)
+                for blob in self._tail:
+                    write_bytes(handle, blob)
+                fsync_file(handle, "fsync-recovery")
+            except (DiskFullError, DiskFaultError) as exc:
+                last = exc
+                handle.close()
+                continue
+            except OSError as exc:
+                last = map_os_error(exc, "write", path)
+                handle.close()
+                continue
+            self._writer = handle
+            return
+        self._poisoned = True
+        doomed = [
+            uid
+            for uid, (segment, offset, _length) in self._index.items()
+            if segment == self._active and offset >= self._synced
+        ]
+        for uid in doomed:
+            del self._index[uid]
+        self._bloom = self._rebuild_bloom()
+        raise DiskFaultError(
+            f"{path}: writer poisoned after failed fsync recovery "
+            f"({len(doomed)} unsynced records un-acked): {last}",
+            syscall="fsync",
+            path=path,
+        ) from last
 
     def _append(self, chunk: Chunk) -> None:
         """Append one framed record (write boundary; no flush)."""
         record = self._encode_record(chunk)
+        if self._writer.tell() >= self._segment_limit:
+            self._roll_segment()
         offset = self._writer.tell()
-        if offset >= self._segment_limit:
-            # The retiring segment gets watermarked at its full size by
-            # the next index snapshot; fsync before closing so a power
-            # loss cannot shrink it below that watermark.
-            fsync_file(self._writer)
-            self._writer.close()
-            self._active += 1
-            self._segments.append(self._active)
-            self._writer = open(self._segment_path(self._active), "ab")
-            offset = 0
-        crashing_write(
-            self._writer, record, kind="pack-write", label=chunk.uid.short()
-        )
+        try:
+            crashing_write(
+                self._writer, record, kind="pack-write", label=chunk.uid.short()
+            )
+        except (DiskFullError, DiskFaultError):
+            self._unwind_append(offset)
+            raise
         self._index[chunk.uid] = (self._active, offset, len(record))
         self._bloom.add(chunk.uid)
         if self._bloom.saturated:
             self._bloom = self._rebuild_bloom()
+        self._tail.append(record)
+        self._tail_bytes += len(record)
         self.stats.record_io(written=len(record))
+        if self._tail_bytes > self._TAIL_LIMIT:
+            # Bound the rewrite buffer: force a durable point so the
+            # fsync-recovery tail cannot grow without limit.
+            self._sync_writer("tail-limit")
+
+    def _flush_writer(self) -> None:
+        try:
+            self._writer.flush()
+        except OSError as exc:
+            # Buffer state is unknowable after a failed flush: poison.
+            self._poisoned = True
+            raise map_os_error(exc, "write", self._segment_path(self._active)) from exc
 
     def _insert(self, chunk: Chunk) -> None:
-        if self._closed:
-            raise StoreClosedError("store is closed")
-        self._append(chunk)
-        self._writer.flush()
+        self._check_writer()
+        self._disk_retry.call(lambda: self._append(chunk), retry_on=(DiskFullError,))
+        self._flush_writer()
 
     def _insert_many(self, chunks: List[Chunk]) -> None:
         """Batched append: one fsync and one index snapshot per batch."""
-        if self._closed:
-            raise StoreClosedError("store is closed")
+        self._check_writer()
         for chunk in chunks:
-            self._append(chunk)
+            self._disk_retry.call(lambda c=chunk: self._append(c), retry_on=(DiskFullError,))
         crashpoint("pack-fsync", f"batch:{len(chunks)}")
-        fsync_file(self._writer)
+        self._sync_writer(f"batch:{len(chunks)}")
         self._save_index()
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
@@ -608,8 +762,10 @@ class PackStore(ChunkStore):
         for segment in self._segments:
             try:
                 total += os.path.getsize(self._segment_path(segment))
-            except OSError:
-                pass
+            except FileNotFoundError:
+                pass  # fresh segment not yet materialized
+            except OSError as exc:
+                raise map_os_error(exc, "stat", self._segment_path(segment)) from exc
         return total
 
     # -- compaction ----------------------------------------------------------
@@ -623,11 +779,12 @@ class PackStore(ChunkStore):
         in between leaves either the old layout (new segments are simply
         rescanned or cleaned) or the new one — never data loss.
         """
-        if self._closed:
-            raise StoreClosedError("store is closed")
+        self._check_writer()
         old_segments = list(self._segments)
         bytes_before = self.disk_size()
-        self._writer.flush()
+        # Establish a durable floor before retiring the old writer: the
+        # rewrite buffer must be empty when the handle goes away.
+        self._sync_writer("compact-prep")
         self._writer.close()
 
         ordered = sorted(self._index.items(), key=lambda kv: (kv[1][0], kv[1][1]))
@@ -635,27 +792,48 @@ class PackStore(ChunkStore):
         new_segments: List[int] = [next_segment]
         writer = open(self._segment_path(next_segment), "ab")
         new_index: Dict[Uid, Tuple[int, int, int]] = {}
-        for uid, (segment, offset, length) in ordered:
-            record = self._view(segment, offset, length)
-            position = writer.tell()
-            if position >= self._segment_limit:
-                fsync_file(writer)
+        try:
+            for uid, (segment, offset, length) in ordered:
+                record = self._view(segment, offset, length)
+                position = writer.tell()
+                if position >= self._segment_limit:
+                    fsync_file(writer)
+                    writer.close()
+                    next_segment += 1
+                    new_segments.append(next_segment)
+                    writer = open(self._segment_path(next_segment), "ab")
+                    position = 0
+                crashing_write(writer, record, kind="pack-write", label=f"compact:{uid.short()}")
+                new_index[uid] = (next_segment, position, length)
+                self.stats.record_io(written=length)
+            crashpoint("pack-fsync", "compact")
+            fsync_file(writer)
+            fsync_dir(self._pack_dir)
+        except (DiskFullError, DiskFaultError, OSError) as exc:
+            # The old layout is untouched on disk: drop the half-built
+            # segments and resume appending to the old active one.  The
+            # failed descriptor is never fsynced again (fsyncgate).
+            if not writer.closed:
                 writer.close()
-                next_segment += 1
-                new_segments.append(next_segment)
-                writer = open(self._segment_path(next_segment), "ab")
-                position = 0
-            crashing_write(writer, record, kind="pack-write", label=f"compact:{uid.short()}")
-            new_index[uid] = (next_segment, position, length)
-            self.stats.record_io(written=length)
-        crashpoint("pack-fsync", "compact")
-        fsync_file(writer)
-        fsync_dir(self._pack_dir)
+            for segment in new_segments:
+                self._drop_segment_file(segment)
+            self._writer = open(self._segment_path(self._active), "ab")
+            self._synced = self._writer.tell()
+            self._tail = []
+            self._tail_bytes = 0
+            if isinstance(exc, OSError):
+                raise map_os_error(
+                    exc, "write", self._segment_path(next_segment)
+                ) from exc
+            raise
 
         self._index = new_index
         self._segments = new_segments
         self._active = new_segments[-1]
         self._writer = writer
+        self._synced = writer.tell()
+        self._tail = []
+        self._tail_bytes = 0
         self._save_index()
         # The snapshot no longer references the old segments: unlink them.
         for segment in old_segments:
@@ -684,7 +862,14 @@ class PackStore(ChunkStore):
     def close(self) -> None:
         if self._closed:
             return
-        fsync_file(self._writer)
+        if self._poisoned:
+            # The writer is disabled and the in-memory index already had
+            # its un-durable entries removed; persisting a snapshot would
+            # launder the poisoned state into "clean close".  Abandon and
+            # let reopen rebuild from the watermark scan.
+            self.abandon()
+            return
+        self._sync_writer("close")
         self._writer.close()
         self._save_index()
         self._drop_maps()
@@ -694,6 +879,9 @@ class PackStore(ChunkStore):
         """Release OS handles without persisting the index (crash sim)."""
         if self._closed:
             return
-        self._writer.close()
+        try:
+            self._writer.close()
+        except OSError:
+            pass  # a SIGKILL simulator must not raise on teardown
         self._drop_maps()
         self._closed = True

@@ -40,9 +40,18 @@ import zlib
 from typing import IO, Dict, Iterable, List, Mapping
 
 from repro.chunk import Uid
-from repro.errors import JournalCorruptError, JournalError, VersionError
+from repro.errors import (
+    DiskFaultError,
+    DiskFullError,
+    JournalCorruptError,
+    JournalError,
+    StoreError,
+    VersionError,
+    map_os_error,
+)
 from repro.faults.crash import crashing_write, crashpoint
-from repro.store.durability import durable_replace, fsync_file
+from repro.faults.retry import RetryPolicy
+from repro.store.durability import durable_replace, fsync_file, read_check, write_bytes
 from repro.vcs.branches import BranchTable
 
 MAGIC = b"FBWJ0001"
@@ -65,25 +74,50 @@ class CommitJournal:
         self._size = 0
         self._pending = 0
         self._closed = False
+        self._poisoned = False
+        #: Record blobs appended since the last successful fsync: the
+        #: rewrite buffer for fsyncgate recovery (reopen-and-rewrite).
+        self._tail: List[bytes] = []
+        #: File offset at the last successful fsync (durable floor).
+        self._durable = 0
+        #: Bounded backoff for transient ENOSPC on the append path only;
+        #: a failed *fsync* is never retried (see :meth:`_recover_fsync`).
+        self._disk_retry = RetryPolicy(attempts=3, base_delay=0.002, max_delay=0.01)
         self._handle = self._open_and_scan()
+
+    @property
+    def poisoned(self) -> bool:
+        """True once an unrecoverable disk fault disabled the journal."""
+        return self._poisoned
 
     # -- open / scan ---------------------------------------------------------
 
     def _create(self) -> IO[bytes]:
-        handle = open(self.path, "wb")
+        try:
+            handle = open(self.path, "wb")
+        except OSError as exc:
+            raise map_os_error(exc, "open", self.path) from exc
         crashing_write(handle, MAGIC, kind="journal-write", label="magic")
-        handle.flush()
+        try:
+            handle.flush()
+        except OSError as exc:
+            raise map_os_error(exc, "write", self.path) from exc
         if self.fsync != "never":
             self._fsync(handle, label="magic")
         self._size = len(MAGIC)
+        self._durable = self._size
         return handle
 
     def _open_and_scan(self) -> IO[bytes]:
         """Open the journal, validating records and truncating a torn tail."""
         if not os.path.exists(self.path):
             return self._create()
-        handle = open(self.path, "r+b")
-        data = handle.read()  # journals are bounded by compaction
+        try:
+            read_check(self.path, label=os.path.basename(self.path))
+            handle = open(self.path, "r+b")
+            data = handle.read()  # journals are bounded by compaction
+        except OSError as exc:
+            raise map_os_error(exc, "read", self.path) from exc
         if len(data) < len(MAGIC):
             # Torn creation: the process died writing the magic, so no
             # record can possibly follow.  Start fresh.
@@ -125,6 +159,7 @@ class CommitJournal:
             handle.truncate(offset)  # drop the torn tail for good
         handle.seek(offset)
         self._size = offset
+        self._durable = offset
         return handle
 
     # -- appending -----------------------------------------------------------
@@ -133,33 +168,130 @@ class CommitJournal:
         """Durably (per policy) append one op record."""
         if self._closed:
             raise JournalError(f"{self.path}: journal is closed")
+        self._check_poisoned()
         payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
         blob = _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
-        crashing_write(
-            self._handle, blob, kind="journal-write", label=str(record.get("op", ""))
+        label = str(record.get("op", ""))
+        self._disk_retry.call(
+            lambda: self._write_blob(blob, label), retry_on=(DiskFullError,)
         )
-        # Flush unconditionally: an acknowledged commit must survive a
-        # process kill under every policy; fsync is about power loss.
-        self._handle.flush()
         self._records.append(dict(record))
         self._size += len(blob)
+        self._tail.append(blob)
         self._pending += 1
         if self.fsync == "always" or (
             self.fsync == "batch" and self._pending >= self.batch_interval
         ):
             self.sync()
 
+    def _check_poisoned(self) -> None:
+        if self._poisoned:
+            raise DiskFaultError(
+                f"{self.path}: journal poisoned by an unrecoverable disk fault",
+                syscall="write",
+                path=self.path,
+            )
+
+    def _write_blob(self, blob: bytes, label: str) -> None:
+        """One append attempt: write + flush, un-acked on any failure."""
+        try:
+            crashing_write(self._handle, blob, kind="journal-write", label=label)
+            # Flush unconditionally: an acknowledged commit must survive a
+            # process kill under every policy; fsync is about power loss.
+            self._handle.flush()
+        except (DiskFullError, DiskFaultError):
+            self._unwind_append()
+            raise
+        except OSError as exc:
+            self._unwind_append()
+            raise map_os_error(exc, "write", self.path) from exc
+
+    def _unwind_append(self) -> None:
+        """Truncate a failed append back to the last acked offset.
+
+        A short write may have materialized a strict prefix of the
+        record; ``self._size`` only advances on success, so truncating
+        there restores the record boundary.  If even the truncate fails
+        the journal is poisoned — no further appends are accepted.
+        """
+        try:
+            self._handle.flush()
+            self._handle.truncate(self._size)
+            self._handle.seek(self._size)
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "truncate", self.path) from exc
+
     def _fsync(self, handle: IO[bytes], label: str = "") -> None:
         crashpoint("journal-fsync", label or os.path.basename(self.path))
-        os.fsync(handle.fileno())
+        fsync_file(handle, label or os.path.basename(self.path))
 
     def sync(self) -> None:
         """Flush and fsync pending appends regardless of policy."""
         if self._closed:
             return
-        self._handle.flush()
-        self._fsync(self._handle)
+        self._check_poisoned()
+        try:
+            self._handle.flush()
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "write", self.path) from exc
+        try:
+            self._fsync(self._handle)
+        except (DiskFullError, DiskFaultError) as exc:
+            self._recover_fsync(exc)
         self._pending = 0
+        self._durable = self._size
+        self._tail = []
+
+    def _recover_fsync(self, cause: StoreError) -> None:
+        """Reopen-and-rewrite after a failed fsync (fsyncgate discipline).
+
+        The failed descriptor may have dropped the unsynced tail and
+        would falsely report success if fsynced again, so it is never
+        reused: open a fresh descriptor, truncate to the durable floor,
+        rewrite the tail records, and fsync *that*.  Failing twice
+        poisons the journal and un-acks the in-memory records that never
+        reached the platter.
+        """
+        self._handle.close()
+        last: StoreError = cause
+        for _ in range(2):
+            try:
+                handle = open(self.path, "r+b")
+            except OSError as exc:
+                last = map_os_error(exc, "open", self.path)
+                break
+            try:
+                handle.truncate(self._durable)
+                handle.seek(self._durable)
+                for blob in self._tail:
+                    write_bytes(handle, blob)
+                fsync_file(handle, "fsync-recovery")
+            except (DiskFullError, DiskFaultError) as exc:
+                last = exc
+                handle.close()
+                continue
+            except OSError as exc:
+                last = map_os_error(exc, "write", self.path)
+                handle.close()
+                continue
+            self._handle = handle
+            return
+        self._poisoned = True
+        dropped = len(self._tail)
+        if dropped:
+            # The tail blobs and the tail records correspond 1:1; both
+            # must be un-acked together or replay diverges from disk.
+            self._records = self._records[:-dropped]
+        self._size = self._durable
+        self._tail = []
+        raise DiskFaultError(
+            f"{self.path}: journal poisoned after failed fsync recovery "
+            f"({dropped} unsynced records un-acked): {last}",
+            syscall="fsync",
+            path=self.path,
+        ) from last
 
     # -- queries -------------------------------------------------------------
 
@@ -191,27 +323,57 @@ class CommitJournal:
         """
         if self._closed:
             raise JournalError(f"{self.path}: journal is closed")
+        self._check_poisoned()
         tmp = self.path + ".tmp"
-        with open(tmp, "wb") as handle:
-            crashing_write(handle, MAGIC, kind="journal-write", label="reset-magic")
-            crashpoint("journal-fsync", "reset-magic")
-            fsync_file(handle)
+        try:
+            with open(tmp, "wb") as handle:
+                crashing_write(handle, MAGIC, kind="journal-write", label="reset-magic")
+                crashpoint("journal-fsync", "reset-magic")
+                fsync_file(handle)
+        except (DiskFullError, DiskFaultError):
+            raise  # the live journal handle is untouched: still usable
+        except OSError as exc:
+            raise map_os_error(exc, "write", tmp) from exc
         crashpoint("journal-replace", os.path.basename(self.path))
         self._handle.close()
-        durable_replace(tmp, self.path)
-        self._handle = open(self.path, "r+b")
+        try:
+            durable_replace(tmp, self.path)
+            self._handle = open(self.path, "r+b")
+        except (DiskFullError, DiskFaultError):
+            self._poisoned = True  # old handle is gone; state is ambiguous
+            raise
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "open", self.path) from exc
         self._handle.seek(len(MAGIC))
         self._records = []
         self._size = len(MAGIC)
         self._pending = 0
+        self._durable = self._size
+        self._tail = []
 
     def close(self) -> None:
         """Flush (and fsync unless policy is ``never``) and close."""
         if self._closed:
             return
-        self._handle.flush()
+        if self._poisoned:
+            # The handle was already closed by the failed recovery; there
+            # is nothing trustworthy left to flush.
+            self._closed = True
+            return
+        try:
+            self._handle.flush()
+        except OSError as exc:
+            self._poisoned = True
+            raise map_os_error(exc, "write", self.path) from exc
         if self.fsync != "never" and self._pending:
-            self._fsync(self._handle, label="close")
+            try:
+                self._fsync(self._handle, label="close")
+            except (DiskFullError, DiskFaultError) as exc:
+                self._recover_fsync(exc)
+            self._pending = 0
+            self._durable = self._size
+            self._tail = []
         self._handle.close()
         self._closed = True
 
@@ -219,7 +381,10 @@ class CommitJournal:
         """Release the OS handle without flushing bookkeeping (crash sim)."""
         if self._closed:
             return
-        self._handle.close()
+        try:
+            self._handle.close()
+        except OSError:
+            pass  # a SIGKILL simulator must not raise on teardown
         self._closed = True
 
 

@@ -36,6 +36,7 @@ RULE_BY_PREFIX = {
     "layers": "FB-LAYERS",
     "optdep": "FB-OPTDEP",
     "durable": "FB-DURABLE",
+    "osfault": "FB-OSFAULT",
 }
 
 

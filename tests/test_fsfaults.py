@@ -1,0 +1,431 @@
+"""Filesystem-fault injection: plan, shim, store/journal recovery, health.
+
+The fourth fault dimension (after byzantine stores, network partitions,
+and crash points): the disk itself misbehaves.  These are the unit-level
+checks; ``test_fsfault_torture.py`` walks every boundary × flavor and
+``test_property_fsfaults.py`` drives random schedules.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType
+from repro.db.engine import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILED,
+    HEALTH_HEALTHY,
+    ForkBase,
+)
+from repro.errors import (
+    DiskFaultError,
+    DiskFullError,
+    EngineLockedError,
+    ReadOnlyError,
+    StoreError,
+    TransientStoreError,
+    map_os_error,
+)
+from repro.faults import FaultyOS, FsFaultPlan, fs_zone
+from repro.faults.fs import TARGETED_FLAVORS
+from repro.store.durability import (
+    active_injector,
+    durable_replace,
+    fsync_path,
+    read_check,
+    write_bytes,
+)
+from repro.store.filestore import FileStore
+from repro.store.packstore import PackStore
+from repro.vcs.journal import CommitJournal
+
+
+def _chunk(tag: bytes) -> Chunk:
+    return Chunk(ChunkType.BLOB, b"payload-" + tag)
+
+
+# -- plan determinism ---------------------------------------------------------
+
+
+def test_plan_decisions_replay_bit_identically():
+    plan = FsFaultPlan(seed=7, enospc_rate=0.3, fsync_fail_rate=0.2, eio_read_rate=0.1)
+    first = [
+        plan.decide(syscall, "seg-000000.dat", attempt, index)
+        for index, (syscall, attempt) in enumerate(
+            (s, a) for s in ("write", "fsync", "read", "replace") for a in range(32)
+        )
+    ]
+    second = [
+        plan.decide(syscall, "seg-000000.dat", attempt, index)
+        for index, (syscall, attempt) in enumerate(
+            (s, a) for s in ("write", "fsync", "read", "replace") for a in range(32)
+        )
+    ]
+    assert first == second
+    assert any(fault is not None for fault in first)
+
+
+def test_plan_seed_changes_schedule():
+    a = FsFaultPlan(seed=1, enospc_rate=0.5)
+    b = FsFaultPlan(seed=2, enospc_rate=0.5)
+    draws_a = [a.draw("write", "x", n) for n in range(64)]
+    draws_b = [b.draw("write", "x", n) for n in range(64)]
+    assert draws_a != draws_b
+    assert all(0.0 <= value < 1.0 for value in draws_a)
+
+
+def test_targeted_plan_faults_exactly_one_boundary(tmp_path):
+    path = tmp_path / "blob.dat"
+    with fs_zone(FsFaultPlan(fail_at=1, flavor="enospc")) as shim:
+        with open(path, "ab") as handle:
+            write_bytes(handle, b"first")  # boundary 0: clean
+            with pytest.raises(DiskFullError):
+                write_bytes(handle, b"second")  # boundary 1: ENOSPC
+            write_bytes(handle, b"third")  # boundary 2: clean again
+    assert [hit.fault for hit in shim.trace] == [None, "enospc", None]
+    assert len(shim.injected) == 1
+
+
+def test_census_mode_counts_without_faulting(tmp_path):
+    path = tmp_path / "blob.dat"
+    with fs_zone(FsFaultPlan()) as shim:
+        with open(path, "ab") as handle:
+            write_bytes(handle, b"data")
+        read_check(str(path))
+    assert shim.count == 2
+    assert shim.injected == []
+    assert {hit.syscall for hit in shim.trace} == {"write", "read"}
+
+
+# -- shim semantics -----------------------------------------------------------
+
+
+def test_short_write_materializes_strict_prefix(tmp_path):
+    path = tmp_path / "blob.dat"
+    data = b"0123456789" * 8
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="short")):
+        with open(path, "ab") as handle:
+            with pytest.raises(DiskFullError):
+                write_bytes(handle, data)
+    landed = path.read_bytes()
+    assert len(landed) < len(data)
+    assert data.startswith(landed)
+
+
+def test_fsync_failure_drops_dirty_pages_and_gates_descriptor(tmp_path):
+    path = tmp_path / "blob.dat"
+    with open(path, "wb") as handle:
+        handle.write(b"durable")
+        handle.flush()
+        os.fsync(handle.fileno())
+    with fs_zone(FsFaultPlan(fail_at=1, flavor="fsync")) as shim:
+        handle = open(path, "r+b")
+        handle.seek(0, os.SEEK_END)
+        injector = active_injector()
+        injector.write(handle, b"-dirty")  # boundary 0, fixes the durable floor
+        handle.flush()
+        with pytest.raises(OSError) as excinfo:
+            injector.fsync_handle(handle)  # boundary 1: EIO + page loss
+        assert excinfo.value.errno == errno.EIO
+        # fsyncgate: the unsynced bytes are gone from the file...
+        assert path.read_bytes() == b"durable"
+        assert shim.dropped_bytes == len(b"-dirty")
+        # ...and a retry on the same descriptor falsely reports success.
+        injector.fsync_handle(handle)
+        assert shim.false_fsyncs == 1
+        handle.close()
+
+
+def test_read_probe_eio_classifies_as_disk_fault(tmp_path):
+    path = tmp_path / "blob.dat"
+    path.write_bytes(b"data")
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="eio")):
+        with pytest.raises(DiskFaultError):
+            read_check(str(path))
+    read_check(str(path))  # clean outside the zone
+
+
+def test_replace_fault_classifies_and_preserves_source(tmp_path):
+    source = tmp_path / "new.tmp"
+    destination = tmp_path / "index.dat"
+    destination.write_bytes(b"old")
+    source.write_bytes(b"new")
+    # Boundary 0 is fsync_path(source); boundary 1 is the rename itself.
+    with fs_zone(FsFaultPlan(fail_at=1, flavor="eio")):
+        with pytest.raises(DiskFaultError):
+            durable_replace(str(source), str(destination))
+    assert destination.read_bytes() == b"old"
+
+
+def test_map_os_error_taxonomy():
+    full = map_os_error(OSError(errno.ENOSPC, "no space"), "write", "seg")
+    assert isinstance(full, DiskFullError)
+    assert isinstance(full, TransientStoreError)
+    assert full.syscall == "write" and full.path == "seg"
+    quota = map_os_error(OSError(errno.EDQUOT, "quota"), "write", "seg")
+    assert isinstance(quota, DiskFullError)
+    fault = map_os_error(OSError(errno.EIO, "io"), "fsync", "seg")
+    assert isinstance(fault, DiskFaultError)
+    assert not isinstance(fault, TransientStoreError)
+    assert isinstance(fault, StoreError)
+
+
+# -- satellite: fsync_path propagates directory-fsync failures ----------------
+
+
+def test_fsync_path_propagates_directory_fsync_errors(tmp_path):
+    directory = tmp_path / "store"
+    directory.mkdir()
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - Windows
+        pytest.skip("no O_DIRECTORY on this platform")
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="fsync")):
+        with pytest.raises(DiskFaultError):
+            fsync_path(str(directory))
+    fsync_path(str(directory))  # clean outside the zone
+
+
+# -- store recovery -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("factory", [FileStore, PackStore], ids=["file", "pack"])
+def test_enospc_append_is_unacked_and_retried(tmp_path, factory):
+    store = factory(str(tmp_path / "chunks"))
+    store.put(_chunk(b"before"))
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="enospc")) as shim:
+        # The bounded ENOSPC retry absorbs a single targeted fault: the
+        # second attempt lands on a fresh boundary index and succeeds.
+        assert store.put(_chunk(b"squeezed"))
+        assert shim.injected and shim.injected[0].fault == "enospc"
+    assert not store.poisoned
+    assert store.get(_chunk(b"squeezed").uid).data == _chunk(b"squeezed").data
+    store.close()
+    reopened = factory(str(tmp_path / "chunks"))
+    assert reopened.has(_chunk(b"before").uid)
+    assert reopened.has(_chunk(b"squeezed").uid)
+    reopened.close()
+
+
+@pytest.mark.parametrize("factory", [FileStore, PackStore], ids=["file", "pack"])
+def test_fsync_failure_recovers_via_fresh_descriptor(tmp_path, factory):
+    store = factory(str(tmp_path / "chunks"))
+    chunks = [_chunk(bytes([n])) for n in range(4)]
+    # put_many crosses one write boundary per chunk, then one fsync.
+    with fs_zone(FsFaultPlan(fail_at=len(chunks), flavor="fsync")) as shim:
+        assert store.put_many(chunks) == len(chunks)
+    assert shim.dropped_bytes > 0  # the fsyncgate simulation really fired
+    assert shim.false_fsyncs == 0  # and the store never re-fsynced the fd
+    assert not store.poisoned
+    store.close()
+    reopened = factory(str(tmp_path / "chunks"))
+    for chunk in chunks:
+        assert reopened.get(chunk.uid).data == chunk.data
+    reopened.close()
+
+
+@pytest.mark.parametrize("factory", [FileStore, PackStore], ids=["file", "pack"])
+def test_unrecoverable_fsync_poisons_writer(tmp_path, factory):
+    seeded = factory(str(tmp_path / "chunks"))
+    seeded.put(_chunk(b"acked"))
+    seeded.close()  # close() fsyncs: the acked chunk is now durable
+    store = factory(str(tmp_path / "chunks"))
+    chunks = [_chunk(bytes([n])) for n in range(3)]
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)) as shim:
+        with pytest.raises(DiskFaultError):
+            store.put_many(chunks)
+        assert store.poisoned
+        # Poisoned writer refuses further appends...
+        with pytest.raises(DiskFaultError):
+            store.put(_chunk(b"late"))
+        # ...and close() degrades to abandon() rather than pretending.
+        store.close()
+    assert shim.false_fsyncs == 0
+    reopened = factory(str(tmp_path / "chunks"))
+    assert reopened.has(_chunk(b"acked").uid)
+    # The un-acked batch must not have been indexed as durable state.
+    for chunk in chunks:
+        assert not reopened.has(chunk.uid)
+    reopened.close()
+
+
+# -- journal recovery ---------------------------------------------------------
+
+
+def test_journal_enospc_append_unacked_then_absorbed(tmp_path):
+    journal = CommitJournal(str(tmp_path / "journal.wal"), fsync="never")
+    journal.append({"op": "set-head", "seq": 1})
+    size_before = journal.size()
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="short")):
+        journal.append({"op": "set-head", "seq": 2})  # retry absorbs it
+    assert journal.size() > size_before
+    assert len(journal) == 2
+    journal.close()
+    replayed = CommitJournal(str(tmp_path / "journal.wal"), fsync="never")
+    assert [record["seq"] for record in replayed.records] == [1, 2]
+    replayed.close()
+
+
+def test_journal_fsync_failure_recovers_tail(tmp_path):
+    journal = CommitJournal(str(tmp_path / "journal.wal"), fsync="always")
+    journal.append({"op": "set-head", "seq": 1})
+    with fs_zone(FsFaultPlan(fail_at=1, flavor="fsync")) as shim:
+        # boundary 0 is the record write; boundary 1 the policy fsync.
+        journal.append({"op": "set-head", "seq": 2})
+    assert shim.false_fsyncs == 0
+    assert not journal.poisoned
+    journal.close()
+    replayed = CommitJournal(str(tmp_path / "journal.wal"))
+    assert [record["seq"] for record in replayed.records] == [1, 2]
+    replayed.close()
+
+
+def test_journal_poisons_after_unrecoverable_fsync(tmp_path):
+    journal = CommitJournal(str(tmp_path / "journal.wal"), fsync="always")
+    journal.append({"op": "set-head", "seq": 1})
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)) as shim:
+        with pytest.raises(DiskFaultError):
+            journal.append({"op": "set-head", "seq": 2})
+        assert journal.poisoned
+        with pytest.raises(DiskFaultError):
+            journal.append({"op": "set-head", "seq": 3})
+        journal.close()  # a poisoned journal closes without flushing
+    assert shim.false_fsyncs == 0
+    # The un-acked record was un-acked in memory too, and replay agrees.
+    replayed = CommitJournal(str(tmp_path / "journal.wal"))
+    assert [record["seq"] for record in replayed.records] == [1]
+    replayed.close()
+
+
+# -- satellite: lock acquisition must not mask disk faults --------------------
+
+
+def test_lock_contention_still_raises_engine_locked(tmp_path):
+    first = ForkBase.open(str(tmp_path / "db"))
+    try:
+        with pytest.raises(EngineLockedError):
+            ForkBase.open(str(tmp_path / "db"))
+    finally:
+        first.close()
+
+
+def test_lock_disk_fault_is_not_reported_as_contention(tmp_path, monkeypatch):
+    fcntl = pytest.importorskip("fcntl")
+
+    def broken_flock(fd, op):
+        raise OSError(errno.EIO, "injected: flock failed")
+
+    monkeypatch.setattr(fcntl, "flock", broken_flock)
+    with pytest.raises(DiskFaultError):
+        ForkBase.open(str(tmp_path / "db"))
+
+
+# -- engine health machine ----------------------------------------------------
+
+
+def _open_engine(tmp_path, **kwargs):
+    engine = ForkBase.open(str(tmp_path / "db"), fsync="always", **kwargs)
+    return engine
+
+
+def test_engine_health_starts_healthy(tmp_path):
+    engine = _open_engine(tmp_path)
+    report = engine.health()
+    assert report.state == HEALTH_HEALTHY
+    assert report.writable
+    assert report.reason is None
+    engine.close()
+
+
+def test_disk_fault_degrades_to_read_only(tmp_path):
+    engine = _open_engine(tmp_path)
+    engine.put("doc", {"a": "1"})
+    baseline = engine.get_value("doc")
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)):
+        with pytest.raises(DiskFaultError):
+            engine.put("doc", {"a": "2"})
+    report = engine.health()
+    assert report.state == HEALTH_DEGRADED
+    assert not report.writable
+    assert report.reason
+    # Reads, verification, and scrubbing still serve...
+    assert engine.get_value("doc") == baseline
+    assert engine.verify("doc").ok
+    assert engine.scrub().healthy
+    # ...while every mutating verb refuses with ReadOnlyError.
+    with pytest.raises(ReadOnlyError) as excinfo:
+        engine.put("doc", {"a": "3"})
+    assert excinfo.value.state == HEALTH_DEGRADED
+    with pytest.raises(ReadOnlyError):
+        engine.branch("doc", "dev")
+    with pytest.raises(ReadOnlyError):
+        engine.drop("doc")
+    with pytest.raises(ReadOnlyError):
+        engine.collect_garbage()
+    engine.close()  # degraded close abandons instead of snapshotting
+
+
+def test_degraded_write_is_cleanly_unacked(tmp_path):
+    engine = _open_engine(tmp_path)
+    engine.put("doc", {"a": "1"})
+    head_before = engine.head("doc")
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)):
+        with pytest.raises(DiskFaultError):
+            engine.put("doc", {"a": "2"})
+    # The failed put rolled the in-memory head back: un-acked means the
+    # engine never claims the version existed.
+    assert engine.head("doc") == head_before
+    engine.close()
+
+
+def test_reopen_recovers_from_degraded_state(tmp_path):
+    engine = _open_engine(tmp_path)
+    engine.put("doc", {"a": "1"})
+    acked_head = engine.head("doc")
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)):
+        with pytest.raises(DiskFaultError):
+            engine.put("doc", {"a": "2"})
+    engine.close()
+    recovered = ForkBase.open(str(tmp_path / "db"))
+    assert recovered.health().state == HEALTH_HEALTHY
+    assert recovered.head("doc") == acked_head
+    assert recovered.verify("doc").ok
+    # Writes work again on the fresh engine.
+    recovered.put("doc", {"a": "3"})
+    recovered.close()
+
+
+def test_read_fault_while_degraded_fails_engine(tmp_path):
+    engine = _open_engine(tmp_path)
+    engine.put("doc", {"a": "1", "pad": "x" * 64})
+    with fs_zone(FsFaultPlan(fsync_fail_rate=1.0)):
+        with pytest.raises(DiskFaultError):
+            engine.put("doc", {"a": "2"})
+    assert engine.health().state == HEALTH_DEGRADED
+    engine.retry = None
+    engine.self_heal = False
+    with fs_zone(FsFaultPlan(eio_read_rate=1.0)):
+        with pytest.raises(DiskFaultError):
+            engine.get_value("doc")
+    assert engine.health().state == HEALTH_FAILED
+    with pytest.raises(ReadOnlyError) as excinfo:
+        engine.put("doc", {"a": "3"})
+    assert excinfo.value.state == HEALTH_FAILED
+    engine.close()
+
+
+def test_enospc_leaves_engine_healthy(tmp_path):
+    engine = _open_engine(tmp_path)
+    engine.put("doc", {"a": "1"})
+    with fs_zone(FsFaultPlan(fail_at=0, flavor="enospc")):
+        engine.put("doc", {"a": "2"})  # absorbed by the bounded retry
+    assert engine.health().state == HEALTH_HEALTHY
+    assert engine.get_value("doc") == {b"a": b"2"}
+    engine.close()
+
+
+def test_targeted_flavors_cover_every_syscall():
+    assert set(TARGETED_FLAVORS) == {"write", "fsync", "read", "replace"}
+    shim = FaultyOS(FsFaultPlan())
+    assert shim.count == 0
