@@ -16,27 +16,41 @@ Usage::
 Each rule is registered in :mod:`fbcheck.rules` and documented in README.md
 ("Static analysis & invariants").  Violations print as
 ``file:line: RULE-ID message`` and the process exits nonzero if any survive
-the per-rule allowlists (:mod:`fbcheck.config`) and inline pragmas
-(``# fbcheck: ignore[RULE-ID]``).
+the per-rule allowlists (:mod:`fbcheck.config`) and inline pragma
+comments (``fbcheck: ignore[RULE-ID]``; unknown rule ids are an error).
+
+Since PR 8 the engine is flow-sensitive: :mod:`fbcheck.cfg` builds
+per-function control-flow graphs, :mod:`fbcheck.dataflow` runs taint
+propagation over them, and :mod:`fbcheck.summaries` adds one level of
+interprocedural call summaries — powering FB-TAMPER, FB-ACKFLOW, and
+FB-LOCKED.
 """
 
+from fbcheck.cfg import CFG, build_cfgs
 from fbcheck.core import (
     ModuleFile,
     Rule,
     Violation,
     all_rules,
+    check_module,
     check_paths,
     check_source,
     register,
 )
+from fbcheck.dataflow import TaintAnalysis, TaintSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CFG",
     "ModuleFile",
     "Rule",
+    "TaintAnalysis",
+    "TaintSpec",
     "Violation",
     "all_rules",
+    "build_cfgs",
+    "check_module",
     "check_paths",
     "check_source",
     "register",

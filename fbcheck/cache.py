@@ -1,0 +1,130 @@
+"""Content-hash result cache for fbcheck runs.
+
+The flow rules (CFG + fixpoint taint per function, one extra taint run
+per parameter for summaries) made fbcheck meaningfully more expensive
+than the syntactic pass it grew out of.  Most CI runs touch a handful of
+files, so the cache keys each file's per-file findings on
+
+- the SHA-256 of the file's *source text* (pragmas and annotations live
+  in the text, so any suppression edit invalidates the entry), and
+- an analyzer **fingerprint**: the SHA-256 of every ``fbcheck`` package
+  source file plus the active config repr and ``--select`` set — a rule
+  tweak, allowlist edit, or different rule selection invalidates the
+  whole cache rather than serving findings from a different analyzer.
+
+Only per-file ``check()`` results are cached.  Whole-program
+``finalize()`` passes (the FB-LAYERS cycle check) always run live against
+the parsed modules, which is why ``check_paths`` still parses every file
+on a fully-cached run.
+
+The store is one JSON file per fingerprint under the cache directory;
+corrupt or unreadable cache files are treated as empty (a cache must
+never turn a clean run red).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+
+class CachedResult(NamedTuple):
+    """Per-file findings replayed on a cache hit."""
+
+    violations: List[Tuple[str, int, str, str, str]]
+    allow_hits: Dict[str, List[str]]
+
+
+def _package_fingerprint() -> str:
+    """Hash of the analyzer's own sources: new rules → new cache."""
+    digest = hashlib.sha256()
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for root, dirs, files in os.walk(package_dir):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(root, name)
+            digest.update(os.path.relpath(full, package_dir).encode())
+            with open(full, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def fingerprint(config: object, select: Optional[Set[str]]) -> str:
+    """The composite analyzer fingerprint for one configuration."""
+    digest = hashlib.sha256()
+    digest.update(_package_fingerprint().encode())
+    digest.update(repr(config).encode())
+    digest.update(",".join(sorted(select)).encode() if select else b"<all>")
+    return digest.hexdigest()[:32]
+
+
+def source_key(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A load-mutate-save JSON cache, one file per analyzer fingerprint."""
+
+    def __init__(
+        self,
+        directory: str,
+        config: object = None,
+        select: Optional[Set[str]] = None,
+    ) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, f"fbcheck-{fingerprint(config, select)}.json")
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                self._entries = loaded
+        except (OSError, ValueError):
+            self._entries = {}
+
+    def get(self, source: str) -> Optional[CachedResult]:
+        entry = self._entries.get(source_key(source))
+        if entry is None:
+            return None
+        try:
+            violations = [
+                (str(p), int(line), str(rule), str(msg), str(sev))
+                for p, line, rule, msg, sev in entry["violations"]
+            ]
+            allow_hits = {
+                str(rule): [str(e) for e in entries]
+                for rule, entries in entry["allow_hits"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+        return CachedResult(violations, allow_hits)
+
+    def put(
+        self,
+        source: str,
+        violations: Sequence[Tuple[str, int, str, str, str]],
+        allow_hits: Dict[str, List[str]],
+    ) -> None:
+        self._entries[source_key(source)] = {
+            "violations": [list(v) for v in violations],
+            "allow_hits": allow_hits,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self._entries, handle)
+            os.replace(tmp, self.path)  # fbcheck: ignore[FB-DURABLE]
+        except OSError:
+            # A cache that cannot be written is just a cold cache.
+            pass

@@ -182,6 +182,99 @@ PRIVACY_PUBLIC_UNDERSCORE: FrozenSet[str] = frozenset(
     {"_replace", "_asdict", "_fields", "_field_defaults", "_make"}
 )
 
+# ---------------------------------------------------------------------------
+# FB-TAMPER: taint policy for the tamper-evidence dataflow rule.
+#
+# Bytes read off an unverified medium (disk, mmap window, transport) are
+# tainted until they pass one of the paper's integrity gates; returning or
+# decoding them across the store boundary before that is the violation the
+# ``verify_reads=False`` bypass made invisible.
+# ---------------------------------------------------------------------------
+
+#: Paths where the taint analysis runs (the store boundary + its feeders).
+FLOW_TAMPER_PATHS: Tuple[str, ...] = (
+    "src/repro/store/",
+    "src/repro/cluster/",
+    "src/repro/vcs/",
+)
+
+#: Calls whose result is unverified medium bytes, by bare/last name.
+TAMPER_SOURCES: FrozenSet[str] = frozenset(
+    {"read", "read1", "readinto", "pread", "read_bytes", "recv", "recv_into", "recvfrom", "_fetch"}
+)
+
+#: Dotted call suffixes that are sources (matched against the full text).
+TAMPER_SOURCE_SUFFIXES: Tuple[str, ...] = ("os.read", "mmap.mmap", "_maps.get")
+
+#: ``x.verify()`` / ``x.is_valid()`` vouch for their receiver.
+TAMPER_SANITIZER_METHODS: FrozenSet[str] = frozenset({"verify", "is_valid"})
+
+#: Calls that vouch for their byte arguments (scrub's record checkers).
+TAMPER_SANITIZER_CALLS: FrozenSet[str] = frozenset(
+    {"diagnose_record", "diagnose_copy"}
+)
+
+#: A comparison mentioning one of these (as a call or name token) is a
+#: CRC/digest equality check and cleans every name taking part in it.
+TAMPER_COMPARE_TOKENS: FrozenSet[str] = frozenset(
+    {"crc32", "crc", "digest", "uid", "compute_uid", "checksum"}
+)
+
+#: Calls that merely reshape bytes: taint flows through.
+TAMPER_PROPAGATORS: FrozenSet[str] = frozenset(
+    {"unpack", "unpack_from", "bytes", "bytearray", "memoryview", "decompress", "join"}
+)
+
+#: Attributes that carry their owner's payload bytes.
+TAMPER_CARRIER_ATTRS: FrozenSet[str] = frozenset({"data", "_data", "raw", "payload"})
+
+#: Decode sinks: parsing unverified bytes into live objects.
+TAMPER_DECODE_CALLS: FrozenSet[str] = frozenset(
+    {"loads", "load_node", "from_chunk", "decode_chunk"}
+)
+
+#: Constructors that re-hash their payload (clean) unless handed a
+#: precomputed ``uid=`` — then they trust the caller and taint survives.
+TAMPER_TRUSTING_CONSTRUCTORS: FrozenSet[str] = frozenset({"Chunk"})
+
+# ---------------------------------------------------------------------------
+# FB-ACKFLOW: the un-ack discipline (PR 7), machine-checked.  After an
+# append-style write, every path on which an exception escapes the
+# function must first truncate back to the watermark, unwind the append,
+# or poison/abandon the writer.
+# ---------------------------------------------------------------------------
+
+#: Calls that extend durable state (the "append" that must be un-acked).
+ACKFLOW_TRIGGER_CALLS: FrozenSet[str] = frozenset({"write_bytes", "crashing_write"})
+
+#: Calls that may raise mid-persistence (raising edges are followed from
+#: blocks containing these; unknown calls are trusted not to raise).
+ACKFLOW_RISKY_CALLS: FrozenSet[str] = frozenset(
+    {
+        "write",
+        "writelines",
+        "flush",
+        "fsync",
+        "ftruncate",
+        "truncate",
+        "write_bytes",
+        "crashing_write",
+        "fsync_file",
+        "fsync_path",
+        "fsync_dir",
+        "durable_replace",
+        "replace",
+    }
+)
+
+#: Calls that perform the rollback/poison half of the discipline.
+ACKFLOW_RESCUE_CALLS: FrozenSet[str] = frozenset(
+    {"_unwind_append", "_recover_fsync", "truncate", "ftruncate", "abandon"}
+)
+
+#: Attribute assignments that poison the writer (``self._poisoned = True``).
+ACKFLOW_RESCUE_ATTRS: FrozenSet[str] = frozenset({"_poisoned", "poisoned"})
+
 
 @dataclass(frozen=True)
 class Config:
@@ -199,6 +292,20 @@ class Config:
     optdep_modules: FrozenSet[str] = OPTDEP_MODULES
     privacy_public_underscore: FrozenSet[str] = PRIVACY_PUBLIC_UNDERSCORE
     durable_persistence_paths: Tuple[str, ...] = DURABLE_PERSISTENCE_PATHS
+    flow_tamper_paths: Tuple[str, ...] = FLOW_TAMPER_PATHS
+    tamper_sources: FrozenSet[str] = TAMPER_SOURCES
+    tamper_source_suffixes: Tuple[str, ...] = TAMPER_SOURCE_SUFFIXES
+    tamper_sanitizer_methods: FrozenSet[str] = TAMPER_SANITIZER_METHODS
+    tamper_sanitizer_calls: FrozenSet[str] = TAMPER_SANITIZER_CALLS
+    tamper_compare_tokens: FrozenSet[str] = TAMPER_COMPARE_TOKENS
+    tamper_propagators: FrozenSet[str] = TAMPER_PROPAGATORS
+    tamper_carrier_attrs: FrozenSet[str] = TAMPER_CARRIER_ATTRS
+    tamper_decode_calls: FrozenSet[str] = TAMPER_DECODE_CALLS
+    tamper_trusting_constructors: FrozenSet[str] = TAMPER_TRUSTING_CONSTRUCTORS
+    ackflow_trigger_calls: FrozenSet[str] = ACKFLOW_TRIGGER_CALLS
+    ackflow_risky_calls: FrozenSet[str] = ACKFLOW_RISKY_CALLS
+    ackflow_rescue_calls: FrozenSet[str] = ACKFLOW_RESCUE_CALLS
+    ackflow_rescue_attrs: FrozenSet[str] = ACKFLOW_RESCUE_ATTRS
     #: Per-rule allowlists: rule id → ("path-suffix::detail", ...).
     allow: Mapping[str, Sequence[str]] = field(default_factory=dict)
 
@@ -218,19 +325,43 @@ DEFAULT_ALLOW: Dict[str, Sequence[str]] = {
     # The disk-fault shim *is* the faulty kernel: raising OSError with a
     # real errno is its contract (callers classify via map_os_error).
     "FB-ERRORS": ("src/repro/faults/fs.py::OSError",),
-    # abandon() is the SIGKILL simulator: best-effort teardown must not
-    # raise, so swallowing a close() failure there is the sanctioned
-    # exception to FB-OSFAULT.  _recover_fsync() *records* each failed
-    # rewrite attempt and raises the accumulated error after its bounded
-    # retry loop — the rule cannot see a deferred raise, so the pattern
-    # is sanctioned here instead of weakening the rule.
+    # _recover_fsync() *records* each failed rewrite attempt and raises
+    # the accumulated error after its bounded retry loop — the rule
+    # cannot see a deferred raise, so the pattern is sanctioned here
+    # instead of weakening the rule.  (The abandon() entries that used
+    # to sit alongside these were stale — found by ``--stale-allow``.)
     "FB-OSFAULT": (
-        "src/repro/store/filestore.py::abandon",
-        "src/repro/store/packstore.py::abandon",
-        "src/repro/vcs/journal.py::abandon",
         "src/repro/store/filestore.py::_recover_fsync",
         "src/repro/store/packstore.py::_recover_fsync",
         "src/repro/vcs/journal.py::_recover_fsync",
+    ),
+    # ChunkStore.get/get_maybe fetch then verify behind the verify_reads
+    # flag: the skip branch is the *explicit, caller-chosen* opt-out the
+    # flag exists for (scrub wants the raw bytes to diagnose them), so
+    # the tainted merge at the return is sanctioned here — everywhere
+    # else a fetch-without-verify path is a real FB-TAMPER bug (the
+    # CachedStore verify_reads=False regression this rule was built to
+    # catch).  physical_size() sums *lengths* parsed out of frame
+    # headers; the integers it returns describe the payload, they are
+    # not the payload.
+    "FB-TAMPER": (
+        "src/repro/store/base.py::get",
+        "src/repro/store/base.py::get_maybe",
+        "src/repro/store/packstore.py::physical_size",
+    ),
+    # Appends that target a *temporary* file are outside the un-ack
+    # discipline: a failure leaves the live artifact untouched and the
+    # torn tmp is discarded on the next open (heads snapshot, pack-index
+    # snapshot, journal reset) or rebuilt by magic-scan (journal create).
+    # compact_segments' handler unlinks every half-built segment and
+    # reopens the old writer — new_segments is never empty, which the
+    # CFG cannot prove across the loop's zero-iteration edge.
+    "FB-ACKFLOW": (
+        "src/repro/db/engine.py::_compact",
+        "src/repro/store/packstore.py::_save_index",
+        "src/repro/store/packstore.py::compact_segments",
+        "src/repro/vcs/journal.py::_create",
+        "src/repro/vcs/journal.py::reset",
     ),
 }
 

@@ -7,7 +7,7 @@ that need whole-program context (the layer DAG's cycle check) implement
 
 Suppression, in increasing order of scope:
 
-- ``# fbcheck: ignore[RULE-ID]`` (or ``ignore[A,B]`` / bare ``ignore``) on
+- an ``fbcheck: ignore[RULE-ID]`` comment (or ``ignore[A,B]`` / bare ``ignore``) on
   the offending line;
 - a per-rule allowlist entry in :mod:`fbcheck.config`;
 - ``# fbcheck: skip-file`` within the first five lines of a file.
@@ -25,7 +25,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from fbcheck.config import Config, DEFAULT_CONFIG
 
@@ -52,14 +52,21 @@ SKIP_DIRS = {
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``severity`` is ``"error"`` (affects the exit code) or ``"warning"``
+    (reported, never fails the run — stale-allowlist notices).
+    """
 
     path: str
     line: int
     rule: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
+        if self.severity == "warning":
+            return f"{self.path}:{self.line}: [warning] {self.rule} {self.message}"
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
@@ -75,7 +82,8 @@ class ModuleFile:
         self.real_path = real_path if real_path is not None else path
         self.source = source
         self.lines = source.splitlines()
-        header = self.lines[:HEADER_LINES]
+        self.tree = ast.parse(source, filename=self.real_path)
+        header = _header_window(self.lines, self.tree)
         fixture_path = None
         for line in header:
             match = FIXTURE_PATH_RE.search(line)
@@ -85,8 +93,10 @@ class ModuleFile:
         self.path = _posix(fixture_path if fixture_path else path)
         self.skip = any(SKIP_FILE_RE.search(line) for line in header)
         self.module = _module_name(self.path)
-        self.tree = ast.parse(source, filename=self.real_path)
         self.ignores = _collect_pragmas(self.lines)
+        #: Scratch space for expensive per-module analyses (CFGs, call
+        #: summaries) shared across the flow rules.
+        self.analysis_cache: Dict[str, object] = {}
 
     def ignored(self, rule: str, line: int) -> bool:
         """True when an inline pragma suppresses ``rule`` at ``line``."""
@@ -98,6 +108,22 @@ class ModuleFile:
 
 def _posix(path: str) -> str:
     return path.replace(os.sep, "/")
+
+
+def _header_window(lines: Sequence[str], tree: ast.Module) -> List[str]:
+    """The lines scanned for file-scoped directives.
+
+    The first :data:`HEADER_LINES` lines, plus — when the module opens
+    with a docstring — the same number of lines immediately after it, so
+    ``# fbcheck: skip-file`` can follow a long module docstring.
+    """
+    window = list(lines[:HEADER_LINES])
+    if tree.body and isinstance(tree.body[0], ast.Expr):
+        value = tree.body[0].value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            end = tree.body[0].end_lineno or tree.body[0].lineno
+            window.extend(lines[end : end + HEADER_LINES])
+    return window
 
 
 def _module_name(path: str) -> str:
@@ -144,6 +170,9 @@ class Rule:
 
     def __init__(self, config: Config) -> None:
         self.config = config
+        #: Allowlist entries that matched something this run (stale-entry
+        #: detection reads this after all files are checked).
+        self.allow_hits: Set[str] = set()
 
     def applies_to(self, path: str) -> bool:
         return True
@@ -170,6 +199,7 @@ class Rule:
         for entry in self.config.allow.get(self.rule_id, ()):
             entry_path, _, entry_detail = entry.partition("::")
             if module.path.endswith(entry_path) and entry_detail == detail:
+                self.allow_hits.add(entry)
                 return True
         return False
 
@@ -207,7 +237,7 @@ class Report:
     def exit_code(self) -> int:
         if self.errors:
             return 2
-        return 1 if self.violations else 0
+        return 1 if any(v.severity == "error" for v in self.violations) else 0
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -250,15 +280,78 @@ def check_source(
     return sorted(set(out), key=lambda v: (v.path, v.line, v.rule))
 
 
+#: Pseudo-rule id for stale-allowlist warnings (``--stale-allow``).
+STALE_ALLOW_RULE = "FB-STALE-ALLOW"
+
+
+def _known_rule_ids(rules: Sequence[Rule]) -> Set[str]:
+    import fbcheck.rules  # noqa: F401  (registration side effect)
+
+    ids = {rule_cls.rule_id for rule_cls in _REGISTRY}
+    ids.update(rule.rule_id for rule in rules)
+    ids.add(STALE_ALLOW_RULE)
+    return ids
+
+
+def check_module(
+    module: ModuleFile, rules: Sequence[Rule]
+) -> List[Violation]:
+    """Run every per-file rule over one module (pragmas applied)."""
+    out: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(module.path):
+            continue
+        for violation in rule.check(module):
+            if not module.ignored(violation.rule, violation.line):
+                out.append(violation)
+    return out
+
+
+def _check_file_worker(
+    file_path: str, config: Config, select: Optional[Set[str]]
+) -> Tuple[str, List[Tuple[str, int, str, str, str]], Dict[str, List[str]]]:
+    """Subprocess entry point for ``--jobs``: analyze one file.
+
+    Returns plain tuples/dicts (not Violation objects) so results pickle
+    cheaply; errors never happen here — the parent already parsed the
+    file once and filtered out unparseable ones.
+    """
+    with open(file_path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    module = ModuleFile(_posix(file_path), source, real_path=_posix(file_path))
+    rules = all_rules(config)
+    if select:
+        rules = [rule for rule in rules if rule.rule_id in select]
+    violations = check_module(module, rules)
+    hits = {rule.rule_id: sorted(rule.allow_hits) for rule in rules if rule.allow_hits}
+    return (
+        file_path,
+        [(v.path, v.line, v.rule, v.message, v.severity) for v in violations],
+        hits,
+    )
+
+
 def check_paths(
     paths: Sequence[str],
     config: Optional[Config] = None,
     select: Optional[Set[str]] = None,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    stale_allow: bool = False,
 ) -> Report:
-    """Analyze every Python file under ``paths`` with the registered rules."""
-    rules = all_rules(config)
+    """Analyze every Python file under ``paths`` with the registered rules.
+
+    ``jobs > 1`` fans per-file analysis out to worker processes;
+    ``cache_dir`` enables the content-hash result cache
+    (:mod:`fbcheck.cache`); ``stale_allow`` appends warning-severity
+    findings for allowlist entries that matched nothing.
+    """
+    cfg = config if config is not None else DEFAULT_CONFIG
+    rules = all_rules(cfg)
     if select:
         rules = [rule for rule in rules if rule.rule_id in select]
+    known_ids = _known_rule_ids(rules)
     report = Report()
     modules: List[ModuleFile] = []
     for file_path in iter_python_files(paths):
@@ -269,22 +362,103 @@ def check_paths(
         except (SyntaxError, UnicodeDecodeError) as exc:
             report.errors.append(f"{file_path}: {exc}")
             continue
+        unknown = sorted(
+            set().union(*module.ignores.values()) - known_ids
+            if module.ignores
+            else ()
+        )
+        if unknown:
+            report.errors.append(
+                f"{file_path}: unknown rule id(s) in fbcheck pragma: "
+                + ", ".join(unknown)
+            )
+            continue
         if module.skip:
             continue
         modules.append(module)
     report.files_checked = len(modules)
-    by_path = {module.real_path: module for module in modules}
+
+    cache = None
+    if cache_dir is not None:
+        from fbcheck.cache import ResultCache
+
+        cache = ResultCache(cache_dir, config=cfg, select=select)
+
+    allow_hits: Dict[str, Set[str]] = {}
+    misses: List[ModuleFile] = []
+    for module in modules:
+        cached = cache.get(module.source) if cache is not None else None
+        if cached is None:
+            misses.append(module)
+            continue
+        for path, line, rule_id, message, severity in cached.violations:
+            report.violations.append(Violation(path, line, rule_id, message, severity))
+        for rule_id, entries in cached.allow_hits.items():
+            allow_hits.setdefault(rule_id, set()).update(entries)
+
+    if jobs > 1 and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_check_file_worker, module.real_path, cfg, select)
+                for module in misses
+            ]
+            by_path = {module.real_path: module for module in misses}
+            for future in futures:
+                file_path, tuples, hits = future.result()
+                violations = [Violation(*item) for item in tuples]
+                report.violations.extend(violations)
+                for rule_id, entries in hits.items():
+                    allow_hits.setdefault(rule_id, set()).update(entries)
+                if cache is not None:
+                    cache.put(by_path[file_path].source, tuples, hits)
+    else:
+        for module in misses:
+            before = {rule.rule_id: set(rule.allow_hits) for rule in rules}
+            violations = check_module(module, rules)
+            report.violations.extend(violations)
+            if cache is not None:
+                tuples = [
+                    (v.path, v.line, v.rule, v.message, v.severity)
+                    for v in violations
+                ]
+                hits = {
+                    rule.rule_id: sorted(rule.allow_hits - before[rule.rule_id])
+                    for rule in rules
+                    if rule.allow_hits - before[rule.rule_id]
+                }
+                cache.put(module.source, tuples, hits)
+
     for rule in rules:
-        for module in modules:
-            if not rule.applies_to(module.path):
-                continue
-            for violation in rule.check(module):
-                if not module.ignored(violation.rule, violation.line):
-                    report.violations.append(violation)
+        allow_hits.setdefault(rule.rule_id, set()).update(rule.allow_hits)
+
+    by_real = {module.real_path: module for module in modules}
+    for rule in rules:
         for violation in rule.finalize(modules):
-            owner = by_path.get(violation.path)
+            owner = by_real.get(violation.path)
             if owner is None or not owner.ignored(violation.rule, violation.line):
                 report.violations.append(violation)
+
+    if stale_allow:
+        for rule_id, entries in sorted(cfg.allow.items()):
+            hits = allow_hits.get(rule_id, set())
+            for entry in entries:
+                if entry in hits:
+                    continue
+                entry_path, _, _ = entry.partition("::")
+                report.violations.append(
+                    Violation(
+                        entry_path,
+                        0,
+                        STALE_ALLOW_RULE,
+                        f"allowlist entry {entry!r} for {rule_id} matched nothing",
+                        severity="warning",
+                    )
+                )
+
+    if cache is not None:
+        cache.save()
     report.violations = sorted(
         set(report.violations), key=lambda v: (v.path, v.line, v.rule)
     )

@@ -1,0 +1,445 @@
+"""Forward taint propagation over the per-function CFG.
+
+This is the engine under FB-TAMPER: a classic may-analysis (union at
+merges, fixpoint by worklist) tracking which local names *may* hold bytes
+that came off an unverified medium — disk reads, mmap windows, transport
+receives — and have not yet passed a tamper-evidence sanitizer.
+
+The lattice is a set of tainted keys, where a key is either a bare local
+name (``payload``) or a short dotted path rooted at a name
+(``self._buffer``).  Joins union the sets; the analysis is flow-sensitive
+within one function and consults one level of call summaries
+(:mod:`fbcheck.summaries`) across functions.
+
+What taints, cleans and propagates is configured by :class:`TaintSpec`
+(the live values live in :mod:`fbcheck.config`), so the engine itself is
+policy-free:
+
+- **sources** — calls whose result is unverified bytes, matched by bare
+  name (``recv``, ``_fetch``) or dotted suffix (``os.read``,
+  ``mmap.mmap``);
+- **sanitizers** — a ``.verify()``/``.is_valid()`` method call cleans its
+  receiver; ``diagnose_record``-style calls clean their arguments; a
+  comparison that involves ``zlib.crc32`` or a digest/uid token cleans
+  every tainted name appearing in it (the CRC frame check and digest
+  equality are the paper's integrity gates);
+- **constructors** — ``Chunk(type, data)`` *without* ``uid=`` is clean
+  (the constructor hashes its payload: self-verifying), ``uid=`` passes
+  the caller's trust through, so a tainted payload stays tainted;
+- **propagators** — slicing, concatenation, ``bytes``/``memoryview``
+  wrapping, ``struct.unpack`` and decompression keep taint flowing
+  (header fields parsed before the CRC check are still unverified);
+- **sinks** — recorded as :class:`TaintEvent` for the rule to judge:
+  returning/yielding a tainted value, or feeding one to a decode call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from fbcheck.cfg import CFG
+
+
+def call_text(func: ast.expr) -> str:
+    """Dotted text of a call target (``zlib.crc32``, ``self._view``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        base = call_text(func.value)
+        return f"{base}.{func.attr}" if base else func.attr
+    return ""
+
+
+def taint_key(expr: ast.expr) -> Optional[str]:
+    """The tracked key for an lvalue/rvalue, or None when untrackable."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = taint_key(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    if isinstance(expr, ast.Starred):
+        return taint_key(expr.value)
+    return None
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Policy: what taints, what cleans, what counts as a sink."""
+
+    sources: FrozenSet[str] = frozenset()
+    source_suffixes: Tuple[str, ...] = ()
+    sanitizer_methods: FrozenSet[str] = frozenset()
+    sanitizer_calls: FrozenSet[str] = frozenset()
+    compare_tokens: FrozenSet[str] = frozenset()
+    propagator_calls: FrozenSet[str] = frozenset()
+    carrier_attrs: FrozenSet[str] = frozenset()
+    decode_calls: FrozenSet[str] = frozenset()
+    trusting_constructors: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class FuncTaint:
+    """One level of a callee's taint behaviour (see fbcheck.summaries)."""
+
+    returns_tainted: bool = False
+    #: Parameter names whose taint reaches the return value.
+    passes_taint: FrozenSet[str] = frozenset()
+    params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """A sink observation for the rule layer to judge."""
+
+    kind: str  # "return" | "yield" | "decode"
+    line: int
+    detail: str
+
+
+@dataclass
+class TaintResult:
+    events: List[TaintEvent] = field(default_factory=list)
+    returns_tainted: bool = False
+
+
+class TaintAnalysis:
+    """Run taint propagation over one function's CFG."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        spec: TaintSpec,
+        summaries: Optional[Mapping[str, FuncTaint]] = None,
+        tainted_params: Sequence[str] = (),
+    ) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        self.summaries = dict(summaries) if summaries else {}
+        self.tainted_params = tuple(tainted_params)
+        self.result = TaintResult()
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> TaintResult:
+        entry_state = frozenset(self.tainted_params)
+        in_states: Dict[int, FrozenSet[str]] = {self.cfg.entry: entry_state}
+        out_states: Dict[int, FrozenSet[str]] = {}
+        order = self.cfg.rpo()
+        preds = self.cfg.preds()
+        changed = True
+        while changed:
+            changed = False
+            for block_id in order:
+                incoming = [
+                    out_states.get(p, frozenset()) for p, _ in preds[block_id]
+                ]
+                state: Set[str] = set(in_states.get(block_id, frozenset()))
+                for inc in incoming:
+                    state |= inc
+                if block_id == self.cfg.entry:
+                    state |= set(entry_state)
+                in_states[block_id] = frozenset(state)
+                self._transfer_block(self.cfg.blocks[block_id].stmts, state, False)
+                new_out = frozenset(state)
+                if out_states.get(block_id) != new_out:
+                    out_states[block_id] = new_out
+                    changed = True
+        # Final pass over the fixpoint: same transfers, now recording sinks.
+        for block_id in order:
+            state = set(in_states.get(block_id, frozenset()))
+            self._transfer_block(self.cfg.blocks[block_id].stmts, state, True)
+        return self.result
+
+    def _transfer_block(
+        self, stmts: Sequence[ast.AST], state: Set[str], collect: bool
+    ) -> None:
+        """Run the transfers for one block's statements, in order.
+
+        Loop/with headers arrive as (iterable-or-context expr, Store-ctx
+        target) pairs; the target binds the taint of the expression just
+        evaluated (elements of a tainted iterable are tainted).
+        """
+        prev_taint = False
+        for stmt in stmts:
+            if isinstance(stmt, ast.expr) and isinstance(
+                getattr(stmt, "ctx", None), ast.Store
+            ):
+                self._assign(stmt, prev_taint, state)
+                continue
+            if isinstance(stmt, ast.expr):
+                prev_taint = self._eval(stmt, state, collect)
+                continue
+            self._transfer(stmt, state, collect)
+            prev_taint = False
+
+    # -- transfer functions --------------------------------------------------
+
+    def _transfer(self, stmt: ast.AST, state: Set[str], collect: bool) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.NamedExpr)):
+            value = stmt.value
+            tainted = self._eval(value, state, collect) if value is not None else False
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                self._assign(target, tainted, state)
+        elif isinstance(stmt, ast.AugAssign):
+            tainted = self._eval(stmt.value, state, collect)
+            key = taint_key(stmt.target)
+            if key is not None:
+                if tainted or key in state:
+                    state.add(key)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, state, collect)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and self._eval(stmt.value, state, collect):
+                self.result.returns_tainted = True
+                if collect:
+                    self.result.events.append(
+                        TaintEvent("return", stmt.lineno, _describe(stmt.value))
+                    )
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, state, collect)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = taint_key(target)
+                if key is not None:
+                    state.discard(key)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                state.discard(stmt.name)
+
+    def _assign(self, target: ast.expr, tainted: bool, state: Set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tainted, state)
+            return
+        key = taint_key(target)
+        if key is None:
+            return
+        if tainted:
+            state.add(key)
+        else:
+            state.discard(key)
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(self, expr: ast.expr, state: Set[str], collect: bool) -> bool:
+        spec = self.spec
+        if isinstance(expr, ast.Name):
+            return expr.id in state
+        if isinstance(expr, ast.Attribute):
+            key = taint_key(expr)
+            if key is not None and key in state:
+                return True
+            if expr.attr in spec.carrier_attrs:
+                return self._eval(expr.value, state, collect)
+            self._eval(expr.value, state, collect)
+            return False
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, state, collect)
+        if isinstance(expr, ast.Compare):
+            return self._eval_compare(expr, state, collect)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, state, collect)
+            right = self._eval(expr.right, state, collect)
+            return left or right
+        if isinstance(expr, ast.BoolOp):
+            tainted = False
+            for value in expr.values:
+                tainted = self._eval(value, state, collect) or tainted
+            return tainted
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, state, collect)
+        if isinstance(expr, ast.Subscript):
+            tainted = self._eval(expr.value, state, collect)
+            self._eval(expr.slice, state, collect)
+            return tainted
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            tainted = False
+            for elt in expr.elts:
+                tainted = self._eval(elt, state, collect) or tainted
+            return tainted
+        if isinstance(expr, ast.Dict):
+            tainted = False
+            for value in expr.values:
+                if value is not None:
+                    tainted = self._eval(value, state, collect) or tainted
+            for key in expr.keys:
+                if key is not None:
+                    self._eval(key, state, collect)
+            return tainted
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test, state, collect)
+            body = self._eval(expr.body, state, collect)
+            orelse = self._eval(expr.orelse, state, collect)
+            return body or orelse
+        if isinstance(expr, ast.NamedExpr):
+            tainted = self._eval(expr.value, state, collect)
+            self._assign(expr.target, tainted, state)
+            return tainted
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value, state, collect)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value, state, collect)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            value = expr.value
+            if value is not None and self._eval(value, state, collect):
+                self.result.returns_tainted = True
+                if collect:
+                    self.result.events.append(
+                        TaintEvent("yield", expr.lineno, _describe(value))
+                    )
+            return False
+        if isinstance(expr, ast.Slice):
+            for part in (expr.lower, expr.upper, expr.step):
+                if part is not None:
+                    self._eval(part, state, collect)
+            return False
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            # Comprehensions over tainted iterables yield tainted elements.
+            tainted = False
+            for gen in expr.generators:
+                tainted = self._eval(gen.iter, state, collect) or tainted
+            return tainted
+        return False
+
+    def _eval_call(self, call: ast.Call, state: Set[str], collect: bool) -> bool:
+        spec = self.spec
+        name = call_text(call.func)
+        last = name.rsplit(".", 1)[-1] if name else ""
+
+        # Sanitizer method: chunk.verify() cleans the receiver (and the
+        # carrier view of it).
+        if last in spec.sanitizer_methods and isinstance(call.func, ast.Attribute):
+            receiver = taint_key(call.func.value)
+            if receiver is not None:
+                state.discard(receiver)
+                for key in [k for k in state if k.startswith(receiver + ".")]:
+                    state.discard(key)
+            return False
+
+        # Sanitizer call: diagnose_record(data, ...) vouches for its args.
+        if last in spec.sanitizer_calls:
+            for arg in call.args:
+                key = taint_key(arg)
+                if key is not None:
+                    state.discard(key)
+            for kw in call.keywords:
+                key = taint_key(kw.value) if kw.value is not None else None
+                if key is not None:
+                    state.discard(key)
+            return False
+
+        args_tainted = False
+        for arg in call.args:
+            args_tainted = self._eval(arg, state, collect) or args_tainted
+        kw_tainted: Dict[str, bool] = {}
+        for kw in call.keywords:
+            flag = self._eval(kw.value, state, collect)
+            if kw.arg is not None:
+                kw_tainted[kw.arg] = flag
+            args_tainted = flag or args_tainted
+        recv_tainted = False
+        if isinstance(call.func, ast.Attribute):
+            recv_tainted = self._eval(call.func.value, state, collect)
+
+        # Trusting constructor: Chunk(type, data) re-hashes its payload —
+        # clean.  Chunk(type, data, uid=...) trusts the caller's uid, so
+        # the result inherits the payload's taint.
+        if last in spec.trusting_constructors:
+            if "uid" in kw_tainted or any(
+                kw.arg == "uid" for kw in call.keywords
+            ):
+                return args_tainted
+            return False
+
+        # Source: the result is unverified bytes.
+        if last in spec.sources or any(
+            name.endswith(suffix) for suffix in spec.source_suffixes
+        ):
+            return True
+
+        # Decode sink: parsing unverified bytes into live objects.
+        is_decode = last in spec.decode_calls or (
+            last == "decode" and recv_tainted
+        )
+        if is_decode and (args_tainted or recv_tainted):
+            if collect:
+                self.result.events.append(
+                    TaintEvent("decode", call.lineno, name or "decode")
+                )
+            return False
+
+        # Propagator: slices/wrappers/decompression keep taint flowing.
+        if last in spec.propagator_calls:
+            return args_tainted or recv_tainted
+
+        # One-level interprocedural: a local callee's summary.
+        summary = self.summaries.get(last)
+        if summary is not None:
+            if summary.returns_tainted:
+                return True
+            if summary.passes_taint:
+                positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+                params = list(summary.params)
+                if isinstance(call.func, ast.Attribute) and params[:1] == ["self"]:
+                    params = params[1:]
+                for index, arg in enumerate(positional):
+                    if index < len(params) and params[index] in summary.passes_taint:
+                        if self._eval(arg, set(state), collect=False):
+                            return True
+                for kw in call.keywords:
+                    if kw.arg in summary.passes_taint and kw_tainted.get(kw.arg):
+                        return True
+            return False
+
+        # Unknown call: optimistic — the result is not bytes we track.
+        return False
+
+    def _eval_compare(self, cmp: ast.Compare, state: Set[str], collect: bool) -> bool:
+        """Digest/CRC equality is the sanitizer the paper's §II demands."""
+        spec = self.spec
+        is_integrity = False
+        for node in ast.walk(cmp):
+            if isinstance(node, ast.Call):
+                callee = call_text(node.func)
+                last = callee.rsplit(".", 1)[-1]
+                if last in spec.compare_tokens:
+                    is_integrity = True
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                key = taint_key(node)
+                text = key if key is not None else getattr(node, "attr", "")
+                if text and any(
+                    tok in text.rsplit(".", 1)[-1] for tok in spec.compare_tokens
+                ):
+                    is_integrity = True
+        if is_integrity:
+            # Every tracked name taking part in the comparison is vouched
+            # for by the digest/CRC it was compared against.
+            for node in ast.walk(cmp):
+                if isinstance(node, (ast.Name, ast.Attribute)):
+                    key = taint_key(node)
+                    if key is not None:
+                        state.discard(key)
+                        for carried in [
+                            k for k in state if k.startswith(key + ".")
+                        ]:
+                            state.discard(carried)
+            return False
+        self._eval(cmp.left, state, collect)
+        for comparator in cmp.comparators:
+            self._eval(comparator, state, collect)
+        return False  # comparisons yield bools, never tracked bytes
+
+def _describe(expr: ast.expr) -> str:
+    key = taint_key(expr)
+    if key is not None:
+        return key
+    if isinstance(expr, ast.Call):
+        return call_text(expr.func) or "<call>"
+    return type(expr).__name__.lower()

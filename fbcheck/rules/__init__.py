@@ -10,26 +10,38 @@ Rule ids and the ForkBase invariant each protects:
 - ``FB-OPTDEP``  — optional accelerators behind guarded imports
 - ``FB-DURABLE`` — no rename-based persistence without fsyncing the source
 - ``FB-OSFAULT`` — no swallowed broad OSError around disk I/O
+
+Flow-sensitive rules (CFG + taint engine, PR 8):
+
+- ``FB-TAMPER``  — unverified medium bytes never cross the store boundary (§II)
+- ``FB-ACKFLOW`` — raising paths after an append truncate/unwind/poison first
+- ``FB-LOCKED``  — ``# guarded-by:`` fields only touched under their lock
 """
 
 from fbcheck.rules import (
+    ackflow,
     determ,
     durable,
     errors,
     immut,
     layers,
+    locked,
     optdep,
     osfault,
     privacy,
+    tamper,
 )
 
 __all__ = [
+    "ackflow",
     "determ",
     "durable",
     "errors",
     "immut",
     "layers",
+    "locked",
     "optdep",
     "osfault",
     "privacy",
+    "tamper",
 ]

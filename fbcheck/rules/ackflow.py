@@ -1,0 +1,103 @@
+"""FB-ACKFLOW: every raising path after an append must un-ack the bytes.
+
+PR 7 established the un-ack discipline for the persistence layer: once an
+append-style write (``write_bytes`` / the journal's ``crashing_write``)
+has extended a file, any exception escaping the enclosing function must
+first truncate back to the durable watermark, unwind the append, or
+poison/abandon the writer — otherwise a torn suffix can be replayed as
+committed state after restart.  Until now only the crash-torture suites
+enforced this; this rule makes it a compile-time property.
+
+The check is graph reachability on the function's CFG: from every block
+containing a trigger call, can the raise-exit be reached
+
+- following ordinary edges freely,
+- following ``exc`` edges only out of *risky* blocks (write/fsync/
+  truncate calls, explicit ``raise``, and local helpers whose summary
+  says they may raise un-rescued),
+- following ``reraise`` edges always (the exception is already in
+  flight through a ``finally``),
+- never following ``escape`` edges (narrow handlers are trusted to
+  cover the taxonomy their try-body raises — ``write_bytes`` maps
+  ``OSError`` into the disk taxonomy, so ``except DiskFaultError`` is a
+  real catch), and
+- stopping at any *rescue* block (rollback call, ``self._poisoned =
+  True`` style poison, or a local helper whose summary rescues)?
+
+If yes, some failure path leaks acknowledged-looking bytes: violation at
+the trigger call.  Allowlist detail: the enclosing function name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from fbcheck.cfg import build_cfgs
+from fbcheck.core import ModuleFile, Rule, Violation, register
+from fbcheck.dataflow import call_text
+from fbcheck.rules.tamper import module_summaries
+from fbcheck.summaries import (
+    raising_blocks,
+    reaches_raise_exit,
+    rescuing_blocks,
+)
+
+
+@register
+class AckFlowRule(Rule):
+    """Exception-flow check for the append → rollback discipline."""
+
+    rule_id = "FB-ACKFLOW"
+    summary = "paths raising after an append must truncate/unwind/poison before escaping"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(tuple(self.config.durable_persistence_paths))
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        summaries = module_summaries(module, self.config)
+        risky: Set[str] = set(self.config.ackflow_risky_calls)
+        rescue: Set[str] = set(self.config.ackflow_rescue_calls)
+        for name, summary in summaries.items():
+            if summary.may_raise_unrescued:
+                risky.add(name)
+            if summary.rescues:
+                rescue.add(name)
+        triggers = self.config.ackflow_trigger_calls
+        for func, cfg, owner in build_cfgs(module).values():
+            raising = raising_blocks(cfg, frozenset(risky))
+            rescuing = rescuing_blocks(
+                cfg, frozenset(rescue), self.config.ackflow_rescue_attrs
+            )
+            qualname = f"{owner.name}.{func.name}" if owner else func.name
+            seen_lines: Set[int] = set()
+            for block in cfg.blocks:
+                trigger_line = _trigger_line(block.stmts, triggers)
+                if trigger_line is None:
+                    continue
+                if not reaches_raise_exit(cfg, block.id, raising, rescuing):
+                    continue
+                if self.allowed(module, func.name) or self.allowed(module, qualname):
+                    continue
+                if trigger_line in seen_lines:
+                    continue
+                seen_lines.add(trigger_line)
+                yield self.violation(
+                    module,
+                    trigger_line,
+                    f"{qualname}() can raise after this append without "
+                    "truncating to the watermark, unwinding, or poisoning "
+                    "the writer (un-ack discipline)",
+                )
+
+
+def _trigger_line(stmts, triggers) -> int | None:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                text = call_text(node.func)
+                if text and text.rsplit(".", 1)[-1] in triggers:
+                    return node.lineno
+    return None

@@ -1,0 +1,156 @@
+"""FB-LOCKED: ``# guarded-by:`` fields only touched under their lock.
+
+ROADMAP item 1 (the multi-client serving layer) puts the shared node
+cache and the stores behind concurrent callers.  Python data races rarely
+crash; they corrupt counters and caches silently.  This rule lets a class
+declare its locking discipline inline and has the CFG prove it:
+
+.. code-block:: python
+
+    class NodeCacheStore:
+        def __init__(self, backing):
+            self._lock = threading.Lock()
+            self._nodes = OrderedDict()   # guarded-by: self._lock
+            self.node_hits = 0            # guarded-by: self._lock
+
+        def _remember(self, uid, node):   # holds-lock: self._lock
+            ...
+
+Every read or write of a guarded field outside ``__init__`` must be
+*dominated* by a ``with self._lock:`` entry and sit lexically inside its
+body — a plain reachability check would accept a path that merely might
+have taken the lock; domination requires that every path did.  A helper
+that is only ever called with the lock held declares ``# holds-lock:``
+on its ``def`` line and is checked as if the lock were taken at entry.
+
+The lock is matched by the *text* of the context expression, so
+``with self._lock:`` guards fields annotated ``# guarded-by: self._lock``
+— no alias analysis, by design: lock handles in this codebase are
+``self``-rooted attributes created in ``__init__``.
+
+Allowlist detail: ``Class.method.field``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from fbcheck.cfg import CFG, build_cfgs
+from fbcheck.core import ModuleFile, Rule, Violation, register
+
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\S+)")
+HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(\S+)")
+
+
+def _guarded_fields(cls: ast.ClassDef, lines: List[str]) -> Dict[str, str]:
+    """Map field name → lock text for ``# guarded-by:`` annotations."""
+    guarded: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            line = lines[node.lineno - 1] if node.lineno - 1 < len(lines) else ""
+            match = GUARDED_RE.search(line)
+            if not match:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and isinstance(
+                    target.value, ast.Name
+                ):
+                    guarded[target.attr] = match.group(1)
+                elif isinstance(target, ast.Name):
+                    guarded[target.id] = match.group(1)
+    return guarded
+
+
+def _held_locks(func: ast.AST, lines: List[str]) -> Tuple[str, ...]:
+    """Locks the ``# holds-lock:`` annotation declares held at entry."""
+    held: List[str] = []
+    start = func.lineno - 1  # the def line (decorators sit above it)
+    end = func.body[0].lineno if func.body else func.lineno
+    for index in range(start, min(end, len(lines))):
+        match = HOLDS_RE.search(lines[index])
+        if match:
+            held.append(match.group(1))
+    return tuple(held)
+
+
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, skipping nested defs/lambdas (they get
+    their own CFG and their own check)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _lock_dominates(cfg: CFG, block_id: int, lock: str) -> bool:
+    """Is this block inside a ``with lock:`` whose entry dominates it?"""
+    if lock not in cfg.blocks[block_id].withs:
+        return False
+    doms = cfg.dominators()[block_id]
+    for enter_id, contexts in cfg.with_enters.items():
+        if lock in contexts and enter_id in doms:
+            return True
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Dominator-checked lock discipline for annotated fields."""
+
+    rule_id = "FB-LOCKED"
+    summary = "# guarded-by: fields only accessed inside a dominating `with <lock>` region"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, module: ModuleFile) -> Iterator[Violation]:
+        lines = module.lines
+        cfgs = build_cfgs(module)
+        by_class: Dict[str, Dict[str, str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                fields = _guarded_fields(node, lines)
+                if fields:
+                    by_class[node.name] = fields
+        if not by_class:
+            return
+        for func, cfg, owner in cfgs.values():
+            if owner is None or owner.name not in by_class:
+                continue
+            if func.name == "__init__":
+                # Construction happens before the instance is shared; the
+                # guard starts at publication.
+                continue
+            guarded = by_class[owner.name]
+            held = _held_locks(func, lines)
+            for node in _walk_own(func):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if not (
+                    isinstance(node.value, ast.Name) and node.value.id == "self"
+                ):
+                    continue
+                lock = guarded.get(node.attr)
+                if lock is None or lock in held:
+                    continue
+                block_id = cfg.block_of(node)
+                if block_id is None:
+                    continue
+                if _lock_dominates(cfg, block_id, lock):
+                    continue
+                detail = f"{owner.name}.{func.name}.{node.attr}"
+                if self.allowed(module, detail):
+                    continue
+                yield self.violation(
+                    module,
+                    node.lineno,
+                    f"{owner.name}.{func.name}() touches self.{node.attr} "
+                    f"(guarded-by: {lock}) outside a dominating "
+                    f"`with {lock}:` region",
+                )

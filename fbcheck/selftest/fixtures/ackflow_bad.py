@@ -1,0 +1,16 @@
+# fbcheck-fixture-path: src/repro/store/ackflow_bad.py
+"""FB-ACKFLOW must fail: append paths leak exceptions without rollback."""
+from repro.store.durability import fsync_file, write_bytes
+
+
+def append_unprotected(handle, record):
+    write_bytes(handle, record)
+    fsync_file(handle)
+
+
+def append_reraise_without_rollback(handle, record):
+    try:
+        write_bytes(handle, record)
+        fsync_file(handle)
+    except Exception:
+        raise

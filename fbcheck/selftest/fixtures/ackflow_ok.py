@@ -1,0 +1,30 @@
+# fbcheck-fixture-path: src/repro/store/ackflow_ok.py
+"""FB-ACKFLOW must pass: every raising path truncates, unwinds, or poisons."""
+from repro.store.durability import fsync_file, write_bytes
+
+
+def append_truncating(handle, record, watermark):
+    try:
+        write_bytes(handle, record)
+        fsync_file(handle)
+    except Exception:
+        handle.truncate(watermark)
+        raise
+
+
+def append_loop_truncating(handle, records, watermark):
+    try:
+        for record in records:
+            write_bytes(handle, record)
+    except Exception:
+        handle.truncate(watermark)
+        raise
+
+
+class Writer:
+    def append_poisoning(self, handle, record):
+        try:
+            write_bytes(handle, record)
+        except Exception:
+            self._poisoned = True
+            raise

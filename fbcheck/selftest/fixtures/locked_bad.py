@@ -1,0 +1,18 @@
+# fbcheck-fixture-path: src/repro/store/locked_bad.py
+"""FB-LOCKED must fail: guarded state touched outside its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # guarded-by: self._lock
+
+    def bump(self):
+        self.total += 1
+
+    def racy_read(self):
+        if self.total > 0:
+            with self._lock:
+                return self.total
+        return 0

@@ -1,0 +1,21 @@
+# fbcheck-fixture-path: src/repro/store/locked_ok.py
+"""FB-LOCKED must pass: every guarded access dominated by its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def _bump_held(self):  # holds-lock: self._lock
+        self.total += 1
+
+    def snapshot(self):
+        with self._lock:
+            current = self.total
+        return current

@@ -1,0 +1,18 @@
+# fbcheck-fixture-path: src/repro/store/tamper_bad.py
+"""FB-TAMPER must fail: medium bytes exported or decoded unverified."""
+import json
+
+
+def serve_raw(handle):
+    payload = handle.read()
+    return payload
+
+
+def serve_slice(handle):
+    frame = handle.read()
+    return frame[8:]
+
+
+def decode_unchecked(handle):
+    data = handle.read()
+    return json.loads(data.decode("utf-8"))

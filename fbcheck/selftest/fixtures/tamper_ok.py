@@ -1,0 +1,34 @@
+# fbcheck-fixture-path: src/repro/store/tamper_ok.py
+"""FB-TAMPER must pass: every exported byte passes an integrity gate."""
+import json
+import zlib
+
+
+class Reader:
+    def __init__(self, handle):
+        self._handle = handle
+
+    def read_record(self):
+        data = self._handle.read()
+        stored = int.from_bytes(data[:4], "big")
+        payload = data[4:]
+        if zlib.crc32(payload) != stored:
+            raise ValueError("corrupt record")
+        return payload
+
+    def fetch_verified(self, uid):
+        chunk = self._fetch(uid)
+        chunk.verify()
+        return chunk
+
+    def load_checked(self):
+        data = self._handle.read()
+        stored = int.from_bytes(data[:4], "big")
+        payload = data[4:]
+        if zlib.crc32(payload) != stored:
+            raise ValueError("corrupt record")
+        return json.loads(payload.decode("utf-8"))
+
+    def _peek(self):
+        # Private helpers may hand raw bytes to callers in this module.
+        return self._handle.read()

@@ -27,6 +27,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.chunk import Uid
 from repro.errors import (
+    ForkBaseError,
     MessageDroppedError,
     NetworkPartitionedError,
     NetworkTimeoutError,
@@ -245,10 +246,12 @@ class PartitionedTransport:
         for _, _, thunk in sorted(due):
             try:
                 thunk()
-            except Exception:  # fbcheck: ignore[FB-ERRORS]
+            except ForkBaseError:
                 # A late packet hitting a dead or partitioned host: the
                 # original sender timed out long ago, nobody is listening
-                # for this failure — count it and move on.
+                # for this failure — count it and move on.  Only taxonomy
+                # failures are expected here; anything else (TypeError &
+                # co.) is a harness bug and must propagate.
                 self.late_failures += 1
 
     def tick(self, ticks: int = 1) -> None:

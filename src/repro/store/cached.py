@@ -2,10 +2,24 @@
 
 Chunks are immutable, so the cache never needs invalidation — the single
 nicest systems consequence of content addressing.
+
+Read verification is **inherited from the backing store** by default:
+for years-of-PRs this layer hardcoded ``verify_reads=False``, which meant
+wrapping a verifying store in a cache silently disabled the client-side
+tamper check on every cache hit (a miss was verified by the backing
+store; a hit returned the cached chunk unexamined).  FB-TAMPER now flags
+that class of bypass; pass ``verify_reads`` explicitly to opt out.
+
+The cache is also the first store layer prepared for the multi-client
+serving work (ROADMAP item 1): the LRU map and its counters are guarded
+by a lock with the discipline declared via ``# guarded-by:`` annotations
+that FB-LOCKED checks against the CFG.  The backing store is deliberately
+called *outside* the lock — device reads must not serialize cache hits.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, List, Optional
 
@@ -15,20 +29,28 @@ from repro.store.stats import StoreStats
 
 
 class CachedStore(ChunkStore):
-    """Wraps a backing store with an LRU cache of decoded chunks."""
+    """Wraps a backing store with an LRU cache of raw chunks."""
 
-    def __init__(self, backing: ChunkStore, capacity: int = 4096) -> None:
-        super().__init__(verify_reads=False)
+    def __init__(
+        self,
+        backing: ChunkStore,
+        capacity: int = 4096,
+        verify_reads: Optional[bool] = None,
+    ) -> None:
+        if verify_reads is None:
+            verify_reads = backing.verify_reads
+        super().__init__(verify_reads=verify_reads)
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.backing = backing
         self.capacity = capacity
         self.supports_in_place_sweep = backing.supports_in_place_sweep
-        self._cache: "OrderedDict[Uid, Chunk]" = OrderedDict()
-        self.hits = 0
-        self.lookups = 0
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[Uid, Chunk]" = OrderedDict()  # guarded-by: self._lock
+        self.hits = 0  # guarded-by: self._lock
+        self.lookups = 0  # guarded-by: self._lock
 
-    def _remember(self, chunk: Chunk) -> None:
+    def _remember(self, chunk: Chunk) -> None:  # holds-lock: self._lock
         cache = self._cache
         cache[chunk.uid] = chunk
         cache.move_to_end(chunk.uid)
@@ -37,34 +59,42 @@ class CachedStore(ChunkStore):
 
     def _insert(self, chunk: Chunk) -> None:
         self.backing.put(chunk)
-        self._remember(chunk)
+        with self._lock:
+            self._remember(chunk)
 
     def _insert_many(self, chunks: List[Chunk]) -> None:
         """Pass the whole batch down so durable backends batch fsyncs."""
         self.backing.put_many(chunks)
-        for chunk in chunks:
-            self._remember(chunk)
+        with self._lock:
+            for chunk in chunks:
+                self._remember(chunk)
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
-        self.lookups += 1
-        cached = self._cache.get(uid)
-        if cached is not None:
-            self.hits += 1
-            self._cache.move_to_end(uid)
-            return cached
+        with self._lock:
+            self.lookups += 1
+            cached = self._cache.get(uid)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(uid)
+                return cached
         chunk = self.backing.get_maybe(uid)
         if chunk is not None:
-            self._remember(chunk)
+            with self._lock:
+                self._remember(chunk)
         return chunk
 
     def _contains(self, uid: Uid) -> bool:
-        return uid in self._cache or self.backing.has(uid)
+        with self._lock:
+            if uid in self._cache:
+                return True
+        return self.backing.has(uid)
 
     def _ids(self) -> Iterator[Uid]:
         return iter(self.backing.ids())
 
     def _delete(self, uid: Uid) -> bool:
-        self._cache.pop(uid, None)
+        with self._lock:
+            self._cache.pop(uid, None)
         return self.backing.delete(uid)
 
     def __len__(self) -> int:
@@ -73,9 +103,10 @@ class CachedStore(ChunkStore):
     @property
     def hit_rate(self) -> float:
         """Fraction of fetches served from cache."""
-        if self.lookups == 0:
-            return 0.0
-        return self.hits / self.lookups
+        with self._lock:
+            if self.lookups == 0:
+                return 0.0
+            return self.hits / self.lookups
 
     def physical_size(self) -> int:
         return self.backing.physical_size()
@@ -83,8 +114,9 @@ class CachedStore(ChunkStore):
     def stats_snapshot(self) -> StoreStats:
         """The backing store's snapshot plus this layer's cache counters."""
         snap = self.backing.stats_snapshot()
-        snap.cache_hits += self.hits
-        snap.cache_lookups += self.lookups
+        with self._lock:
+            snap.cache_hits += self.hits
+            snap.cache_lookups += self.lookups
         return snap
 
     def close(self) -> None:

@@ -14,10 +14,20 @@ handles probe ``getattr(store, "get_node", None)`` and fall back to
 ``get`` + decode when absent.  That keeps :mod:`repro.postree` (layer 5)
 ignorant of this module (layer 9, beside gc/scrub) — the tree knows only
 that *some* stores can hand it pre-decoded nodes.
+
+This is the shared cache ROADMAP item 1 puts in front of concurrent
+clients, so the node map and its counters are lock-guarded with the
+discipline declared via ``# guarded-by:`` annotations (FB-LOCKED proves
+every access sits under a dominating ``with self._lock``).  Decoding and
+backing-store reads happen outside the lock: a cache miss must not stall
+every hit behind the codec.  Read verification is inherited from the
+backing store unless overridden — wrapping a verifying store must not
+silently disable its tamper checks (the CachedStore regression class).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, List, Optional, Union
 
@@ -47,16 +57,24 @@ def decode_chunk(chunk: Chunk) -> DecodedNode:
 class NodeCacheStore(ChunkStore):
     """Wraps a backing store with an LRU cache of decoded tree nodes."""
 
-    def __init__(self, backing: ChunkStore, capacity: int = 4096) -> None:
-        super().__init__(verify_reads=False)
+    def __init__(
+        self,
+        backing: ChunkStore,
+        capacity: int = 4096,
+        verify_reads: Optional[bool] = None,
+    ) -> None:
+        if verify_reads is None:
+            verify_reads = backing.verify_reads
+        super().__init__(verify_reads=verify_reads)
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.backing = backing
         self.capacity = capacity
         self.supports_in_place_sweep = backing.supports_in_place_sweep
-        self._nodes: "OrderedDict[Uid, DecodedNode]" = OrderedDict()
-        self.node_hits = 0
-        self.node_lookups = 0
+        self._lock = threading.Lock()
+        self._nodes: "OrderedDict[Uid, DecodedNode]" = OrderedDict()  # guarded-by: self._lock
+        self.node_hits = 0  # guarded-by: self._lock
+        self.node_lookups = 0  # guarded-by: self._lock
 
     # -- the decoded-node surface --------------------------------------------
 
@@ -65,17 +83,19 @@ class NodeCacheStore(ChunkStore):
 
         Raises :class:`~repro.errors.ChunkNotFoundError` like ``get``.
         """
-        self.node_lookups += 1
-        cached = self._nodes.get(uid)
-        if cached is not None:
-            self.node_hits += 1
-            self._nodes.move_to_end(uid)
-            return cached
+        with self._lock:
+            self.node_lookups += 1
+            cached = self._nodes.get(uid)
+            if cached is not None:
+                self.node_hits += 1
+                self._nodes.move_to_end(uid)
+                return cached
         decoded = decode_chunk(self.backing.get(uid))
-        self._remember(uid, decoded)
+        with self._lock:
+            self._remember(uid, decoded)
         return decoded
 
-    def _remember(self, uid: Uid, decoded: DecodedNode) -> None:
+    def _remember(self, uid: Uid, decoded: DecodedNode) -> None:  # holds-lock: self._lock
         nodes = self._nodes
         nodes[uid] = decoded
         nodes.move_to_end(uid)
@@ -100,7 +120,8 @@ class NodeCacheStore(ChunkStore):
         return iter(self.backing.ids())
 
     def _delete(self, uid: Uid) -> bool:
-        self._nodes.pop(uid, None)
+        with self._lock:
+            self._nodes.pop(uid, None)
         return self.backing.delete(uid)
 
     def __len__(self) -> int:
@@ -109,9 +130,10 @@ class NodeCacheStore(ChunkStore):
     @property
     def node_hit_rate(self) -> float:
         """Fraction of ``get_node`` calls served without decoding."""
-        if self.node_lookups == 0:
-            return 0.0
-        return self.node_hits / self.node_lookups
+        with self._lock:
+            if self.node_lookups == 0:
+                return 0.0
+            return self.node_hits / self.node_lookups
 
     def physical_size(self) -> int:
         return self.backing.physical_size()
@@ -119,8 +141,9 @@ class NodeCacheStore(ChunkStore):
     def stats_snapshot(self) -> StoreStats:
         """The backing store's snapshot plus this layer's cache counters."""
         snap = self.backing.stats_snapshot()
-        snap.cache_hits += self.node_hits
-        snap.cache_lookups += self.node_lookups
+        with self._lock:
+            snap.cache_hits += self.node_hits
+            snap.cache_lookups += self.node_lookups
         return snap
 
     def close(self) -> None:

@@ -37,6 +37,9 @@ RULE_BY_PREFIX = {
     "optdep": "FB-OPTDEP",
     "durable": "FB-DURABLE",
     "osfault": "FB-OSFAULT",
+    "tamper": "FB-TAMPER",
+    "ackflow": "FB-ACKFLOW",
+    "locked": "FB-LOCKED",
 }
 
 

@@ -161,12 +161,28 @@ class TestPartitionedTransport:
         transport = PartitionedTransport(plan)
 
         def boom():
-            raise RuntimeError("host gone")
+            raise TransientError("host gone")
 
         with pytest.raises(NetworkTimeoutError):
             transport.send("c", "n", "put", UID, boom)
         transport.tick(1)  # delivery executes, failure is swallowed
         assert transport.stats()["late_failures"] == 1
+
+    def test_late_non_taxonomy_failure_propagates(self):
+        # Only taxonomy failures are expected out of a late delivery;
+        # a TypeError & co. is a harness bug and must not be silently
+        # counted as a network fault.
+        plan = NetworkPlan(seed=5, delay_rate=1.0, delay_ticks=(1, 1))
+        transport = PartitionedTransport(plan)
+
+        def bug():
+            raise TypeError("harness bug")
+
+        with pytest.raises(NetworkTimeoutError):
+            transport.send("c", "n", "put", UID, bug)
+        with pytest.raises(TypeError):
+            transport.tick(1)
+        assert transport.stats()["late_failures"] == 0
 
     def test_duplicate_applies_twice(self):
         plan = NetworkPlan(seed=8, dup_rate=1.0)

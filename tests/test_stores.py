@@ -219,3 +219,23 @@ class TestCachedStore:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             CachedStore(InMemoryStore(), capacity=0)
+
+    def test_verify_reads_inherited_from_backing(self):
+        # Regression: this layer used to hardcode verify_reads=False,
+        # silently disabling the tamper check on every read through the
+        # cache when the backing store had verification on.
+        assert CachedStore(InMemoryStore(verify_reads=True), capacity=4).verify_reads
+        assert not CachedStore(InMemoryStore(), capacity=4).verify_reads
+
+    def test_verify_reads_explicit_override_wins(self):
+        verifying = InMemoryStore(verify_reads=True)
+        assert not CachedStore(verifying, capacity=4, verify_reads=False).verify_reads
+        assert CachedStore(InMemoryStore(), capacity=4, verify_reads=True).verify_reads
+
+    def test_cache_hit_is_verified(self):
+        cache = CachedStore(InMemoryStore(verify_reads=True), capacity=4)
+        bad = Chunk(ChunkType.BLOB, b"evil", uid=Uid.of(b"claimed"))
+        with cache._lock:
+            cache._remember(bad)  # plant a tampered chunk as a future hit
+        with pytest.raises(ChunkCorruptionError):
+            cache.get(bad.uid)
