@@ -1,0 +1,167 @@
+"""Tail latency under gray failure — the hedged-read claim, measured.
+
+A 4-node cluster (replication 2) holds ``BENCH_TAIL_CHUNKS`` chunks; one
+replica goes gray (``BENCH_TAIL_SLOW_FACTOR``x slow, still answering).
+We read every chunk and take per-read latency percentiles **in transport
+ticks** — the deterministic clock every fault decision already runs on —
+for two configurations:
+
+- ``unhedged`` — the seed behaviour: reads wait out the slow primary.
+- ``hedged``   — the first attempt is armed with the tracked p95 of the
+  primary as a timeout; when it fires, the next replica serves.
+
+The circuit breaker is disabled in both variants so the comparison
+isolates hedging (with the breaker on, reads route around the gray node
+entirely and there is no tail left to measure).  Acceptance: the hedged
+p99 is at least 3x better than unhedged, with a bounded, reported hedge
+rate.
+
+Results go to the pytest-benchmark table, ``benchmarks/out/`` and the
+``tail_latency`` section of ``BENCH_robustness.json`` at the repo root.
+
+Knobs (for CI smoke runs): ``BENCH_TAIL_CHUNKS`` (default 400),
+``BENCH_TAIL_SLOW_FACTOR`` (default 100), ``BENCH_TAIL_SEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import report, table
+from repro.chunk import Chunk, ChunkType
+from repro.cluster import ClusterStore
+from repro.faults import NetworkPlan, PartitionedTransport, RetryPolicy
+
+CHUNKS = int(os.environ.get("BENCH_TAIL_CHUNKS", "400"))
+SLOW_FACTOR = int(os.environ.get("BENCH_TAIL_SLOW_FACTOR", "100"))
+SEED = int(os.environ.get("BENCH_TAIL_SEED", "20260808"))
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_robustness.json")
+
+
+def _record(sub: str, entry: dict) -> None:
+    """Merge one variant into BENCH_robustness.json (read-modify-write)."""
+    data = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("config", {}).update(
+        {"tail_chunks": CHUNKS, "tail_slow_factor": SLOW_FACTOR}
+    )
+    bucket = data.setdefault("tail_latency", {})
+    bucket[sub] = entry
+    if "hedged" in bucket and "unhedged" in bucket:
+        bucket["speedup_p99"] = round(
+            bucket["unhedged"]["p99_ticks"] / max(bucket["hedged"]["p99_ticks"], 1),
+            2,
+        )
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    rows = []
+    for name, value in sorted(data.items()):
+        if name == "config":
+            continue
+        flat = value.items() if "seconds" not in value else [("", value)]
+        for key, row in sorted(flat):
+            if isinstance(row, dict):
+                rows.append(
+                    (name, key, row["seconds"], row.get("p50_ticks", ""),
+                     row.get("p99_ticks", ""), row.get("hedge_rate", ""))
+                )
+    report(
+        "bench_tail_latency",
+        table(("metric", "variant", "seconds", "p50", "p99", "hedge_rate"), rows),
+    )
+
+
+def _chunks():
+    return [
+        Chunk(ChunkType.BLOB, b"tail-%06d-" % n + b"x" * 128)
+        for n in range(CHUNKS)
+    ]
+
+
+def _warmed_cluster(hedge: bool):
+    """A converged cluster with trained latency streams and one gray node.
+
+    The warm-up pass reads every chunk twice so each ``(client, node)``
+    latency stream holds enough samples for the hedging threshold; then
+    node-01 goes ``SLOW_FACTOR``x slow.
+    """
+    transport = PartitionedTransport(NetworkPlan(seed=SEED))
+    cluster = ClusterStore(
+        transport=transport,
+        node_count=4,
+        replication=2,
+        retry=RetryPolicy.instant(attempts=2),
+        hedge_reads=hedge,
+        breaker_threshold=None,
+    )
+    chunks = _chunks()
+    cluster.put_many(chunks)
+    for _ in range(2):
+        for chunk in chunks:
+            cluster.get(chunk.uid)
+    transport.slow("node-01", SLOW_FACTOR)
+    return cluster, chunks
+
+
+def _percentile(ordered, q):
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _run_variant(benchmark, hedge: bool) -> dict:
+    outcome: dict = {}
+
+    def setup():
+        outcome["cluster"], outcome["chunks"] = _warmed_cluster(hedge)
+        return (), {}
+
+    def sweep():
+        cluster, chunks = outcome["cluster"], outcome["chunks"]
+        ticks = []
+        for chunk in chunks:
+            assert cluster.get(chunk.uid).data == chunk.data
+            ticks.append(cluster.last_read_ticks)
+        outcome["ticks"] = ticks
+        outcome["hedges"] = cluster.hedges_issued
+        outcome["wins"] = cluster.hedge_wins
+
+    benchmark.pedantic(sweep, setup=setup, rounds=3, iterations=1)
+    ordered = sorted(outcome["ticks"])
+    entry = {
+        "seconds": round(benchmark.stats.stats.min, 6),
+        "reads": len(ordered),
+        "p50_ticks": _percentile(ordered, 0.50),
+        "p95_ticks": _percentile(ordered, 0.95),
+        "p99_ticks": _percentile(ordered, 0.99),
+        "hedges_issued": outcome["hedges"],
+        "hedge_wins": outcome["wins"],
+        "hedge_rate": round(outcome["hedges"] / len(ordered), 4),
+    }
+    _record("hedged" if hedge else "unhedged", entry)
+    return entry
+
+
+def test_tail_unhedged(benchmark):
+    entry = _run_variant(benchmark, hedge=False)
+    assert entry["hedges_issued"] == 0
+    # The gray replica dominates the tail: the p99 read waited for it.
+    assert entry["p99_ticks"] >= SLOW_FACTOR
+
+
+def test_tail_hedged(benchmark):
+    entry = _run_variant(benchmark, hedge=True)
+    assert entry["hedge_wins"] > 0
+    # The hedge rate is bounded: at most the fraction of reads whose
+    # primary is the gray node, plus the p95 overshoot on healthy reads
+    # (by construction ~5% of them).
+    assert entry["hedge_rate"] <= 0.60
+    with open(JSON_PATH, encoding="utf-8") as fh:
+        bucket = json.load(fh)["tail_latency"]
+    # ISSUE acceptance: hedging beats the gray tail by at least 3x.
+    assert bucket["hedged"]["p99_ticks"] * 3 <= bucket["unhedged"]["p99_ticks"]

@@ -52,6 +52,11 @@ LAYERS: Mapping[str, int] = {
     "repro.cluster": 8,
     "repro.cluster.membership": 8,
     "repro.cluster.antientropy": 8,
+    # Latency tracking and circuit breaking are peers of membership: the
+    # gray-failure trio (tracker, breaker, deadline) serves the cluster
+    # store but must never import above it.
+    "repro.cluster.latency": 8,
+    "repro.cluster.breaker": 8,
     "repro.store.gc": 9,
     "repro.store.scrub": 9,
     # The decoded-node cache decodes POS-Tree nodes, so it sits above the

@@ -29,10 +29,17 @@ from typing import Iterator
 
 from fbcheck.core import ModuleFile, Rule, Violation, register
 
-#: ``module.attr`` calls that are wall-clock / entropy sources.
+#: ``module.attr`` calls that are wall-clock / entropy sources.  The
+#: monotonic/perf-counter family is wall-clock too: it differs across
+#: runs, so latency trackers in the determinism domain must measure on
+#: an injected logical clock, never on these.
 ENTROPY_CALLS = {
     ("time", "time"),
     ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),

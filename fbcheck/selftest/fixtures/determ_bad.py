@@ -8,7 +8,8 @@ import time
 def stamp(payload):
     salt = random.random()
     now = time.time()
-    return payload, salt, now
+    elapsed = time.monotonic() - time.perf_counter()
+    return payload, salt, now, elapsed
 
 
 def encode(keys):

@@ -8,6 +8,7 @@ responses.  A real HTTP server would be a ~30-line shim over
 
 Routes::
 
+    GET    /v1/status
     GET    /v1/keys
     GET    /v1/obj/{key}                      ?branch= | ?version=
     PUT    /v1/obj/{key}                      ?branch=   body={"value": ...}
@@ -26,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.db.engine import ForkBase
+from repro.db.engine import HEALTH_HEALTHY, ForkBase
 from repro.errors import (
     ApiError,
     ForkBaseError,
@@ -119,6 +120,9 @@ class Router:
         parts = parts[1:]
         method = request.method.upper()
 
+        if parts == ["status"] and method == "GET":
+            return self._status()
+
         if parts == ["keys"] and method == "GET":
             return Response(200, {"keys": self.engine.keys()})
 
@@ -153,6 +157,26 @@ class Router:
         raise NotFoundApiError(f"no route for {method} {request.path}")
 
     # -- handlers ---------------------------------------------------------------
+
+    def _status(self) -> Response:
+        """Engine health plus, when the store is a cluster, its counters.
+
+        The cluster report is discovered by duck typing (any store with a
+        ``health_report()``), so the API layer stays agnostic of which
+        ChunkStore is underneath — and operators get the gray-failure
+        telemetry (hedges, deadline misses, breaker states, latency
+        percentiles) from the same endpoint that reports engine health.
+        """
+        health = self.engine.health()
+        body: Dict[str, Any] = {
+            "state": health.state,
+            "writable": health.writable,
+            "reason": _jsonable(health.reason) if health.reason else None,
+        }
+        reporter = getattr(self.engine.store, "health_report", None)
+        if callable(reporter):
+            body["cluster"] = _jsonable(reporter())
+        return Response(200 if health.state == HEALTH_HEALTHY else 503, body)
 
     def _get_object(self, key: str, request: Request) -> Response:
         branch = request.params.get("branch")

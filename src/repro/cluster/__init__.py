@@ -22,20 +22,30 @@ from repro.cluster.antientropy import (
     digests_agree,
     sync,
 )
+from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
 from repro.cluster.cluster import ClusterClient, ClusterStore
+from repro.cluster.latency import Deadline, LatencyStats, LatencyTracker
 from repro.cluster.membership import ALIVE, DEAD, SUSPECT, FailureDetector, LogicalClock
 from repro.cluster.node import StorageNode
 from repro.cluster.ring import HashRing, ring_position
 
 __all__ = [
     "ALIVE",
+    "CLOSED",
     "DEAD",
+    "HALF_OPEN",
+    "OPEN",
     "SUSPECT",
+    "BreakerBoard",
+    "CircuitBreaker",
     "ClusterClient",
     "ClusterStore",
+    "Deadline",
     "DigestTree",
     "FailureDetector",
     "HashRing",
+    "LatencyStats",
+    "LatencyTracker",
     "LogicalClock",
     "StorageNode",
     "SyncReport",

@@ -6,11 +6,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.chunk import Chunk, Uid
 from repro.cluster.antientropy import SyncReport, anti_entropy_pass
+from repro.cluster.breaker import BreakerBoard
+from repro.cluster.latency import Deadline, LatencyStats, LatencyTracker
 from repro.cluster.membership import FailureDetector
 from repro.cluster.node import StorageNode
 from repro.cluster.ring import HashRing
 from repro.errors import (
     ChunkCorruptionError,
+    DeadlineExceededError,
     NodeDownError,
     QuorumWriteError,
     TransientError,
@@ -50,7 +53,28 @@ class ClusterStore(ChunkStore):
     The content address doubles as both the placement key and the
     checksum, so every healing decision is local: a copy is good iff its
     bytes hash to its uid, and any good copy can repair any replica.
+
+    Gray failures — a replica that is up and answering probes but ~100x
+    slow — get their own machinery (all of it transport-clocked, so it
+    only engages when a ``transport`` is set): a
+    :class:`~repro.cluster.latency.LatencyTracker` remembers per-node
+    service times; ``hedge_reads`` arms the first read attempt with that
+    node's tracked p-``hedge_quantile`` as a timeout and fails over to
+    the next replica the moment it elapses (the Tail-at-Scale hedge —
+    the abandoned response still lands late as a stale delivery);
+    ``deadline_budget`` grants every client verb a fixed tick budget
+    threaded through sends and retries, surfacing
+    :class:`~repro.errors.DeadlineExceededError` instead of blocking
+    past it; and a per-``(origin, node)``
+    :class:`~repro.cluster.breaker.BreakerBoard` opens after
+    ``breaker_threshold`` consecutive timeouts so a slow-but-alive node
+    is routed around even though the failure detector rightly still
+    calls it ALIVE.
     """
+
+    #: Observations a latency stream needs before reads hedge off its p95
+    #: (hedging on a two-sample quantile would fire on noise).
+    HEDGE_MIN_SAMPLES = 8
 
     def __init__(
         self,
@@ -67,6 +91,11 @@ class ClusterStore(ChunkStore):
         heartbeat_interval: Optional[int] = None,
         suspicion_threshold: int = 3,
         sloppy_quorum: bool = True,
+        hedge_reads: bool = False,
+        hedge_quantile: float = 0.95,
+        deadline_budget: Optional[int] = None,
+        breaker_threshold: Optional[int] = 5,
+        breaker_cooldown: int = 64,
     ) -> None:
         super().__init__(verify_reads=verify_reads)
         if node_count < 1:
@@ -77,6 +106,10 @@ class ClusterStore(ChunkStore):
             raise ValueError("write_quorum must be in [1, replication]")
         if heartbeat_interval is not None and heartbeat_interval < 1:
             raise ValueError("heartbeat_interval must be >= 1")
+        if not 0.0 < hedge_quantile <= 1.0:
+            raise ValueError(f"hedge_quantile must be in (0, 1], got {hedge_quantile}")
+        if deadline_budget is not None and deadline_budget < 1:
+            raise ValueError("deadline_budget must be >= 1 tick")
         self.replication = replication
         #: Acks required for a put to succeed (default 1: availability-first,
         #: the seed behaviour; pass ``replication // 2 + 1`` for majority).
@@ -102,6 +135,28 @@ class ClusterStore(ChunkStore):
         #: Extend writes past the home replicas along the ring when the
         #: placement set cannot meet quorum (Dynamo-style sloppy quorum).
         self.sloppy_quorum = sloppy_quorum
+        #: Arm the first read attempt with the primary's tracked p95 as a
+        #: timeout and fail over when it elapses (gray-failure hedging).
+        self.hedge_reads = hedge_reads
+        self.hedge_quantile = hedge_quantile
+        #: Tick budget granted to each client verb (None = no deadline).
+        self.deadline_budget = deadline_budget
+        #: Per-(origin, node, op) service-time statistics, on the transport
+        #: clock.  Feeds the hedging threshold and the health report.
+        self.latency = LatencyTracker()
+        #: End-to-end read latency in transport ticks (bench percentiles).
+        self.read_ticks = LatencyStats(window=256)
+        #: Ticks the most recent read took end-to-end (bench sampling).
+        self.last_read_ticks = 0
+        #: Per-(origin, node) circuit breakers.  Clocked by the transport,
+        #: so the board is disabled (threshold None) without one: with no
+        #: ticking clock an OPEN breaker could never cool down to
+        #: HALF_OPEN and a revived node would be shunned forever.
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold if transport is not None else None,
+            cooldown=breaker_cooldown,
+            now=self._now,
+        )
         self._store_factory = node_store_factory
         self.nodes: Dict[str, StorageNode] = {}
         names = [f"node-{index:02d}" for index in range(node_count)]
@@ -123,9 +178,20 @@ class ClusterStore(ChunkStore):
         self.transient_failures = 0
         self.suspect_skips = 0
         self.sloppy_writes = 0
+        #: Reads whose hedge timeout fired (the next replica was tried).
+        self.hedges_issued = 0
+        #: Hedged reads where the failover replica produced the answer.
+        self.hedge_wins = 0
+        #: Client verbs aborted because their deadline budget ran out.
+        self.deadline_exceeded = 0
+        #: Attempts refused because the target's circuit breaker was OPEN.
+        self.breaker_skips = 0
         #: Chunks examined by the last :meth:`full_sweep_repair` (the
         #: baseline the anti-entropy benchmark compares against).
         self.sweep_examined = 0
+        #: The deadline owned by the client verb currently on the stack,
+        #: shared by every sub-operation it performs (see :meth:`put`).
+        self._active_deadline: Optional[Deadline] = None
 
     def _make_node(self, name: str) -> StorageNode:
         store = self._store_factory(name) if self._store_factory else None
@@ -160,6 +226,52 @@ class ClusterStore(ChunkStore):
 
     # -- network & failure detection ------------------------------------------------
 
+    def _now(self) -> int:
+        """The transport's logical tick (0 without one) — never wall time."""
+        return self.transport.clock if self.transport is not None else 0
+
+    def _begin_deadline(self) -> Optional[Deadline]:
+        """A fresh tick budget for one client verb, if deadlines are on.
+
+        Deadlines are measured on the transport clock, so without a
+        transport there is no time for a budget to elapse in — direct
+        function calls are instantaneous in the model.
+        """
+        if self._active_deadline is not None:
+            return self._active_deadline
+        if self.deadline_budget is None or self.transport is None:
+            return None
+        return Deadline(self.deadline_budget, self._now)
+
+    def put(self, chunk: Chunk) -> bool:
+        """Store a chunk under ONE deadline budget for the whole verb.
+
+        The base class implements ``put`` as a dedup precheck plus an
+        insert; without this override each half would start a fresh
+        budget and the verb could block for up to twice its deadline.
+        """
+        deadline = self._begin_deadline()
+        if deadline is None or self._active_deadline is not None:
+            return super().put(chunk)
+        self._active_deadline = deadline
+        try:
+            return super().put(chunk)
+        finally:
+            self._active_deadline = None
+
+    @staticmethod
+    def _stamp_deadline(
+        error: DeadlineExceededError, deadline: Optional[Deadline]
+    ) -> None:
+        """Fill budget/elapsed on an error raised below the verb layer.
+
+        :class:`~repro.faults.retry.RetryPolicy` sees only the opaque
+        remaining-ticks view, so its errors carry no budget; the verb
+        that owns the deadline stamps them on the way out."""
+        if deadline is not None and error.budget == 0:
+            error.budget = deadline.budget
+            error.elapsed = deadline.elapsed()
+
     def _send(
         self,
         node: StorageNode,
@@ -167,11 +279,23 @@ class ClusterStore(ChunkStore):
         uid: Uid,
         fn: Callable[[], object],
         origin: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
+        timeout_ticks: Optional[int] = None,
     ) -> object:
-        """One request to a node, through the transport when one is set."""
+        """One request to a node, through the transport when one is set.
+
+        ``timeout_ticks`` (a hedge threshold) and the verb ``deadline``
+        both cap the sender's patience; the tighter one wins.
+        """
         if self.transport is None:
             return fn()
-        return self.transport.send(origin or self.origin, node.name, op, uid, fn)
+        timeout = timeout_ticks
+        if deadline is not None:
+            remaining = deadline.remaining()
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        return self.transport.send(
+            origin or self.origin, node.name, op, uid, fn, timeout_ticks=timeout
+        )
 
     def _ping_uid(self, name: str) -> Uid:
         uid = self._ping_uids.get(name)
@@ -238,6 +362,9 @@ class ClusterStore(ChunkStore):
             return False
         if self._suspected(node.name):
             self.suspect_skips += 1
+            return False
+        if not self.breakers.begin_attempt(self.origin, node.name):
+            self.breaker_skips += 1
             return False
         return True
 
@@ -306,7 +433,11 @@ class ClusterStore(ChunkStore):
         return [self.nodes[name] for name in self.ring.replicas(uid, self.replication)]
 
     def _node_put(
-        self, node: StorageNode, chunk: Chunk, origin: Optional[str] = None
+        self,
+        node: StorageNode,
+        chunk: Chunk,
+        origin: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """One replica write, retried through the policy.
 
@@ -330,7 +461,10 @@ class ClusterStore(ChunkStore):
                 )
 
         self.retry.call(
-            lambda: self._send(node, "put", chunk.uid, exchange, origin=origin)
+            lambda: self._send(
+                node, "put", chunk.uid, exchange, origin=origin, deadline=deadline
+            ),
+            deadline=deadline,
         )
 
     def transfer(self, source: StorageNode, target: StorageNode, chunk: Chunk) -> bool:
@@ -351,21 +485,30 @@ class ClusterStore(ChunkStore):
 
     def _insert(self, chunk: Chunk) -> None:
         self._maybe_tick()
+        deadline = self._begin_deadline()
         acked = 0
         missed: List[StorageNode] = []
         attempted: Set[str] = set()
         for node in self.replica_nodes(chunk.uid):
             attempted.add(node.name)
+            if deadline is not None and deadline.expired():
+                missed.append(node)
+                continue
             if not self._writable(node):
                 missed.append(node)
                 continue
             try:
-                self._node_put(node, chunk)
+                self._node_put(node, chunk, deadline=deadline)
             except TransientError:
+                # DeadlineExceededError lands here too: this replica's
+                # write ran out of budget — hint it like any other miss
+                # and let the post-loop accounting decide the verb's fate.
                 self.transient_failures += 1
                 missed.append(node)
+                self.breakers.record(self.origin, node.name, False)
                 continue
             acked += 1
+            self.breakers.record(self.origin, node.name, True)
         if self.sloppy_quorum and acked < max(self.write_quorum, 1):
             # Sloppy quorum: walk further clockwise and let the next
             # reachable nodes stand in for the unreachable home replicas.
@@ -374,6 +517,8 @@ class ClusterStore(ChunkStore):
             for name in self.ring.replicas(chunk.uid, len(self.nodes)):
                 if acked >= max(self.write_quorum, 1):
                     break
+                if deadline is not None and deadline.expired():
+                    break
                 if name in attempted:
                     continue
                 attempted.add(name)
@@ -381,12 +526,29 @@ class ClusterStore(ChunkStore):
                 if not self._writable(stand_in):
                     continue
                 try:
-                    self._node_put(stand_in, chunk)
+                    self._node_put(stand_in, chunk, deadline=deadline)
                 except TransientError:
                     self.transient_failures += 1
+                    self.breakers.record(self.origin, stand_in.name, False)
                     continue
                 acked += 1
+                self.breakers.record(self.origin, stand_in.name, True)
                 self.sloppy_writes += 1
+        if (
+            acked < max(self.write_quorum, 1)
+            and deadline is not None
+            and deadline.expired()
+        ):
+            # The budget, not the cluster, decided this write's fate: the
+            # caller gets the deadline error (retryable with a fresh
+            # budget), not a verdict about replica health.
+            self.deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"write of {chunk.uid.short()} acked by {acked}/{self.replication} "
+                f"when its {deadline.budget}-tick budget ran out",
+                budget=deadline.budget,
+                elapsed=deadline.elapsed(),
+            )
         if acked == 0:
             raise NodeDownError(
                 f"no reachable replica target for {chunk.uid.short()} "
@@ -402,20 +564,50 @@ class ClusterStore(ChunkStore):
         for node in missed:
             self._queue_hint(node.name, chunk)
 
-    def _read_replica(self, node: StorageNode, uid: Uid) -> Tuple[str, Optional[Chunk]]:
+    def _read_replica(
+        self,
+        node: StorageNode,
+        uid: Uid,
+        deadline: Optional[Deadline] = None,
+        timeout_ticks: Optional[int] = None,
+    ) -> Tuple[str, Optional[Chunk]]:
         """Read one replica: ('ok'|'missing'|'corrupt'|'unreachable', chunk).
 
         With ``repair_reads`` on, a mismatching payload is re-read up to
         the retry budget to separate wire corruption (a later attempt
         verifies) from rot on the replica (every attempt mismatches).
+
+        ``timeout_ticks`` is a hedge threshold: the read gets exactly one
+        un-retried attempt capped at that many ticks — a hedged read does
+        not burn the retry budget on a replica it already believes is
+        slow, it moves to the next one.
         """
         attempts = self.retry.attempts if self.repair_reads else 1
+        if timeout_ticks is not None:
+            attempts = 1
         saw_corrupt = False
         for _ in range(attempts):
             try:
-                chunk = self.retry.call(
-                    lambda: self._send(node, "get", uid, lambda: node.get(uid))
-                )
+                if timeout_ticks is not None:
+                    chunk = self._send(
+                        node,
+                        "get",
+                        uid,
+                        lambda: node.get(uid),
+                        deadline=deadline,
+                        timeout_ticks=timeout_ticks,
+                    )
+                else:
+                    chunk = self.retry.call(
+                        lambda: self._send(
+                            node, "get", uid, lambda: node.get(uid), deadline=deadline
+                        ),
+                        deadline=deadline,
+                    )
+            except DeadlineExceededError:
+                # The verb's budget, not this replica, stopped the read:
+                # propagate instead of mislabelling the node unreachable.
+                raise
             except TransientError:
                 self.transient_failures += 1
                 return "unreachable", None
@@ -429,24 +621,95 @@ class ClusterStore(ChunkStore):
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
         self._maybe_tick()
+        deadline = self._begin_deadline()
+        started = self._now()
+        try:
+            return self._replicated_read(uid, deadline)
+        except DeadlineExceededError as error:
+            self.deadline_exceeded += 1
+            self._stamp_deadline(error, deadline)
+            raise
+        finally:
+            self.last_read_ticks = self._now() - started
+            if self.transport is not None:
+                self.read_ticks.observe(self.last_read_ticks)
+
+    def _replicated_read(
+        self, uid: Uid, deadline: Optional[Deadline]
+    ) -> Optional[Chunk]:
+        """The replica walk behind :meth:`_fetch` (which times it)."""
         placement = self.replica_nodes(uid)
         # Suspected replicas go to the back of the line: they still get
         # tried (suspicion can be wrong) but no longer burn the retry
         # budget before a healthy replica gets a chance.
         ordered = [n for n in placement if not self._suspected(n.name)]
         ordered += [n for n in placement if self._suspected(n.name)]
+        candidates = [n for n in ordered if n.up]
+        # Nodes whose breaker (from this origin) is OPEN go last — tried
+        # only when every admitted replica has failed, as the breaker's
+        # half-open probe of last resort.
+        admitted: List[StorageNode] = []
+        tripped: List[StorageNode] = []
+        for node in candidates:
+            if self.breakers.begin_attempt(self.origin, node.name):
+                admitted.append(node)
+            else:
+                self.breaker_skips += 1
+                tripped.append(node)
+        if not admitted:
+            admitted = tripped
+            tripped = []
         found: Optional[Chunk] = None
         repair_targets: List[StorageNode] = []
         saw_rot = False
-        for index, node in enumerate(ordered):
-            if not node.up:
-                continue
-            status, chunk = self._read_replica(node, uid)
+        attempted_failures = 0
+        hedged = False
+        deadline_cut = False
+        for position, node in enumerate(admitted):
+            if deadline is not None and deadline.expired():
+                deadline_cut = True
+                break
+            # Hedge arming: cap the first attempt at the primary's tracked
+            # p95 when another replica is waiting behind it.  At most one
+            # hedge per read — later replicas run with the normal budget.
+            threshold: Optional[int] = None
+            if (
+                self.hedge_reads
+                and self.transport is not None
+                and not hedged
+                and position + 1 < len(admitted)
+            ):
+                threshold = self.latency.hedge_threshold(
+                    self.origin,
+                    node.name,
+                    "get",
+                    q=self.hedge_quantile,
+                    min_samples=self.HEDGE_MIN_SAMPLES,
+                )
+            before = self._now()
+            status, chunk = self._read_replica(
+                node, uid, deadline=deadline, timeout_ticks=threshold
+            )
+            if self.transport is not None:
+                self.latency.observe(
+                    self.origin, node.name, "get", self._now() - before
+                )
+            # A replica that *answered* (even "missing"/"corrupt") is not
+            # gray; only failing to get an answer feeds the breaker.
+            self.breakers.record(self.origin, node.name, status != "unreachable")
             if status == "ok":
-                if index > 0:
+                if attempted_failures > 0:
                     self.failovers += 1
+                if hedged:
+                    self.hedge_wins += 1
                 found = chunk
                 break
+            attempted_failures += 1
+            if threshold is not None and status == "unreachable":
+                # The hedge timeout fired: the next replica *is* the hedge.
+                # The abandoned response still lands as a stale delivery.
+                self.hedges_issued += 1
+                hedged = True
             if status == "missing":
                 repair_targets.append(node)
             elif status == "corrupt":
@@ -455,16 +718,41 @@ class ClusterStore(ChunkStore):
                 node.drop(uid)
                 repair_targets.append(node)
             # 'unreachable' nodes are skipped; repair() will catch them up.
+        if found is None and not deadline_cut and tripped:
+            # Every admitted replica failed: probe the tripped ones rather
+            # than fail a read that an OPEN breaker could have served.
+            for node in tripped:
+                if deadline is not None and deadline.expired():
+                    deadline_cut = True
+                    break
+                status, chunk = self._read_replica(node, uid, deadline=deadline)
+                self.breakers.record(self.origin, node.name, status != "unreachable")
+                if status == "ok":
+                    if attempted_failures > 0:
+                        self.failovers += 1
+                    found = chunk
+                    break
+                attempted_failures += 1
         if found is None:
             self.failed_reads += 1
             if saw_rot:
                 raise ChunkCorruptionError(
                     f"every reachable replica of {uid.short()} is corrupt"
                 )
+            if deadline_cut:
+                assert deadline is not None
+                raise DeadlineExceededError(
+                    f"read of {uid.short()} ran out of its "
+                    f"{deadline.budget}-tick budget with replicas untried",
+                    budget=deadline.budget,
+                    elapsed=deadline.elapsed(),
+                )
             return None
         for node in repair_targets:
+            if deadline is not None and deadline.expired():
+                break  # repair is best-effort; anti-entropy catches up
             try:
-                self._node_put(node, found)
+                self._node_put(node, found, deadline=deadline)
             except TransientError:
                 self.transient_failures += 1
                 continue
@@ -472,14 +760,30 @@ class ClusterStore(ChunkStore):
         return found
 
     def _contains(self, uid: Uid) -> bool:
+        deadline = self._begin_deadline()
         for node in self.replica_nodes(uid):
             if not node.up:
                 continue
+            if deadline is not None and deadline.expired():
+                self.deadline_exceeded += 1
+                raise DeadlineExceededError(
+                    f"has({uid.short()}) ran out of its "
+                    f"{deadline.budget}-tick budget with replicas untried",
+                    budget=deadline.budget,
+                    elapsed=deadline.elapsed(),
+                )
             try:
                 if self.retry.call(
-                    lambda: self._send(node, "has", uid, lambda: node.has(uid))
+                    lambda: self._send(
+                        node, "has", uid, lambda: node.has(uid), deadline=deadline
+                    ),
+                    deadline=deadline,
                 ):
                     return True
+            except DeadlineExceededError as error:
+                self.deadline_exceeded += 1
+                self._stamp_deadline(error, deadline)
+                raise
             except TransientError:
                 self.transient_failures += 1
         return False
@@ -502,15 +806,19 @@ class ClusterStore(ChunkStore):
 
     # -- clients ---------------------------------------------------------------------
 
-    def client(self, origin: str) -> "ClusterClient":
+    def client(
+        self, origin: str, deadline_budget: Optional[int] = None
+    ) -> "ClusterClient":
         """A named client endpoint on this cluster.
 
         Each client's requests are tagged with its ``origin``, so the
         transport can partition clients independently (two engines on
         opposite sides of a split) and each origin accrues its own
-        failure-detector view.
+        failure-detector view.  ``deadline_budget`` overrides the
+        cluster-wide budget for this client's verbs (a latency-sensitive
+        client can run tighter deadlines than a batch one).
         """
-        return ClusterClient(self, origin)
+        return ClusterClient(self, origin, deadline_budget=deadline_budget)
 
     # -- maintenance --------------------------------------------------------------------
 
@@ -687,6 +995,12 @@ class ClusterStore(ChunkStore):
             "transient_failures": self.transient_failures,
             "suspect_skips": self.suspect_skips,
             "sloppy_writes": self.sloppy_writes,
+            "hedges_issued": self.hedges_issued,
+            "hedge_wins": self.hedge_wins,
+            "deadline_exceeded": self.deadline_exceeded,
+            "retry_deadline_stops": self.retry.deadline_stops,
+            "breaker_skips": self.breaker_skips,
+            "breakers": self.breakers.snapshot(),
             "suspected": sorted(
                 {
                     name
@@ -694,6 +1008,15 @@ class ClusterStore(ChunkStore):
                     for name in detector.suspected()
                 }
             ),
+            "degraded": sorted(
+                {
+                    name
+                    for detector in self._detectors.values()
+                    for name in detector.degraded()
+                }
+            ),
+            "read_latency": self.read_ticks.snapshot(),
+            "latency_observations": self.latency.observations,
             "durability": self.durability_check(),
         }
         if self.transport is not None:
@@ -713,18 +1036,31 @@ class ClusterClient(ChunkStore):
     exactly the way two application servers would.
     """
 
-    def __init__(self, cluster: ClusterStore, origin: str) -> None:
+    def __init__(
+        self,
+        cluster: ClusterStore,
+        origin: str,
+        deadline_budget: Optional[int] = None,
+    ) -> None:
         super().__init__(verify_reads=cluster.verify_reads)
+        if deadline_budget is not None and deadline_budget < 1:
+            raise ValueError("deadline_budget must be >= 1 tick")
         self.cluster = cluster
         self.origin = origin
+        #: Per-client verb budget; None inherits the cluster-wide setting.
+        self.deadline_budget = deadline_budget
 
     def _as_origin(self, fn: Callable[[], object]) -> object:
         previous = self.cluster.origin
+        previous_budget = self.cluster.deadline_budget
         self.cluster.origin = self.origin
+        if self.deadline_budget is not None:
+            self.cluster.deadline_budget = self.deadline_budget
         try:
             return fn()
         finally:
             self.cluster.origin = previous
+            self.cluster.deadline_budget = previous_budget
 
     def _insert(self, chunk: Chunk) -> None:
         self._as_origin(lambda: self.cluster.put(chunk))
@@ -748,6 +1084,10 @@ class ClusterClient(ChunkStore):
     def tick(self) -> Dict[str, str]:
         """Run one heartbeat round from this origin."""
         return dict(self._as_origin(lambda: self.cluster.tick()))  # type: ignore[arg-type]
+
+    def health_report(self) -> Dict[str, object]:
+        """The cluster's health counters, gathered as this origin."""
+        return dict(self._as_origin(lambda: self.cluster.health_report()))  # type: ignore[arg-type]
 
     def __repr__(self) -> str:
         return f"ClusterClient(origin={self.origin!r})"

@@ -141,6 +141,22 @@ class FailureDetector:
             name for name, state in self._states.items() if state != ALIVE
         )
 
+    def degraded(self) -> List[str]:
+        """Nodes this origin considers ALIVE but routes around anyway.
+
+        The gray-failure verdict: heartbeats succeed (slowly), so the
+        state machine rightly says ALIVE, yet the origin's circuit
+        breaker for the node is tripped by consecutive timeouts.  A node
+        in this list is slow-but-alive — distinct from SUSPECT/DEAD, and
+        it snaps back the moment a probe succeeds at full speed.
+        """
+        board = getattr(self.cluster, "breakers", None)
+        if board is None:
+            return []
+        return [
+            name for name in board.open_for(self.origin) if self.state(name) == ALIVE
+        ]
+
     def missed(self, name: str) -> int:
         """Consecutive missed heartbeats for a node."""
         return self._missed.get(name, 0)
@@ -156,6 +172,7 @@ class FailureDetector:
             "rounds": self.rounds,
             "tick": self.clock.now(),
             "suspected": self.suspected(),
+            "degraded": self.degraded(),
             "suspicions_raised": self.suspicions_raised,
             "recoveries": self.recoveries,
         }

@@ -310,6 +310,23 @@ class NetworkTimeoutError(NetworkError, TransientError):
     """
 
 
+class DeadlineExceededError(ClusterError, TransientError):
+    """A client verb's deadline budget ran out before it could complete.
+
+    Raised instead of letting a gray-failed (up but slow) replica chain
+    retries and replica failovers past the caller's latency budget: the
+    verb gives up deterministically once the remaining budget cannot
+    cover another attempt.  Transient by design — the data says nothing
+    about correctness, only that *this* attempt ran out of time; a caller
+    with a fresh budget may simply try again.
+    """
+
+    def __init__(self, message: str, budget: int = 0, elapsed: int = 0) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
 class QuorumWriteError(ClusterError):
     """A write reached some replicas but fewer than the write quorum.
 

@@ -15,7 +15,12 @@ same faults, which is what makes the chaos suite assertable.
 
 from repro.faults.crash import CrashPlan, crash_zone, crashing_write, crashpoint
 from repro.faults.fs import FaultyOS, FsFaultPlan, fs_zone
-from repro.faults.network import NetworkPlan, PartitionedTransport, apply_schedule_event
+from repro.faults.network import (
+    NetworkPlan,
+    PartitionedTransport,
+    apply_schedule_event,
+    apply_slow_event,
+)
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, with_retry
 from repro.faults.store import FaultyStore
@@ -30,6 +35,7 @@ __all__ = [
     "PartitionedTransport",
     "RetryPolicy",
     "apply_schedule_event",
+    "apply_slow_event",
     "crash_zone",
     "crashing_write",
     "crashpoint",

@@ -61,6 +61,9 @@ class NetworkPlan:
     delay_rate: float = 0.0
     dup_rate: float = 0.0
     delay_ticks: Tuple[int, int] = (1, 8)
+    #: Range of per-endpoint slowdown factors :meth:`slow_schedule` draws
+    #: from (graded slowness — the gray-failure dimension).
+    slow_factors: Tuple[int, int] = (8, 128)
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "delay_rate", "dup_rate"):
@@ -70,6 +73,9 @@ class NetworkPlan:
         low, high = self.delay_ticks
         if not 1 <= low <= high:
             raise ValueError(f"delay_ticks must satisfy 1 <= low <= high, got {self.delay_ticks}")
+        low, high = self.slow_factors
+        if not 1 <= low <= high:
+            raise ValueError(f"slow_factors must satisfy 1 <= low <= high, got {self.slow_factors}")
 
     # -- deterministic draws -------------------------------------------------
 
@@ -107,6 +113,23 @@ class NetworkPlan:
         digest = self._digest("delay-ticks", src, dst, op, uid, attempt)
         low, high = self.delay_ticks
         return low + int.from_bytes(digest[8:16], "big") % (high - low + 1)
+
+    def service_ticks(
+        self, src: str, dst: str, op: str, uid: Uid, attempt: int, factor: int
+    ) -> int:
+        """Service time, in ticks, for one message on a slowed link.
+
+        A gray-failed endpoint does not fail messages — it *serves* them,
+        roughly ``factor`` times slower than the healthy 1-tick baseline,
+        with a deterministic jitter of up to +25% drawn from the same
+        ``(seed, src, dst, op, uid, attempt)`` hash discipline as every
+        other fault, so slow schedules replay bit-identically.
+        """
+        if factor <= 1:
+            return 1
+        digest = self._digest("slow-service", src, dst, op, uid, attempt)
+        jitter = int.from_bytes(digest[8:16], "big") % max(1, factor // 4)
+        return factor + jitter
 
     def scoped(self, label: str) -> "NetworkPlan":
         """Same rates, seed re-derived from ``label`` (per-link decorrelation)."""
@@ -160,6 +183,38 @@ class NetworkPlan:
             partitioned = True
         return schedule
 
+    def slow_schedule(
+        self,
+        endpoints: Iterable[str],
+        events: int,
+        horizon: int,
+    ) -> List[Tuple[int, Optional[Dict[str, int]]]]:
+        """Deterministic gray-failure events: ``(op_index, factors | None)``.
+
+        ``None`` means every endpoint recovers to full speed; otherwise the
+        dict maps one victim endpoint to its slowdown factor (drawn from
+        ``slow_factors``).  Events are sorted by op index and alternate
+        between slowing and recovering with the same discipline as
+        :meth:`partition_schedule`; the same ``(seed, endpoints, events,
+        horizon)`` always yields the same schedule.
+        """
+        names = sorted(endpoints)
+        if not names or events < 1 or horizon < 1:
+            return []
+        rng = self.rng("slowness")
+        low, high = self.slow_factors
+        schedule: List[Tuple[int, Optional[Dict[str, int]]]] = []
+        slowed = False
+        for at in sorted(rng.randrange(horizon) for _ in range(events)):
+            if slowed and rng.random() < 0.5:
+                schedule.append((at, None))
+                slowed = False
+                continue
+            victim = names[rng.randrange(len(names))]
+            schedule.append((at, {victim: rng.randint(low, high)}))
+            slowed = True
+        return schedule
+
 
 class PartitionedTransport:
     """The message layer between named cluster endpoints.
@@ -177,6 +232,10 @@ class PartitionedTransport:
         #: Logical time: advanced once per send and per explicit tick.
         self.clock = 0
         self._sides: Dict[str, int] = {}
+        #: Graded slowness: endpoint name -> slowdown factor (>1).  A slow
+        #: endpoint *serves* every message, just late — the gray failure a
+        #: liveness probe cannot see.
+        self._slow: Dict[str, int] = {}
         self._attempts: Dict[Tuple[str, str, str, Uid], int] = {}
         #: Delayed deliveries: (due tick, sequence number, thunk).
         self._in_flight: List[Tuple[int, int, Callable[[], object]]] = []
@@ -190,6 +249,14 @@ class PartitionedTransport:
         self.partition_rejections = 0
         #: Delayed deliveries whose late execution failed (dead host etc.).
         self.late_failures = 0
+        self.slow_events = 0
+        self.slow_recoveries = 0
+        #: Messages serviced on a slowed link, and the extra ticks burned.
+        self.slow_services = 0
+        self.slow_ticks = 0
+        #: Sends abandoned at the caller's ``timeout_ticks`` while the slow
+        #: service was still in progress (delivered late, like a delay).
+        self.timeout_abandons = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -218,6 +285,34 @@ class PartitionedTransport:
     def partitioned(self) -> bool:
         """True while a partition is in force."""
         return bool(self._sides)
+
+    def slow(self, endpoint: str, factor: int) -> None:
+        """Gray-fail an endpoint: every message it serves takes ~``factor``
+        ticks instead of 1.  ``factor=1`` restores full speed."""
+        if factor < 1:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        if factor == 1:
+            self._slow.pop(endpoint, None)
+        else:
+            self._slow[endpoint] = factor
+            self.slow_events += 1
+
+    def recover(self, endpoint: Optional[str] = None) -> None:
+        """Restore one endpoint (or, with no argument, every endpoint)."""
+        if endpoint is None:
+            if self._slow:
+                self.slow_recoveries += 1
+            self._slow.clear()
+        elif self._slow.pop(endpoint, None) is not None:
+            self.slow_recoveries += 1
+
+    def slow_factor(self, endpoint: str) -> int:
+        """Current slowdown factor for an endpoint (1 = healthy)."""
+        return self._slow.get(endpoint, 1)
+
+    def slowed(self) -> Dict[str, int]:
+        """Currently slowed endpoints and their factors."""
+        return dict(self._slow)
 
     def side_of(self, endpoint: str) -> int:
         """Which side of the current partition an endpoint sits on."""
@@ -260,14 +355,29 @@ class PartitionedTransport:
             self.clock += 1
             self._pump()
 
-    def send(self, src: str, dst: str, op: str, uid: Uid, fn: Callable[[], T]) -> T:
+    def send(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        uid: Uid,
+        fn: Callable[[], T],
+        timeout_ticks: Optional[int] = None,
+    ) -> T:
         """One request/response exchange from ``src`` to ``dst``.
 
         Applies, in order: partition check, drop, delay (executes ``fn``
-        on a later tick but raises a timeout now), duplication (``fn``
+        on a later tick but raises a timeout now), graded slowness
+        (service ticks charged to the logical clock), duplication (``fn``
         applied twice), then normal delivery.  All faults raise
         :class:`~repro.errors.TransientError` subtypes so the cluster's
         retry/hint machinery handles them like any flaky component.
+
+        ``timeout_ticks`` is the sender's remaining patience (deadline
+        propagation): when a slowed service would run past it, the sender
+        waits exactly that long, gives up with a timeout, and the service
+        still completes on its due tick as a stale late delivery — the
+        client stopped waiting, the server never knew.
         """
         self.clock += 1
         self._pump()
@@ -290,6 +400,25 @@ class PartitionedTransport:
             raise NetworkTimeoutError(
                 f"{op} {src}->{dst} delayed past deadline (due tick {due})"
             )
+        factor = max(self.slow_factor(src), self.slow_factor(dst))
+        if factor > 1:
+            extra = self.plan.service_ticks(src, dst, op, uid, attempt, factor) - 1
+            self.slow_services += 1
+            self.slow_ticks += extra
+            if timeout_ticks is not None and extra + 1 > timeout_ticks:
+                # The sender's budget runs out mid-service: it waits out
+                # the rest of its patience, times out, and the response
+                # lands later as a stale delivery (nobody is listening).
+                self.timeout_abandons += 1
+                self._sequence += 1
+                self._in_flight.append((self.clock + extra, self._sequence, fn))
+                self.clock += max(timeout_ticks - 1, 0)
+                raise NetworkTimeoutError(
+                    f"{op} {src}->{dst} abandoned after {timeout_ticks} ticks "
+                    f"(gray service needed {extra + 1})"
+                )
+            self.clock += extra
+            self._pump()
         if self.plan.duplicate(src, dst, op, uid, attempt):
             self.messages_duplicated += 1
             result = fn()
@@ -316,6 +445,12 @@ class PartitionedTransport:
             "in_flight": len(self._in_flight),
             "partitions": self.partitions,
             "heals": self.heals,
+            "slow_events": self.slow_events,
+            "slow_recoveries": self.slow_recoveries,
+            "slow_services": self.slow_services,
+            "slow_ticks": self.slow_ticks,
+            "timeout_abandons": self.timeout_abandons,
+            "slowed_endpoints": len(self._slow),
         }
 
     def __repr__(self) -> str:
@@ -331,3 +466,18 @@ def apply_schedule_event(
         transport.heal()
     else:
         transport.partition(*groups)
+
+
+def apply_slow_event(
+    transport: PartitionedTransport, factors: Optional[Dict[str, int]]
+) -> None:
+    """Apply one :meth:`NetworkPlan.slow_schedule` event.
+
+    ``None`` recovers every endpoint; a dict slows (or re-grades) the
+    named endpoints while leaving everyone else as they were.
+    """
+    if factors is None:
+        transport.recover()
+    else:
+        for endpoint, factor in sorted(factors.items()):
+            transport.slow(endpoint, factor)

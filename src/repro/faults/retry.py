@@ -20,11 +20,20 @@ import hashlib
 import struct
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+from typing import Callable, Iterator, Optional, Protocol, Tuple, Type, TypeVar
 
-from repro.errors import TransientError
+from repro.errors import DeadlineExceededError, TransientError
 
 T = TypeVar("T")
+
+
+class DeadlineLike(Protocol):
+    """What :meth:`RetryPolicy.call` needs from a deadline: a remaining
+    budget, in whatever unit the caller's clock ticks in.  The concrete
+    :class:`repro.cluster.latency.Deadline` lives two layers up; this
+    structural type keeps the retry helper below it in the layer DAG."""
+
+    def remaining(self) -> int: ...  # pragma: no cover - protocol
 
 _SCALE = float(1 << 64)
 
@@ -50,6 +59,8 @@ class RetryPolicy:
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
     #: Operations retried so far (diagnostic; shared across calls).
     retries: int = 0
+    #: Retry loops cut short because a deadline budget ran out.
+    deadline_stops: int = 0
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -83,20 +94,42 @@ class RetryPolicy:
         self,
         fn: Callable[[], T],
         retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+        deadline: Optional[DeadlineLike] = None,
     ) -> T:
         """Invoke ``fn``, retrying transient failures with backoff.
 
         The last failure is re-raised unchanged once attempts run out, so
         callers keep their typed error (e.g. ``NodeDownError``).
+
+        With a ``deadline``, the retry loop stops early — raising
+        :class:`~repro.errors.DeadlineExceededError` — when the budget is
+        already spent, or when the remaining budget cannot cover another
+        attempt as expensive as the one that just failed.  An exhausted
+        budget is not a reason to hang on retries that cannot finish.
         """
         last: Optional[BaseException] = None
         for index, delay in enumerate(list(self.delays()) + [None]):
+            before = deadline.remaining() if deadline is not None else None
+            if before is not None and before <= 0:
+                self.deadline_stops += 1
+                raise DeadlineExceededError(
+                    f"deadline spent before attempt {index + 1}/{self.attempts}"
+                ) from last
             try:
                 return fn()
             except retry_on as error:  # type: ignore[misc]
                 last = error
                 if delay is None:
                     break
+                if deadline is not None and before is not None:
+                    spent = before - deadline.remaining()
+                    if deadline.remaining() <= max(spent, 0):
+                        self.deadline_stops += 1
+                        raise DeadlineExceededError(
+                            f"{deadline.remaining()} ticks left cannot cover "
+                            f"another ~{spent}-tick attempt "
+                            f"({index + 1}/{self.attempts} tried)"
+                        ) from error
                 self.retries += 1
                 self.sleep(delay)
         assert last is not None

@@ -149,7 +149,7 @@ class Scrubber:
         store: ChunkStore,
         reread_on_mismatch: bool = True,
         retry: Optional[RetryPolicy] = None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = time.perf_counter,  # fbcheck: ignore[FB-DETERM]
     ) -> None:
         self.store = store
         self.reread_on_mismatch = reread_on_mismatch

@@ -72,13 +72,33 @@ class TestClusterStore:
         assert all(200 < count < 900 for count in histogram.values())
 
     def test_failover_read(self):
+        """A replica that is *attempted* and misses counts as a failover."""
+        cluster = ClusterStore(node_count=4, replication=2)
+        chunks = [_chunk(i) for i in range(200)]
+        cluster.put_many(chunks)
+        # Wipe every primary copy: the first replica answers "missing" and
+        # the read falls over to (and repairs from) the second.
+        for chunk in chunks:
+            cluster.replica_nodes(chunk.uid)[0].drop(chunk.uid)
+        for chunk in chunks:
+            assert cluster.get(chunk.uid).data == chunk.data
+        assert cluster.failovers > 0
+        assert cluster.read_repairs > 0
+
+    def test_down_replica_skip_is_not_a_failover(self):
+        """Dead nodes are skipped, not attempted: no failover is counted.
+
+        Regression for the old accounting, which keyed on replica *index*
+        and so billed a failover for every read whose primary happened to
+        be down — inflating the counter without a single failed attempt.
+        """
         cluster = ClusterStore(node_count=4, replication=2)
         chunks = [_chunk(i) for i in range(200)]
         cluster.put_many(chunks)
         cluster.kill_node("node-00")
         for chunk in chunks:
             assert cluster.get(chunk.uid).data == chunk.data
-        assert cluster.failovers > 0
+        assert cluster.failovers == 0
 
     def test_unreplicated_data_lost_on_failure(self):
         cluster = ClusterStore(node_count=4, replication=1)

@@ -118,6 +118,20 @@ def test_pragma_for_other_rule_does_not_suppress():
     assert [v.rule for v in violations] == ["FB-DETERM"]
 
 
+def test_monotonic_clocks_flagged_in_cluster_paths():
+    """The latency tracker's clock must be injected: monotonic/perf_counter
+    reads inside ``src/repro/cluster/`` are wall-clock and break replay."""
+    src = (
+        "# fbcheck-fixture-path: src/repro/cluster/lat.py\n"
+        "import time\n"
+        "def sample():\n"
+        "    return time.monotonic() - time.perf_counter()\n"
+    )
+    violations = check_source(src, "lat.py")
+    assert len(violations) == 2
+    assert {v.rule for v in violations} == {"FB-DETERM"}
+
+
 def test_bare_pragma_suppresses_all_rules():
     src = (
         "# fbcheck-fixture-path: src/repro/chunk/p.py\n"

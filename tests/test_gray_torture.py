@@ -1,0 +1,218 @@
+"""Gray-failure torture: slow schedules must not cost correctness.
+
+The drill: drive a hedged, deadline-bounded cluster through a seeded
+schedule of graded-slowness events (endpoints going 8-128x slow and
+recovering) mixed with writes and reads — then every *acknowledged*
+write must be durable on its full replica set, no verb may have blocked
+past its deadline budget, and the whole run must replay bit-identically
+from the same seed.
+
+``FORKBASE_GRAYFAULT_SEED`` picks the deterministic slowness universe
+(the CI chaos matrix runs several).
+"""
+
+import os
+
+import pytest
+
+from repro.chunk import Chunk, ChunkType
+from repro.cluster import ClusterStore, anti_entropy_pass, digests_agree
+from repro.errors import ClusterError
+from repro.faults import (
+    NetworkPlan,
+    PartitionedTransport,
+    RetryPolicy,
+    apply_slow_event,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the toolchain
+    HAVE_HYPOTHESIS = False
+
+SEED = int(os.environ.get("FORKBASE_GRAYFAULT_SEED", "20260808"))
+
+
+def _chunk(tag: str, n: int) -> Chunk:
+    payload = (b"gray-%s-%d-" % (tag.encode("utf-8"), n)) * 4
+    return Chunk(ChunkType.BLOB, payload)
+
+
+def _cluster(**kwargs):
+    plan_kwargs = kwargs.pop("plan", {})
+    plan = NetworkPlan(seed=kwargs.pop("net_seed", SEED), **plan_kwargs)
+    transport = PartitionedTransport(plan)
+    kwargs.setdefault("retry", RetryPolicy.instant(attempts=2))
+    kwargs.setdefault("node_count", 4)
+    kwargs.setdefault("replication", 2)
+    cluster = ClusterStore(transport=transport, **kwargs)
+    return cluster, transport
+
+
+def _fully_replicated(cluster: ClusterStore, chunk: Chunk) -> bool:
+    copies = 0
+    for node in cluster.replica_nodes(chunk.uid):
+        if not (node.up and node.store.has(chunk.uid)):
+            return False
+        got = node.store.get_maybe(chunk.uid)
+        if got is None or not got.is_valid():
+            return False
+        copies += 1
+    return copies == cluster.replication
+
+
+def _drive(cluster, transport, schedule, ops, tag, budget=None):
+    """Run a write+read workload under a slowness schedule.
+
+    Returns ``(acked, fingerprint)`` where the fingerprint captures every
+    observable counter so replay identity can be asserted exactly.
+    """
+    acked = []
+    deadline_errors = 0
+    cursor = 0
+    for op in range(ops):
+        while cursor < len(schedule) and schedule[cursor][0] <= op:
+            apply_slow_event(transport, schedule[cursor][1])
+            cursor += 1
+        chunk = _chunk(tag, op)
+        before = transport.clock
+        try:
+            cluster.put(chunk)
+        except ClusterError as error:
+            if "budget" in str(error):
+                deadline_errors += 1
+            if budget is not None:
+                assert transport.clock - before <= budget + 2
+            continue  # unacknowledged: no durability promise made
+        if budget is not None:
+            assert transport.clock - before <= budget + 2
+        acked.append(chunk)
+        if op % 3 == 0 and acked:
+            probe = acked[op % len(acked)]
+            before = transport.clock
+            try:
+                got = cluster.get(probe.uid)
+                assert got.data == probe.data  # never wrong bytes
+            except ClusterError:
+                pass  # slow/timed out is acceptable; wrong data is not
+            if budget is not None:
+                assert transport.clock - before <= budget + 2
+    fingerprint = (
+        len(acked),
+        deadline_errors,
+        cluster.hedges_issued,
+        cluster.hedge_wins,
+        cluster.deadline_exceeded,
+        cluster.breaker_skips,
+        cluster.failovers,
+        cluster.read_repairs,
+        cluster.sloppy_writes,
+        cluster.transient_failures,
+        transport.stats(),
+        sorted(
+            (name, len(list(node.store.ids())))
+            for name, node in cluster.nodes.items()
+        ),
+    )
+    return acked, fingerprint
+
+
+class TestGrayReplay:
+    def test_replay_is_bit_identical(self):
+        """Same seed, same schedule, same everything: hedges, breaker
+        trips, deadline misses, per-node chunk counts, transport stats."""
+
+        def run():
+            cluster, transport = _cluster(
+                hedge_reads=True, deadline_budget=64
+            )
+            plan = transport.plan
+            schedule = plan.slow_schedule(
+                sorted(cluster.nodes), events=6, horizon=60
+            )
+            _, fingerprint = _drive(
+                cluster, transport, schedule, ops=60, tag="replay", budget=64
+            )
+            return fingerprint
+
+        assert run() == run()
+
+    def test_slow_schedule_replays_identically(self):
+        plan = NetworkPlan(seed=SEED)
+        endpoints = ["node-%02d" % i for i in range(4)]
+        assert plan.slow_schedule(endpoints, events=6, horizon=60) == (
+            plan.slow_schedule(endpoints, events=6, horizon=60)
+        )
+
+
+class TestAckedMeansDurable:
+    def test_acked_writes_survive_slow_schedule(self):
+        """Gray failure slows acks down; it must never fake them.  After
+        the storm recovers (plus one anti-entropy pass for hinted-away
+        copies), every acknowledged write sits on its full replica set."""
+        cluster, transport = _cluster(hedge_reads=True, deadline_budget=64)
+        schedule = transport.plan.slow_schedule(
+            sorted(cluster.nodes), events=8, horizon=120
+        )
+        acked, _ = _drive(
+            cluster, transport, schedule, ops=120, tag="durable", budget=64
+        )
+        assert acked  # the storm did not starve the workload entirely
+        transport.recover()
+        anti_entropy_pass(cluster)
+        for chunk in acked:
+            assert _fully_replicated(cluster, chunk)
+        assert digests_agree(cluster)
+
+    def test_acked_writes_survive_slowness_plus_message_drops(self):
+        """Slowness and loss together: the deadline budget bounds every
+        verb while drops force retries and hints under that budget."""
+        cluster, transport = _cluster(
+            hedge_reads=True,
+            deadline_budget=96,
+            plan={"drop_rate": 0.05},
+            retry=RetryPolicy.instant(attempts=3),
+        )
+        schedule = transport.plan.slow_schedule(
+            sorted(cluster.nodes), events=6, horizon=90
+        )
+        acked, _ = _drive(
+            cluster, transport, schedule, ops=90, tag="droppy", budget=96
+        )
+        assert acked
+        transport.recover()
+        anti_entropy_pass(cluster)
+        for chunk in acked:
+            assert _fully_replicated(cluster, chunk)
+        assert digests_agree(cluster)
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestGrayScheduleProperty:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_any_slow_schedule_keeps_acked_writes_durable(self, seed):
+        """Under ANY deterministic slowness schedule: acked writes are
+        durable after recovery, reads never return wrong bytes, and no
+        verb outlives its deadline budget."""
+        cluster, transport = _cluster(
+            net_seed=seed, hedge_reads=True, deadline_budget=64
+        )
+        schedule = transport.plan.slow_schedule(
+            sorted(cluster.nodes), events=5, horizon=40
+        )
+        acked, _ = _drive(
+            cluster,
+            transport,
+            schedule,
+            ops=40,
+            tag="prop-%d" % seed,
+            budget=64,
+        )
+        transport.recover()
+        anti_entropy_pass(cluster)
+        for chunk in acked:
+            assert _fully_replicated(cluster, chunk)
+        assert digests_agree(cluster)
