@@ -1,0 +1,171 @@
+"""Byzantine detection latency and attribution accuracy, measured.
+
+Two sweeps over ``BENCH_BYZ_SEEDS`` adversary universes on a 4-node
+cluster (replication 2) holding ``BENCH_BYZ_CHUNKS`` chunks:
+
+- ``detection`` — one replica serves wrong bytes under the claimed uid
+  (``ByzantinePlan(flip_rate=1.0)``).  We read until the accountability
+  board QUARANTINES it and report *ops until quarantine* percentiles —
+  the detection-latency claim: a persistent liar survives a bounded
+  number of operations, not "until an operator notices".
+- ``honest`` — the same sweep, but the suspect replica is honest with a
+  rotting disk (seeded wire corruption + torn writes + planted on-disk
+  rot).  The reported ``false_positive_rate`` is the fraction of
+  universes that ended with *any* honest node quarantined; the
+  discrimination claim is that it is exactly 0.0.
+
+Results go to the pytest-benchmark table, ``benchmarks/out/`` and the
+``byzantine`` section of ``BENCH_robustness.json`` at the repo root.
+
+Knobs (for CI smoke runs): ``BENCH_BYZ_CHUNKS`` (default 120),
+``BENCH_BYZ_SEEDS`` (default 12), ``BENCH_BYZ_SEED`` (base seed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import report, table
+from repro.chunk import Chunk, ChunkType
+from repro.cluster import ClusterStore, anti_entropy_pass
+from repro.faults import ByzantinePlan, FaultPlan, FaultyStore, flip_at, make_byzantine
+
+CHUNKS = int(os.environ.get("BENCH_BYZ_CHUNKS", "120"))
+SEEDS = int(os.environ.get("BENCH_BYZ_SEEDS", "12"))
+SEED = int(os.environ.get("BENCH_BYZ_SEED", "20260808"))
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_robustness.json")
+
+
+def _record(sub: str, entry: dict) -> None:
+    """Merge one sweep into BENCH_robustness.json (read-modify-write)."""
+    data = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("config", {}).update(
+        {"byz_chunks": CHUNKS, "byz_seeds": SEEDS}
+    )
+    data.setdefault("byzantine", {})[sub] = entry
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    bucket = data["byzantine"]
+    rows = [
+        (
+            name,
+            value.get("seconds", ""),
+            value.get("ops_p50", ""),
+            value.get("ops_p95", ""),
+            value.get("ops_max", ""),
+            value.get("false_positive_rate", ""),
+        )
+        for name, value in sorted(bucket.items())
+    ]
+    report(
+        "bench_byzantine",
+        table(("sweep", "seconds", "ops_p50", "ops_p95", "ops_max", "fp_rate"), rows),
+    )
+
+
+def _chunks(tag: str) -> list:
+    return [
+        Chunk(ChunkType.BLOB, b"byz-%s-%06d-" % (tag.encode(), n) + b"x" * 64)
+        for n in range(CHUNKS)
+    ]
+
+
+def _percentile(ordered, q):
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _detect_once(seed: int) -> int:
+    """Ops until the flipping liar is quarantined (one universe)."""
+    cluster = ClusterStore(node_count=4, replication=2)
+    chunks = _chunks("d%d" % seed)
+    cluster.put_many(chunks)
+    liar = "node-%02d" % (seed % 4)
+    make_byzantine(cluster.nodes[liar], ByzantinePlan(seed=seed, flip_rate=1.0))
+    ops = 0
+    while not cluster.accountability.is_quarantined(liar):
+        for chunk in chunks:
+            ops += 1
+            got = cluster.get_maybe(chunk.uid)
+            assert got is None or got.data == chunk.data
+            if cluster.accountability.is_quarantined(liar):
+                break
+        assert ops < 8 * CHUNKS, "liar escaped detection"
+    return ops
+
+
+def _honest_once(seed: int) -> list:
+    """Quarantined nodes (must be none) after an honest-rot universe."""
+    cluster = ClusterStore(node_count=4, replication=2)
+    rotten = "node-%02d" % (seed % 4)
+    node = cluster.nodes[rotten]
+    node.store = FaultyStore(
+        node.store,
+        FaultPlan(seed=seed, corrupt_read_rate=0.15, torn_put_rate=0.1),
+        name=rotten,
+    )
+    chunks = _chunks("h%d" % seed)
+    cluster.put_many(chunks)
+    # Persistent on-disk rot on a few primaries, as a decaying disk would.
+    decayed = [
+        c for c in chunks if cluster.replica_nodes(c.uid)[0].name == rotten
+    ][:5]
+    for chunk in decayed:
+        node.store.backing.delete(chunk.uid)
+        node.store.backing.put(
+            Chunk(chunk.type, flip_at(chunk.data, 0), uid=chunk.uid)
+        )
+    for chunk in chunks:
+        got = cluster.get_maybe(chunk.uid)
+        assert got is None or got.data == chunk.data
+    cluster.scrub()
+    anti_entropy_pass(cluster)
+    return cluster.accountability.quarantined()
+
+
+def test_detection_latency(benchmark):
+    outcome: dict = {}
+
+    def sweep():
+        outcome["ops"] = [_detect_once(SEED + n) for n in range(SEEDS)]
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+    ordered = sorted(outcome["ops"])
+    entry = {
+        "seconds": round(benchmark.stats.stats.min, 6),
+        "universes": SEEDS,
+        "ops_p50": _percentile(ordered, 0.50),
+        "ops_p95": _percentile(ordered, 0.95),
+        "ops_max": ordered[-1],
+    }
+    _record("detection", entry)
+    # Bounded detection: every universe quarantined its liar well before
+    # the workload cycled the chunk set eight times.
+    assert entry["ops_max"] < 8 * CHUNKS
+
+
+def test_honest_false_positives(benchmark):
+    outcome: dict = {}
+
+    def sweep():
+        outcome["framed"] = [
+            quarantined
+            for n in range(SEEDS)
+            if (quarantined := _honest_once(SEED + n))
+        ]
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+    entry = {
+        "seconds": round(benchmark.stats.stats.min, 6),
+        "universes": SEEDS,
+        "framed_universes": len(outcome["framed"]),
+        "false_positive_rate": round(len(outcome["framed"]) / SEEDS, 4),
+    }
+    _record("honest", entry)
+    # The discrimination claim: honest rot never reaches QUARANTINED.
+    assert entry["false_positive_rate"] == 0.0

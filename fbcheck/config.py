@@ -43,6 +43,9 @@ LAYERS: Mapping[str, int] = {
     "repro.faults.retry": 3,
     "repro.faults": 4,
     "repro.faults.network": 4,
+    # The byzantine adversary wraps node stores the way FaultyStore does;
+    # it knows chunks and stores, never the cluster that hosts it.
+    "repro.faults.byzantine": 4,
     # The pack backend sits above faults (it embeds crash-points the way
     # the journal does) but below everything that stores chunks.
     "repro.store.packstore": 5,
@@ -57,6 +60,9 @@ LAYERS: Mapping[str, int] = {
     # store but must never import above it.
     "repro.cluster.latency": 8,
     "repro.cluster.breaker": 8,
+    # The tamper scorecard is pure bookkeeping over chunk uids; it serves
+    # the cluster store and anti-entropy but imports neither.
+    "repro.cluster.accountability": 8,
     "repro.store.gc": 9,
     "repro.store.scrub": 9,
     # The decoded-node cache decodes POS-Tree nodes, so it sits above the

@@ -15,6 +15,12 @@ that makes the substitution faithful: dedup, diff, merge and verification
 run the same code paths against it.
 """
 
+from repro.cluster.accountability import (
+    QUARANTINED,
+    TRUSTED,
+    AccountabilityBoard,
+    TamperEvidence,
+)
 from repro.cluster.antientropy import (
     DigestTree,
     SyncReport,
@@ -35,7 +41,10 @@ __all__ = [
     "DEAD",
     "HALF_OPEN",
     "OPEN",
+    "QUARANTINED",
     "SUSPECT",
+    "TRUSTED",
+    "AccountabilityBoard",
     "BreakerBoard",
     "CircuitBreaker",
     "ClusterClient",
@@ -49,6 +58,7 @@ __all__ = [
     "LogicalClock",
     "StorageNode",
     "SyncReport",
+    "TamperEvidence",
     "anti_entropy_pass",
     "digests_agree",
     "ring_position",

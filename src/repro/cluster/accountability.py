@@ -1,0 +1,338 @@
+"""Tamper attribution: per-(origin, node) scorecards and quarantine.
+
+Detection without attribution is just a retry.  The cluster already
+*survives* a replica that serves wrong bytes — read repair re-fetches from
+a sibling — but nothing remembers *which* replica lied, so a byzantine
+node (``repro.faults.byzantine``) can keep poisoning reads, acks, and
+anti-entropy forever at retry cost.  This module is the memory: every
+digest-mismatched or withheld read is recorded against the serving
+replica as portable evidence, and a state machine escalates
+
+    TRUSTED  →  SUSPECT  →  QUARANTINED
+
+where quarantined nodes are excluded from quorums, hedges, repair
+sourcing, and hint replay until :meth:`ClusterStore.readmit` completes a
+fully re-verified resync.
+
+The hard problem is discrimination: honest disks rot too (the scrub plane
+models exactly that), and an honest-but-rotten replica must *never* reach
+QUARANTINED.  The scorecard therefore separates two evidence grades:
+
+- **weak events** — a single corrupt/withheld/unproducible read.  Rot
+  produces these; they only raise TRUSTED to SUSPECT (telemetry, no
+  routing effect) and feed the evidence log.
+- **strikes** — patterns rot cannot plausibly produce:
+
+  * a *post-repair audit failure*: immediately after a read-repair write
+    that the writer verified by read-back, ``audit_reads`` consecutive
+    management-plane re-reads all fail.  Rot striking the same fresh
+    chunk that many times in a row has probability ~(rate²)ᵃᵘᵈⁱᵗˢ.
+  * a *forged-digest audit failure*: anti-entropy spot-checks a claimed
+    uid behind agreeing digests and the node cannot substantiate it.
+  * an *unverified-write run*: ``write_strike_run`` consecutive write
+    exchanges whose read-back never verified.  Any verified write
+    resets the run.
+
+QUARANTINED requires ``quarantine_after`` strikes on *distinct* uids, so
+even a pathological single-chunk coincidence cannot quarantine alone.
+
+Determinism: the board holds no wall-clock time and iterates nothing
+unordered — snapshots and evidence replay bit-identically under a fixed
+fault seed (FB-DETERM applies to this module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.chunk import Uid
+
+TRUSTED = "trusted"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class TamperEvidence:
+    """One portable attribution record: who served what instead of what.
+
+    ``expected`` is the claimed uid's digest (hex); ``served`` is the
+    digest of the bytes actually received, or ``None`` for a withheld /
+    missing response.  These records flow out through ``health_report()``,
+    the ``Verifier`` report, and ``GET /v1/status`` so an operator (or a
+    client that distrusts the provider, per the paper's §III-C) can see
+    the lie itself, not just a counter.
+    """
+
+    node: str
+    uid: Uid
+    op: str
+    kind: str
+    expected: str
+    served: Optional[str] = None
+    origin: str = ""
+    strike: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "uid": self.uid.base32(),
+            "op": self.op,
+            "kind": self.kind,
+            "expected": self.expected,
+            "served": self.served,
+            "origin": self.origin,
+            "strike": self.strike,
+        }
+
+
+class NodeScorecard:
+    """Evidence accumulated against one node, and its trust state."""
+
+    __slots__ = (
+        "state",
+        "weak_events",
+        "weak_uids",
+        "strikes",
+        "strike_uids",
+        "consecutive_unverified_writes",
+        "verified_writes",
+        "clean_audits",
+        "by_origin",
+        "readmissions",
+    )
+
+    def __init__(self) -> None:
+        self.state = TRUSTED
+        self.weak_events = 0
+        self.weak_uids: Set[Uid] = set()
+        self.strikes = 0
+        self.strike_uids: Set[Uid] = set()
+        self.consecutive_unverified_writes = 0
+        self.verified_writes = 0
+        self.clean_audits = 0
+        self.by_origin: Dict[str, int] = {}
+        self.readmissions = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "weak_events": self.weak_events,
+            "weak_uids": len(self.weak_uids),
+            "strikes": self.strikes,
+            "strike_uids": len(self.strike_uids),
+            "consecutive_unverified_writes": self.consecutive_unverified_writes,
+            "verified_writes": self.verified_writes,
+            "clean_audits": self.clean_audits,
+            "by_origin": dict(sorted(self.by_origin.items())),
+            "readmissions": self.readmissions,
+        }
+
+
+@dataclass
+class AccountabilityBoard:
+    """The cluster-wide tamper scorecard and quarantine state machine.
+
+    Thresholds:
+
+    - ``suspect_after``: weak events before TRUSTED becomes SUSPECT.
+    - ``quarantine_after``: distinct-uid strikes before QUARANTINED.
+    - ``write_strike_run``: consecutive unverified write exchanges that
+      together count as one strike.
+    - ``audit_reads``: consecutive post-repair / spot-check re-reads that
+      must *all* fail before the audit is strike-grade (consumed by the
+      cluster and anti-entropy, recorded here for the report).
+    - ``evidence_limit``: ring-buffer bound on retained evidence records;
+      ``evidence_total`` keeps the monotonic count so consumers can pull
+      increments with :meth:`evidence_since`.
+    """
+
+    suspect_after: int = 2
+    quarantine_after: int = 2
+    write_strike_run: int = 3
+    audit_reads: int = 2
+    evidence_limit: int = 256
+    cards: Dict[str, NodeScorecard] = field(default_factory=dict)
+    evidence: List[TamperEvidence] = field(default_factory=list)
+    evidence_total: int = 0
+    quarantines: int = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def _card(self, node: str) -> NodeScorecard:
+        card = self.cards.get(node)
+        if card is None:
+            card = self.cards[node] = NodeScorecard()
+        return card
+
+    def _log(self, record: TamperEvidence) -> None:
+        self.evidence.append(record)
+        self.evidence_total += 1
+        if len(self.evidence) > self.evidence_limit:
+            del self.evidence[: len(self.evidence) - self.evidence_limit]
+
+    def record_suspicion(
+        self,
+        origin: str,
+        node: str,
+        uid: Uid,
+        op: str,
+        kind: str,
+        served: Optional[str] = None,
+    ) -> str:
+        """Attribute one weak event (corrupt/withheld read, bad payload).
+
+        Weak evidence never quarantines: honest rot produces it too.  It
+        moves TRUSTED to SUSPECT at ``suspect_after`` events, which is
+        telemetry only — SUSPECT nodes still serve (scrub and read repair
+        fix honest rot in place; quarantining it would shrink quorums for
+        no integrity gain).  Returns the node's state after recording.
+        """
+        card = self._card(node)
+        card.weak_events += 1
+        card.weak_uids.add(uid)
+        if origin:
+            card.by_origin[origin] = card.by_origin.get(origin, 0) + 1
+        self._log(
+            TamperEvidence(
+                node=node,
+                uid=uid,
+                op=op,
+                kind=kind,
+                expected=uid.hex(),
+                served=served,
+                origin=origin,
+            )
+        )
+        if card.state == TRUSTED and card.weak_events >= self.suspect_after:
+            card.state = SUSPECT
+        return card.state
+
+    def record_strike(
+        self,
+        origin: str,
+        node: str,
+        uid: Uid,
+        op: str,
+        kind: str,
+        served: Optional[str] = None,
+    ) -> str:
+        """Attribute quarantine-grade evidence (rot cannot plausibly do this).
+
+        At ``quarantine_after`` strikes on distinct uids the node is
+        QUARANTINED: out of quorums, hedges, and repair sourcing until a
+        re-verified resync readmits it.  Returns the state after.
+        """
+        card = self._card(node)
+        card.strikes += 1
+        card.strike_uids.add(uid)
+        if origin:
+            card.by_origin[origin] = card.by_origin.get(origin, 0) + 1
+        self._log(
+            TamperEvidence(
+                node=node,
+                uid=uid,
+                op=op,
+                kind=kind,
+                expected=uid.hex(),
+                served=served,
+                origin=origin,
+                strike=True,
+            )
+        )
+        if card.state != QUARANTINED and len(card.strike_uids) >= self.quarantine_after:
+            card.state = QUARANTINED
+            self.quarantines += 1
+        return card.state
+
+    def record_unverified_write(self, origin: str, node: str, uid: Uid) -> str:
+        """One write exchange exhausted retries with read-back never verifying.
+
+        A single occurrence is weak (transient wire rot during every
+        attempt is unlikely but possible); ``write_strike_run`` of them
+        *consecutively* — with no verified write in between — is the
+        fake-ack signature and converts to a strike.
+        """
+        card = self._card(node)
+        card.consecutive_unverified_writes += 1
+        if card.consecutive_unverified_writes >= self.write_strike_run:
+            card.consecutive_unverified_writes = 0
+            return self.record_strike(
+                origin, node, uid, op="put", kind="unverified-writes"
+            )
+        return self.record_suspicion(
+            origin, node, uid, op="put", kind="unverified-write"
+        )
+
+    def record_verified_write(self, node: str) -> None:
+        """A write read back and verified — resets the fake-ack run."""
+        card = self._card(node)
+        card.verified_writes += 1
+        card.consecutive_unverified_writes = 0
+
+    def record_clean_audit(self, node: str) -> None:
+        """A post-repair or spot-check audit found valid bytes."""
+        self._card(node).clean_audits += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def state(self, node: str) -> str:
+        card = self.cards.get(node)
+        return card.state if card is not None else TRUSTED
+
+    def is_quarantined(self, node: str) -> bool:
+        return self.state(node) == QUARANTINED
+
+    def quarantined(self) -> List[str]:
+        return sorted(
+            name for name, card in self.cards.items() if card.state == QUARANTINED
+        )
+
+    def evidence_for(self, node: str) -> List[TamperEvidence]:
+        return [record for record in self.evidence if record.node == node]
+
+    def evidence_since(self, total: int) -> List[TamperEvidence]:
+        """Records logged after the given ``evidence_total`` watermark.
+
+        Older-than-retained increments return only what the ring buffer
+        still holds — consumers (the ``Verifier``) snapshot the watermark
+        immediately before the work they want evidence for.
+        """
+        fresh = self.evidence_total - total
+        if fresh <= 0:
+            return []
+        return list(self.evidence[-min(fresh, len(self.evidence)):])
+
+    # -- re-admission --------------------------------------------------------
+
+    def readmit(self, node: str) -> None:
+        """Re-admit a quarantined node after a fully re-verified resync.
+
+        The node re-enters at SUSPECT (probation): its strike ledger is
+        cleared so fresh evidence is judged on its own, but the weak
+        history is kept so the scorecard still tells the story.
+        """
+        card = self._card(node)
+        card.state = SUSPECT
+        card.strikes = 0
+        card.strike_uids.clear()
+        card.consecutive_unverified_writes = 0
+        card.readmissions += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view for ``health_report()`` / ``GET /v1/status``."""
+        return {
+            "nodes": {
+                name: card.to_dict() for name, card in sorted(self.cards.items())
+            },
+            "quarantined": self.quarantined(),
+            "quarantines": self.quarantines,
+            "evidence_total": self.evidence_total,
+            "thresholds": {
+                "suspect_after": self.suspect_after,
+                "quarantine_after": self.quarantine_after,
+                "write_strike_run": self.write_strike_run,
+                "audit_reads": self.audit_reads,
+            },
+        }

@@ -24,15 +24,15 @@ from a healthy peer — O(divergence) transfers, not O(N).
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.chunk import Uid
+from repro.chunk import Chunk, Uid
 from repro.cluster.ring import POSITION_BITS, ring_position
 from repro.errors import StoreError, TransientError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, no runtime cycle
-    from repro.chunk import Chunk
     from repro.cluster.cluster import ClusterStore
     from repro.cluster.node import StorageNode
 
@@ -182,6 +182,15 @@ class SyncReport:
     transfer_failures: int = 0
     #: Directional pulls executed.
     pulls: int = 0
+    #: Hint replays rejected on the receiving side (payload failed to
+    #: hash to its uid) during this pass's flush phase.
+    hints_rejected: int = 0
+    #: Live nodes excluded from the pass because they are QUARANTINED.
+    quarantined_excluded: int = 0
+    #: Self-reported (unverified) index claims spot-check-audited.
+    audit_samples: int = 0
+    #: Audited claims the node could not substantiate (strike-grade).
+    audit_failures: int = 0
 
     def describe(self) -> str:
         """One-line summary."""
@@ -192,7 +201,9 @@ class SyncReport:
             f"{self.buckets_differing} buckets differed -> "
             f"{self.chunks_transferred} transferred "
             f"({self.rotten_quarantined} rotten quarantined, "
-            f"{self.transfer_failures} failed)"
+            f"{self.transfer_failures} failed, "
+            f"{self.hints_rejected} hints rejected, "
+            f"{self.audit_failures}/{self.audit_samples} audits failed)"
         )
 
 
@@ -239,6 +250,108 @@ def build_valid_index(
             report.unreadable += 1
         # "missing" (listed but no bytes) simply stays out of the index.
     return valid
+
+
+def node_index(
+    cluster: "ClusterStore", node: "StorageNode", report: SyncReport
+) -> Tuple[Set[Uid], bool]:
+    """The uid index one node contributes, plus whether it was self-reported.
+
+    Honest nodes have their index *built* here — every copy read back and
+    re-hashed by :func:`build_valid_index`, so the digests that enter the
+    Merkle comparison are grounded in verified bytes.  A store exposing
+    ``claimed_ids`` (the byzantine forgery surface) self-reports instead:
+    its claims enter the comparison unverified, exactly as a real node
+    computing its own digest tree would, and the returned flag routes it
+    through :func:`_audit_index` — trust is earned per-chunk by the
+    seeded spot-check, never assumed from the digest.
+    """
+    claimed = getattr(node.store, "claimed_ids", None)
+    if callable(claimed):
+        return set(claimed()), True
+    return build_valid_index(cluster, node, report), False
+
+
+def _audit_draw(seed: int, node: str, uid: Uid) -> float:
+    """Uniform [0, 1) deciding whether one claimed uid gets audited.
+
+    Hash-derived like every other fault/defense decision, so the sample —
+    and therefore detection latency — replays bit-identically from
+    ``cluster.audit_seed``.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"ae-audit:")
+    hasher.update(struct.pack(">q", seed))
+    hasher.update(node.encode("utf-8"))
+    hasher.update(uid.digest)
+    return int.from_bytes(hasher.digest()[:8], "big") / float(1 << 64)
+
+
+def _audit_index(
+    cluster: "ClusterStore",
+    node: "StorageNode",
+    index: Set[Uid],
+    report: SyncReport,
+) -> None:
+    """Spot-check a seeded sample of a self-reported index.
+
+    A forged digest can *agree* with honest peers while the bytes behind
+    it do not exist (fake-acked claims) — agreement alone proves nothing
+    when the node computes its own tree.  Each sampled claim is re-read
+    ``audit_reads`` times through the scrubber's discrimination; a claim
+    the node cannot substantiate on any read is a forged-digest strike on
+    its scorecard, and the uid is evicted from the index so the ordinary
+    diff re-ships a real copy from a trusted peer.
+    """
+    from repro.store.scrub import diagnose_copy  # deferred: scrub sits a layer above
+
+    rate = cluster.audit_rate
+    if rate <= 0.0:
+        return
+    board = cluster.accountability
+    for uid in sorted(index):
+        if _audit_draw(cluster.audit_seed, node.name, uid) >= rate:
+            continue
+        report.audit_samples += 1
+        verdict: Optional[bool] = None
+        served = None
+        for _ in range(max(board.audit_reads, 1)):
+            status, got, _ = diagnose_copy(node.store, uid, retry=cluster.retry)
+            if status == "ok":
+                board.record_clean_audit(node.name)
+                verdict = True
+                break
+            if status == "unreadable":
+                verdict = None  # transient plane down: no verdict either way
+                break
+            verdict = False
+            served = got
+        if verdict is False:
+            report.audit_failures += 1
+            board.record_strike(
+                "anti-entropy",
+                node.name,
+                uid,
+                op="get",
+                kind="forged-digest",
+                served=(
+                    Chunk.compute_uid(served.type, served.data).hex()
+                    if served is not None
+                    else None
+                ),
+            )
+            index.discard(uid)
+
+
+def _participants(cluster: "ClusterStore", report: SyncReport) -> List["StorageNode"]:
+    """Live nodes admitted to this pass (QUARANTINED replicas excluded)."""
+    admitted = []
+    for node in cluster.live_nodes():
+        if cluster.accountability.is_quarantined(node.name):
+            report.quarantined_excluded += 1
+        else:
+            admitted.append(node)
+    return admitted
 
 
 def _owner_map(
@@ -307,6 +420,18 @@ def _pull(
             chunk = _read_transfer_source(cluster, src, uid)
             if chunk is None:
                 report.transfer_failures += 1
+                if callable(getattr(src.store, "claimed_ids", None)):
+                    # A self-reported index claimed a chunk its node could
+                    # not produce when asked — for a verified index that is
+                    # a transient read, for an unverified one it is weak
+                    # tamper evidence against the claimant.
+                    cluster.accountability.record_suspicion(
+                        dst.name,
+                        src.name,
+                        uid,
+                        op="transfer",
+                        kind="unproducible-claim",
+                    )
                 continue
             if cluster.transfer(src, dst, chunk):
                 report.chunks_transferred += 1
@@ -322,12 +447,35 @@ def sync(
     node_b: "StorageNode",
     depth: int = DEFAULT_DEPTH,
 ) -> SyncReport:
-    """Two-way Merkle reconciliation between one pair of nodes."""
+    """Two-way Merkle reconciliation between one pair of nodes.
+
+    A QUARANTINED node sits the sync out entirely: it must not be
+    repaired *from* (its holdings are untrusted) and is not repaired *to*
+    (re-admission re-verifies and resyncs in one step).
+    """
     report = SyncReport()
-    indexes = {
-        node.name: build_valid_index(cluster, node, report)
+    pair = [
+        node
         for node in (node_a, node_b)
-    }
+        if not cluster.accountability.is_quarantined(node.name)
+    ]
+    report.quarantined_excluded += 2 - len(pair)
+    if len(pair) < 2:
+        return report
+    indexes = {}
+    for node in pair:
+        index, self_reported = node_index(cluster, node, report)
+        if self_reported:
+            _audit_index(cluster, node, index, report)
+        indexes[node.name] = index
+    # The audit may have quarantined a claimant mid-sync: re-check before
+    # any bytes move.
+    pair = [
+        node for node in pair if not cluster.accountability.is_quarantined(node.name)
+    ]
+    report.quarantined_excluded += 2 - len(pair)
+    if len(pair) < 2:
+        return report
     owners = _owner_map(cluster, indexes)
     _pull(cluster, node_a, node_b, indexes, owners, report, depth)
     _pull(cluster, node_b, node_a, indexes, owners, report, depth)
@@ -339,18 +487,31 @@ def anti_entropy_pass(
 ) -> SyncReport:
     """One full reconciliation round over every live node pair.
 
-    Flushes pending hints first (cheap, exact), builds each node's
-    verified digest index once, then runs directional pulls between every
-    live pair.  Run it after a partition heals — or on a background
-    cadence — and the cluster converges to every chunk valid on its full
-    live replica set, shipping only what actually diverged.
+    Flushes pending hints first (cheap, exact — rejected replays are
+    counted), builds each node's verified digest index once
+    (self-reported indexes get the seeded spot-check audit instead:
+    agreeing digests are *audited*, not believed), then runs directional
+    pulls between every live, non-quarantined pair.  Run it after a
+    partition heals — or on a background cadence — and the cluster
+    converges to every chunk valid on its full trusted replica set,
+    shipping only what actually diverged.
     """
     report = SyncReport()
+    rejected_before = cluster.hint_rejections
     report.hints_flushed = cluster.flush_hints()
-    live = cluster.live_nodes()
-    indexes = {
-        node.name: build_valid_index(cluster, node, report) for node in live
-    }
+    report.hints_rejected = cluster.hint_rejections - rejected_before
+    live = _participants(cluster, report)
+    indexes = {}
+    for node in live:
+        index, self_reported = node_index(cluster, node, report)
+        if self_reported:
+            _audit_index(cluster, node, index, report)
+        indexes[node.name] = index
+    # The audit may have quarantined a forging claimant mid-pass: nodes
+    # struck out here neither give nor receive chunks below.
+    live = [
+        node for node in live if not cluster.accountability.is_quarantined(node.name)
+    ]
     owners = _owner_map(cluster, indexes)
     for dst in live:
         dst_tree = DigestTree.from_uids(
@@ -369,16 +530,29 @@ def anti_entropy_pass(
 def digests_agree(cluster: "ClusterStore", depth: int = DEFAULT_DEPTH) -> bool:
     """Do all live replicas summarize identically? (Convergence check.)
 
-    For every pair of live nodes, the digest trees over their *shared*
-    ownership must match: after a converged anti-entropy pass this holds
-    cluster-wide.  Read-only — no quarantine, no transfers.
+    For every pair of live, trusted nodes, the digest trees over their
+    *shared* ownership must match: after a converged anti-entropy pass
+    this holds cluster-wide.  QUARANTINED nodes are outside the trusted
+    set, so convergence is judged — like every quorum — without them; a
+    self-reported (``claimed_ids``) index is compared as claimed, which
+    is exactly what a digest comparison against that node would see.
+    Read-only — no quarantine, no transfers.
     """
-    live = cluster.live_nodes()
+    live = [
+        node
+        for node in cluster.live_nodes()
+        if not cluster.accountability.is_quarantined(node.name)
+    ]
     report = SyncReport()
-    indexes = {
-        node.name: build_valid_index(cluster, node, report, quarantine=False)
-        for node in live
-    }
+    indexes = {}
+    for node in live:
+        claimed = getattr(node.store, "claimed_ids", None)
+        if callable(claimed):
+            indexes[node.name] = set(claimed())
+        else:
+            indexes[node.name] = build_valid_index(
+                cluster, node, report, quarantine=False
+            )
     owners = _owner_map(cluster, indexes)
     for position, node_a in enumerate(live):
         for node_b in live[position + 1 :]:

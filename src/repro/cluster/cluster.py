@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.chunk import Chunk, Uid
+from repro.cluster.accountability import AccountabilityBoard
 from repro.cluster.antientropy import SyncReport, anti_entropy_pass
 from repro.cluster.breaker import BreakerBoard
 from repro.cluster.latency import Deadline, LatencyStats, LatencyTracker
@@ -96,6 +97,10 @@ class ClusterStore(ChunkStore):
         deadline_budget: Optional[int] = None,
         breaker_threshold: Optional[int] = 5,
         breaker_cooldown: int = 64,
+        accountability: Optional[AccountabilityBoard] = None,
+        audit_repairs: bool = True,
+        audit_rate: float = 0.05,
+        audit_seed: int = 0,
     ) -> None:
         super().__init__(verify_reads=verify_reads)
         if node_count < 1:
@@ -110,6 +115,8 @@ class ClusterStore(ChunkStore):
             raise ValueError(f"hedge_quantile must be in (0, 1], got {hedge_quantile}")
         if deadline_budget is not None and deadline_budget < 1:
             raise ValueError("deadline_budget must be >= 1 tick")
+        if not 0.0 <= audit_rate <= 1.0:
+            raise ValueError(f"audit_rate must be in [0, 1], got {audit_rate}")
         self.replication = replication
         #: Acks required for a put to succeed (default 1: availability-first,
         #: the seed behaviour; pass ``replication // 2 + 1`` for majority).
@@ -189,6 +196,35 @@ class ClusterStore(ChunkStore):
         #: Chunks examined by the last :meth:`full_sweep_repair` (the
         #: baseline the anti-entropy benchmark compares against).
         self.sweep_examined = 0
+        #: The tamper scorecard: every corrupt/withheld read and every
+        #: unverified write exchange is attributed to the serving replica,
+        #: and nodes that accumulate quarantine-grade evidence are routed
+        #: out of quorums/hedges until :meth:`readmit` re-verifies them.
+        self.accountability = (
+            accountability if accountability is not None else AccountabilityBoard()
+        )
+        #: Audit each read-repair with management-plane re-reads right
+        #: after the verified write — the discriminator between honest
+        #: rot (the fresh copy verifies) and a lying replica (it cannot
+        #: stop lying about bytes the writer just verified).
+        self.audit_repairs = audit_repairs
+        #: Fraction of claimed uids the anti-entropy spot-check audits
+        #: *behind agreeing digests* (forged-digest defense).
+        self.audit_rate = audit_rate
+        #: Seed for the audit sample draw (deterministic, replayable).
+        self.audit_seed = audit_seed
+        #: Read/write attempts refused because the target is QUARANTINED.
+        self.quarantine_skips = 0
+        #: Hints discarded because their target node is QUARANTINED.
+        self.hints_discarded = 0
+        #: Hint replays rejected because the payload no longer hashed to
+        #: its uid (receiving-side verification, satellite of PR 10).
+        self.hint_rejections = 0
+        #: Anti-entropy transfers rejected on arrival (invalid payload).
+        self.transfer_rejections = 0
+        #: Post-repair audits run / audits whose every re-read failed.
+        self.repair_audits = 0
+        self.repair_audit_failures = 0
         #: The deadline owned by the client verb currently on the stack,
         #: shared by every sub-operation it performs (see :meth:`put`).
         self._active_deadline: Optional[Deadline] = None
@@ -360,6 +396,9 @@ class ClusterStore(ChunkStore):
         """Should a write even be attempted at this node right now?"""
         if not node.up:
             return False
+        if self.accountability.is_quarantined(node.name):
+            self.quarantine_skips += 1
+            return False
         if self._suspected(node.name):
             self.suspect_skips += 1
             return False
@@ -371,17 +410,36 @@ class ClusterStore(ChunkStore):
     # -- hinted handoff ---------------------------------------------------------------
 
     def _queue_hint(self, name: str, chunk: Chunk) -> None:
+        if self.accountability.is_quarantined(name):
+            # A quarantined node gets no queued writes: re-admission runs
+            # a full re-verified resync, which re-derives the same copies.
+            self.hints_discarded += 1
+            return
         hints = self._hints.setdefault(name, {})
         if chunk.uid not in hints:
             hints[chunk.uid] = chunk
             self.hints_queued += 1
 
     def _replay_hints(self, name: str) -> int:
-        """Hand queued writes to a freshly revived node."""
+        """Hand queued writes to a freshly revived node.
+
+        The hint queue lives in the writer's memory, so its payloads are
+        exactly as trustworthy as that process: every replayed chunk is
+        re-verified against its uid on this side and rejected (counted in
+        ``hint_rejections``) when the bytes no longer hash to it — a
+        corrupted or adversarial replay must not become a durable copy.
+        """
         node = self.nodes[name]
+        if self.accountability.is_quarantined(name):
+            discarded = len(self._hints.pop(name, {}))
+            self.hints_discarded += discarded
+            return 0
         hints = self._hints.pop(name, {})
         replayed = 0
         for uid, chunk in hints.items():
+            if not chunk.is_valid():
+                self.hint_rejections += 1
+                continue
             try:
                 self._node_put(node, chunk)
             except TransientError:
@@ -395,6 +453,30 @@ class ClusterStore(ChunkStore):
     def pending_hints(self) -> Dict[str, int]:
         """Queued hinted-handoff chunks per down node."""
         return {name: len(hints) for name, hints in self._hints.items() if hints}
+
+    def pending_hint_chunks(self) -> Dict[str, List[Chunk]]:
+        """The queued hint payloads themselves, per target node.
+
+        Public so fault injection can model a compromised hint holder
+        (:func:`repro.faults.byzantine.corrupt_queued_hints`) without
+        reaching into private state.
+        """
+        return {
+            name: list(hints.values()) for name, hints in self._hints.items() if hints
+        }
+
+    def replace_hint(self, name: str, chunk: Chunk) -> bool:
+        """Swap one queued hint payload in place (same uid slot).
+
+        Returns False when no hint for that uid is queued against the
+        node.  The replacement is *not* verified here — this is the
+        fault-injection surface; :meth:`_replay_hints` is the defense.
+        """
+        hints = self._hints.get(name)
+        if hints is None or chunk.uid not in hints:
+            return False
+        hints[chunk.uid] = chunk
+        return True
 
     def flush_hints(self) -> int:
         """Replay hints queued against nodes that are currently up.
@@ -445,7 +527,14 @@ class ClusterStore(ChunkStore):
         against the uid before it counts: a torn or dropped write looks like
         any other transient failure and gets retried.  The whole write-and-
         verify exchange is one message on the transport.
+
+        The verify outcome also feeds the accountability board: a write
+        exchange that exhausts its retries with the read-back *never*
+        verifying is the fake-ack signature (honest rot striking every
+        attempt of every retry is astronomically unlikely), while any
+        verified write clears the node's unverified-run counter.
         """
+        verify_failures = [0]
 
         def exchange() -> None:
             node.put(chunk)
@@ -453,6 +542,7 @@ class ClusterStore(ChunkStore):
                 return
             got = node.store.get_maybe(chunk.uid)
             if got is None or not got.is_valid():
+                verify_failures[0] += 1
                 # Evict the bad copy: put() dedups on uid, so a retry would
                 # otherwise no-op against the torn bytes squatting there.
                 node.store.delete(chunk.uid)
@@ -460,12 +550,21 @@ class ClusterStore(ChunkStore):
                     f"write of {chunk.uid.short()} to {node.name} did not verify"
                 )
 
-        self.retry.call(
-            lambda: self._send(
-                node, "put", chunk.uid, exchange, origin=origin, deadline=deadline
-            ),
-            deadline=deadline,
-        )
+        try:
+            self.retry.call(
+                lambda: self._send(
+                    node, "put", chunk.uid, exchange, origin=origin, deadline=deadline
+                ),
+                deadline=deadline,
+            )
+        except TransientError:
+            if verify_failures[0] > 0:
+                self.accountability.record_unverified_write(
+                    origin or self.origin, node.name, chunk.uid
+                )
+            raise
+        if self.verify_writes:
+            self.accountability.record_verified_write(node.name)
 
     def transfer(self, source: StorageNode, target: StorageNode, chunk: Chunk) -> bool:
         """Ship one replica copy node-to-node (the anti-entropy path).
@@ -475,7 +574,24 @@ class ClusterStore(ChunkStore):
         nodes on the same side syncing each other.  Returns False when the
         write cannot complete within the retry budget (a later pass
         retries); the copy is verified on arrival like any other write.
+
+        The payload itself is checked against its uid before any write is
+        attempted: anti-entropy must not launder a lying source's bytes
+        into a healthy replica, so an invalid transfer is rejected and
+        attributed to the source (``transfer_rejections`` + a weak
+        suspicion event on its scorecard).
         """
+        if not chunk.is_valid():
+            self.transfer_rejections += 1
+            self.accountability.record_suspicion(
+                target.name,
+                source.name,
+                chunk.uid,
+                op="transfer",
+                kind="bad-transfer",
+                served=Chunk.compute_uid(chunk.type, chunk.data).hex(),
+            )
+            return False
         try:
             self._node_put(target, chunk, origin=source.name)
         except TransientError:
@@ -586,6 +702,7 @@ class ClusterStore(ChunkStore):
         if timeout_ticks is not None:
             attempts = 1
         saw_corrupt = False
+        served: Optional[Chunk] = None
         for _ in range(attempts):
             try:
                 if timeout_ticks is not None:
@@ -617,7 +734,10 @@ class ClusterStore(ChunkStore):
                 return "ok", chunk
             self.corrupt_reads += 1
             saw_corrupt = True
-        return ("corrupt" if saw_corrupt else "missing"), None
+            served = chunk
+        # On 'corrupt' the mismatching payload rides along so the caller
+        # can attribute *what* was served, not just that something was.
+        return ("corrupt" if saw_corrupt else "missing"), served
 
     def _fetch(self, uid: Uid) -> Optional[Chunk]:
         self._maybe_tick()
@@ -644,7 +764,17 @@ class ClusterStore(ChunkStore):
         # budget before a healthy replica gets a chance.
         ordered = [n for n in placement if not self._suspected(n.name)]
         ordered += [n for n in placement if self._suspected(n.name)]
-        candidates = [n for n in ordered if n.up]
+        candidates = []
+        for n in ordered:
+            if not n.up:
+                continue
+            # QUARANTINED replicas are out of the read path entirely — no
+            # fallback: a node with quarantine-grade tamper evidence does
+            # not get a last word just because its siblings are down.
+            if self.accountability.is_quarantined(n.name):
+                self.quarantine_skips += 1
+                continue
+            candidates.append(n)
         # Nodes whose breaker (from this origin) is OPEN go last — tried
         # only when every admitted replica has failed, as the breaker's
         # half-open probe of last resort.
@@ -714,7 +844,23 @@ class ClusterStore(ChunkStore):
                 repair_targets.append(node)
             elif status == "corrupt":
                 # Rot on this replica: quarantine the copy, repair below.
+                # Weak-grade attribution: record *which* node served
+                # *what* digest instead of the uid it claimed.  One-off
+                # rot produces these too, so this alone never quarantines
+                # — the post-repair audit below is the discriminator.
                 saw_rot = True
+                self.accountability.record_suspicion(
+                    self.origin,
+                    node.name,
+                    uid,
+                    op="get",
+                    kind="served-corrupt",
+                    served=(
+                        Chunk.compute_uid(chunk.type, chunk.data).hex()
+                        if chunk is not None
+                        else None
+                    ),
+                )
                 node.drop(uid)
                 repair_targets.append(node)
             # 'unreachable' nodes are skipped; repair() will catch them up.
@@ -757,12 +903,64 @@ class ClusterStore(ChunkStore):
                 self.transient_failures += 1
                 continue
             self.read_repairs += 1
+            if self.audit_repairs:
+                self._audit_replica(node, found)
         return found
+
+    def _audit_replica(self, node: StorageNode, chunk: Chunk) -> Optional[bool]:
+        """Post-repair audit: re-read a copy the writer *just* verified.
+
+        This is the rot-vs-lies discriminator.  ``_node_put`` read the
+        repair copy back and saw it hash to its uid; honest disk rot
+        striking that exact fresh copy on ``audit_reads`` consecutive
+        re-reads (each itself re-read once by ``diagnose_copy``) has
+        probability ~(rate²)^reads — while a replica that lies at any
+        steady rate keeps failing audits forever.  Every re-read failing
+        is therefore strike-grade evidence; any verifying re-read is a
+        clean audit.
+
+        Runs on the management plane (direct store access, like scrub and
+        ``durability_check``) so auditing costs zero transport ticks and
+        cannot eat a client verb's deadline budget.  Returns True on a
+        clean audit, False on a strike, None for no verdict (unreadable).
+        """
+        from repro.store.scrub import diagnose_copy  # deferred: scrub sits a layer above
+
+        board = self.accountability
+        self.repair_audits += 1
+        last_status, last_served = "", None
+        for _ in range(max(board.audit_reads, 1)):
+            status, got, _ = diagnose_copy(node.store, chunk.uid, retry=self.retry)
+            if status == "ok":
+                board.record_clean_audit(node.name)
+                return True
+            if status == "unreadable":
+                return None  # transient plane down: no verdict either way
+            last_status, last_served = status, got
+        self.repair_audit_failures += 1
+        board.record_strike(
+            self.origin,
+            node.name,
+            chunk.uid,
+            op="get",
+            kind=(
+                "audit-mismatch" if last_status == "corrupt" else "audit-withheld"
+            ),
+            served=(
+                Chunk.compute_uid(last_served.type, last_served.data).hex()
+                if last_served is not None
+                else None
+            ),
+        )
+        return False
 
     def _contains(self, uid: Uid) -> bool:
         deadline = self._begin_deadline()
         for node in self.replica_nodes(uid):
             if not node.up:
+                continue
+            if self.accountability.is_quarantined(node.name):
+                self.quarantine_skips += 1
                 continue
             if deadline is not None and deadline.expired():
                 self.deadline_exceeded += 1
@@ -822,12 +1020,25 @@ class ClusterStore(ChunkStore):
 
     # -- maintenance --------------------------------------------------------------------
 
+    def trusted_nodes(self) -> List[StorageNode]:
+        """Live nodes that are not QUARANTINED (quorum/repair candidates)."""
+        return [
+            node
+            for node in self.live_nodes()
+            if not self.accountability.is_quarantined(node.name)
+        ]
+
     def _healthy_source(self, uid: Uid) -> Optional[Chunk]:
-        """A verified copy from any live node (placement replicas first)."""
-        candidates = [node for node in self.replica_nodes(uid) if node.up]
-        candidates.extend(
-            node for node in self.live_nodes() if node not in candidates
-        )
+        """A verified copy from any trusted live node (placement first).
+
+        Quarantined nodes are never repair *sources*: even a copy that
+        verifies right now came from a replica with quarantine-grade
+        tamper evidence, and repair must not launder its holdings back
+        into the trusted set.
+        """
+        trusted = self.trusted_nodes()
+        candidates = [node for node in self.replica_nodes(uid) if node in trusted]
+        candidates.extend(node for node in trusted if node not in candidates)
         for node in candidates:
             if not node.store.has(uid):
                 continue
@@ -877,10 +1088,11 @@ class ClusterStore(ChunkStore):
         self.sweep_examined = 0
         for uid in list(self._ids()):
             self.sweep_examined += 1
+            trusted = self.trusted_nodes()
             targets = [
                 node
                 for node in self.replica_nodes(uid)
-                if node.up and not node.store.has(uid)
+                if node in trusted and not node.store.has(uid)
             ]
             if not targets:
                 continue
@@ -902,13 +1114,16 @@ class ClusterStore(ChunkStore):
         Returns chunks copied.  (Repair first places, then strays drop.)
         """
         copies = self.repair()
-        for node in self.live_nodes():
+        for node in self.trusted_nodes():
             for uid in list(node.store.ids()):
                 owners = self.ring.replicas(uid, self.replication)
                 if node.name not in owners:
-                    # Only drop if every live owner has a copy.
+                    # Only drop if every live, trusted owner has a copy —
+                    # a copy on a quarantined owner does not count.
                     if all(
-                        self.nodes[name].up and self.nodes[name].store.has(uid)
+                        self.nodes[name].up
+                        and not self.accountability.is_quarantined(name)
+                        and self.nodes[name].store.has(uid)
                         for name in owners
                     ):
                         node.drop(uid)
@@ -920,6 +1135,36 @@ class ClusterStore(ChunkStore):
         from repro.store.scrub import Scrubber
 
         return Scrubber(self, **kwargs).scrub()  # type: ignore[arg-type]
+
+    def readmit(self, name: str) -> int:
+        """Re-admit a quarantined node after a fully re-verified resync.
+
+        Every uid the node claims is re-read and re-hashed; copies that
+        fail verification are dropped (and broadcast to subscribed caches
+        via ``notify_swept``, so a shared cache cannot keep serving what
+        the node no longer holds).  The node then re-enters the trust
+        machine at SUSPECT — probation, not absolution — and one
+        anti-entropy pass restores its replica set from trusted peers.
+        Returns the number of unverifiable copies dropped.
+
+        Call this only once the *cause* is resolved (the adversarial
+        wrapper removed, the disk replaced): a node still lying simply
+        re-earns its quarantine.
+        """
+        from repro.store.scrub import diagnose_copy  # deferred: scrub sits a layer above
+
+        node = self.nodes[name]
+        dropped: List[Uid] = []
+        for uid in list(node.store.ids()):
+            status, _, _ = diagnose_copy(node.store, uid, retry=self.retry)
+            if status != "ok":
+                node.drop(uid)
+                dropped.append(uid)
+        if dropped:
+            self.notify_swept(dropped)
+        self.accountability.readmit(name)
+        self.anti_entropy_pass()
+        return len(dropped)
 
     # -- diagnostics -----------------------------------------------------------------------
 
@@ -946,7 +1191,9 @@ class ClusterStore(ChunkStore):
         hinted: Set[Uid] = set()
         for hints in self._hints.values():
             hinted.update(hints)
-        live = self.live_nodes()
+        # A quarantined node's copies are untrusted and do not count
+        # toward durability: the report shows the real exposure.
+        live = self.trusted_nodes()
         holdings: Dict[str, Set[Uid]] = {}
         if verify:
             from repro.store.scrub import diagnose_copy  # deferred: scrub sits a layer above
@@ -1001,6 +1248,16 @@ class ClusterStore(ChunkStore):
             "retry_deadline_stops": self.retry.deadline_stops,
             "breaker_skips": self.breaker_skips,
             "breakers": self.breakers.snapshot(),
+            "quarantine_skips": self.quarantine_skips,
+            "hints_discarded": self.hints_discarded,
+            "hint_rejections": self.hint_rejections,
+            "transfer_rejections": self.transfer_rejections,
+            "repair_audits": self.repair_audits,
+            "repair_audit_failures": self.repair_audit_failures,
+            "accountability": self.accountability.snapshot(),
+            "tamper_evidence": [
+                record.to_dict() for record in self.accountability.evidence
+            ],
             "suspected": sorted(
                 {
                     name

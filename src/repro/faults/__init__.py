@@ -13,6 +13,14 @@ number)`` — replaying the same workload against the same plan yields the
 same faults, which is what makes the chaos suite assertable.
 """
 
+from repro.faults.byzantine import (
+    ByzantinePlan,
+    ByzantineStore,
+    corrupt_queued_hints,
+    flip_at,
+    heal_node,
+    make_byzantine,
+)
 from repro.faults.crash import CrashPlan, crash_zone, crashing_write, crashpoint
 from repro.faults.fs import FaultyOS, FsFaultPlan, fs_zone
 from repro.faults.network import (
@@ -26,6 +34,8 @@ from repro.faults.retry import RetryPolicy, with_retry
 from repro.faults.store import FaultyStore
 
 __all__ = [
+    "ByzantinePlan",
+    "ByzantineStore",
     "CrashPlan",
     "FaultPlan",
     "FaultyOS",
@@ -36,9 +46,13 @@ __all__ = [
     "RetryPolicy",
     "apply_schedule_event",
     "apply_slow_event",
+    "corrupt_queued_hints",
     "crash_zone",
     "crashing_write",
     "crashpoint",
+    "flip_at",
     "fs_zone",
+    "heal_node",
+    "make_byzantine",
     "with_retry",
 ]

@@ -1,0 +1,343 @@
+"""Byzantine-node fault injection (the fifth fault dimension).
+
+The other planes model *honest* failures: :class:`~repro.faults.plan.FaultPlan`
+rots bytes, :class:`~repro.faults.crash.CrashPlan` kills processes,
+:class:`~repro.faults.network.NetworkPlan` cuts links, and
+:class:`~repro.faults.fs.FsFaultPlan` breaks the disk.  A byzantine node is
+different in kind: it is *up*, *responsive*, and **lying** — the untrusted
+storage provider of the paper's threat model (§III-C), scaled from one
+local store (:class:`~repro.security.tamper.TamperingStore`) to a cluster
+replica that other machinery trusts for reads, write acks, anti-entropy
+digests, and hint replays.
+
+A :class:`ByzantinePlan` is a pure description of *how* a node lies.  Every
+decision is derived by hashing ``(seed, node, behavior, op, uid, attempt)``
+— the same discipline as the other planes, so a byzantine run replays
+bit-identically from its seed.  :class:`ByzantineStore` applies the plan to
+one node's backing store; :func:`make_byzantine` installs it on a cluster
+:class:`~repro.cluster.node.StorageNode` in place.
+
+Behaviors (each with its own rate):
+
+- **flip** — serve well-formed-but-wrong bytes under the claimed uid;
+- **substitute** — serve another held chunk's content under the claimed
+  uid (the replay attack);
+- **withhold** — claim not-found for a chunk the node holds;
+- **fake ack** — acknowledge a write without storing anything;
+- **conceal / forge index** — misreport holdings to anti-entropy: hide
+  held uids (fabricated divergence, wasted transfers) or claim fake-acked
+  uids (masked divergence behind agreeing digests);
+- **corrupt hint** — replay a hinted-handoff payload with flipped bytes
+  (see :func:`corrupt_queued_hints`).
+
+The defense stack lives in :mod:`repro.cluster.accountability` and the
+hardened :mod:`repro.cluster.antientropy`; this module is only the attack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.chunk import Chunk, Uid
+from repro.store.base import ChunkStore
+
+_SCALE = float(1 << 64)
+
+_RATE_FIELDS = (
+    "flip_rate",
+    "substitute_rate",
+    "withhold_rate",
+    "fake_ack_rate",
+    "conceal_rate",
+    "hint_corrupt_rate",
+)
+
+
+def flip_at(data: bytes, offset: int, mask: int = 0xFF) -> bytes:
+    """Flip one byte of ``data`` at ``offset`` (never a no-op).
+
+    The shared corruption primitive: :class:`ByzantinePlan` derives the
+    offset and mask from its replay hash, and
+    :meth:`~repro.security.tamper.TamperingStore.flip_byte` passes them
+    explicitly — one definition of "wrong bytes under the right uid".
+    """
+    if not data:
+        return b"\x01"
+    corrupted = bytearray(data)
+    corrupted[offset % len(corrupted)] ^= (mask | 0x01) & 0xFF
+    return bytes(corrupted)
+
+
+@dataclass(frozen=True)
+class ByzantinePlan:
+    """Seeded description of how a chosen node lies, one rate per behavior.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    operation attempt; ``forge_index`` additionally makes the node claim
+    fake-acked uids to anti-entropy so its digests *agree* while its
+    holdings diverge (the masked-divergence forgery the spot-check audit
+    exists to catch).
+    """
+
+    seed: int = 0
+    flip_rate: float = 0.0
+    substitute_rate: float = 0.0
+    withhold_rate: float = 0.0
+    fake_ack_rate: float = 0.0
+    conceal_rate: float = 0.0
+    hint_corrupt_rate: float = 0.0
+    forge_index: bool = False
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    # -- deterministic draws -------------------------------------------------
+
+    def _digest(
+        self, node: str, behavior: str, op: str, uid: Uid, attempt: int
+    ) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack(">q", self.seed))
+        hasher.update(node.encode("utf-8"))
+        hasher.update(behavior.encode("utf-8"))
+        hasher.update(op.encode("utf-8"))
+        hasher.update(uid.digest)
+        hasher.update(struct.pack(">q", attempt))
+        return hasher.digest()
+
+    def draw(
+        self, node: str, behavior: str, op: str, uid: Uid, attempt: int
+    ) -> float:
+        """Uniform ``[0, 1)`` for one (node, behavior, op, uid, attempt)."""
+        digest = self._digest(node, behavior, op, uid, attempt)
+        return int.from_bytes(digest[:8], "big") / _SCALE
+
+    def flip(self, node: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this read serve flipped bytes under the claimed uid?"""
+        return self.draw(node, "flip", op, uid, attempt) < self.flip_rate
+
+    def substitute(self, node: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this read serve another chunk's content (replay)?"""
+        return self.draw(node, "substitute", op, uid, attempt) < self.substitute_rate
+
+    def withhold(self, node: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this read claim not-found for a held chunk?"""
+        return self.draw(node, "withhold", op, uid, attempt) < self.withhold_rate
+
+    def fake_ack(self, node: str, op: str, uid: Uid, attempt: int) -> bool:
+        """Should this write be acknowledged but never stored?"""
+        return self.draw(node, "fake-ack", op, uid, attempt) < self.fake_ack_rate
+
+    def conceal(self, node: str, uid: Uid) -> bool:
+        """Should this uid be hidden from the node's claimed index?"""
+        return self.draw(node, "conceal", "index", uid, 0) < self.conceal_rate
+
+    def corrupt_hint(self, node: str, uid: Uid, attempt: int) -> bool:
+        """Should this queued hint payload be replayed corrupted?"""
+        return (
+            self.draw(node, "corrupt-hint", "hint", uid, attempt)
+            < self.hint_corrupt_rate
+        )
+
+    def mutate(
+        self, node: str, op: str, data: bytes, uid: Uid, attempt: int
+    ) -> bytes:
+        """Deterministically flip one byte of ``data`` (never a no-op)."""
+        digest = self._digest(node, "mutation", op, uid, attempt)
+        offset = int.from_bytes(digest[8:16], "big")
+        return flip_at(data, offset, mask=digest[16])
+
+    def pick(
+        self, node: str, behavior: str, op: str, uid: Uid, attempt: int, n: int
+    ) -> int:
+        """A deterministic index in ``[0, n)`` (donor selection)."""
+        if n < 1:
+            raise ValueError("pick needs n >= 1")
+        digest = self._digest(node, behavior, op, uid, attempt)
+        return int.from_bytes(digest[8:16], "big") % n
+
+    def lying(self) -> bool:
+        """Does this plan misbehave at all? (All-zero plans are honest.)"""
+        return self.forge_index or any(
+            getattr(self, name) > 0.0 for name in _RATE_FIELDS
+        )
+
+
+class ByzantineStore(ChunkStore):
+    """One node's store under a :class:`ByzantinePlan`'s control.
+
+    Wraps the node's honest backing store the way
+    :class:`~repro.faults.store.FaultyStore` wraps a rotting one, but the
+    lies are *adversarial*: wrong bytes arrive well-formed under the
+    claimed uid, withheld chunks are claimed not-found, fake-acked writes
+    vanish, and :meth:`claimed_ids` misreports holdings to anti-entropy.
+    Per-``(kind, uid)`` attempt counters make every draw reproducible and
+    let retries land on fresh decisions, exactly like the honest planes.
+    """
+
+    def __init__(
+        self, backing: ChunkStore, plan: ByzantinePlan, node: str = ""
+    ) -> None:
+        super().__init__(verify_reads=False)
+        self.backing = backing
+        self.plan = plan
+        self.node = node
+        self._attempts: dict[Tuple[str, Uid], int] = {}
+        #: Writes acknowledged but never materialized (and, with
+        #: ``forge_index``, still *claimed* to anti-entropy).
+        self._fake_acked: Set[Uid] = set()
+        self.lies_served = 0
+        self.reads_withheld = 0
+        self.writes_faked = 0
+        self.index_forgeries = 0
+
+    def _attempt(self, kind: str, uid: Uid) -> int:
+        key = (kind, uid)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        return attempt
+
+    def _donor(self, uid: Uid) -> Optional[Chunk]:
+        """A deterministically chosen *other* held chunk (replay source)."""
+        others = sorted(u for u in self.backing.ids() if u != uid)
+        if not others:
+            return None
+        choice = others[self.plan.pick(self.node, "donor", "get", uid, 0, len(others))]
+        return self.backing.get_maybe(choice)
+
+    # -- ChunkStore primitives -----------------------------------------------
+
+    def _insert(self, chunk: Chunk) -> None:
+        attempt = self._attempt("put", chunk.uid)
+        if self.plan.fake_ack(self.node, "put", chunk.uid, attempt):
+            self.writes_faked += 1
+            self._fake_acked.add(chunk.uid)
+            return
+        self._fake_acked.discard(chunk.uid)
+        self.backing.put(chunk)
+
+    def _fetch(self, uid: Uid) -> Optional[Chunk]:
+        chunk = self.backing.get_maybe(uid)
+        if chunk is None:
+            return None
+        attempt = self._attempt("get", uid)
+        if self.plan.withhold(self.node, "get", uid, attempt):
+            self.reads_withheld += 1
+            return None
+        if self.plan.substitute(self.node, "get", uid, attempt):
+            donor = self._donor(uid)
+            if donor is not None:
+                self.lies_served += 1
+                return Chunk(donor.type, donor.data, uid=uid)
+        if self.plan.flip(self.node, "get", uid, attempt):
+            self.lies_served += 1
+            lie = self.plan.mutate(self.node, "get", chunk.data, uid, attempt)
+            return Chunk(chunk.type, lie, uid=uid)
+        return chunk
+
+    def _contains(self, uid: Uid) -> bool:
+        held = self.backing.has(uid)
+        if held and self.plan.withhold(
+            self.node, "has", uid, self._attempt("has", uid)
+        ):
+            self.reads_withheld += 1
+            return False
+        return held
+
+    def _ids(self) -> Iterator[Uid]:
+        return iter(self.backing.ids())
+
+    def _delete(self, uid: Uid) -> bool:
+        self._fake_acked.discard(uid)
+        return self.backing.delete(uid)
+
+    # -- the anti-entropy forgery surface -------------------------------------
+
+    def claimed_ids(self) -> List[Uid]:
+        """The holdings this node *reports* to Merkle anti-entropy.
+
+        Honest nodes have no such hook: their index is built by verified
+        local reads.  A byzantine node self-reports — with ``forge_index``
+        it claims fake-acked uids it never stored (digests agree, bytes
+        don't exist: masked divergence), and ``conceal_rate`` hides held
+        uids (digests differ where holdings agree: fabricated divergence
+        that induces wasted transfers).  The seeded spot-check audit in
+        :func:`~repro.cluster.antientropy.anti_entropy_pass` is the
+        defense: sampled claims must be substantiated by verifying bytes.
+        """
+        claimed = set(self.backing.ids())
+        if self.plan.forge_index and self._fake_acked:
+            self.index_forgeries += len(self._fake_acked - claimed)
+            claimed |= self._fake_acked
+        if self.plan.conceal_rate > 0.0:
+            kept: Set[Uid] = set()
+            for uid in claimed:
+                if self.plan.conceal(self.node, uid):
+                    self.index_forgeries += 1
+                else:
+                    kept.add(uid)
+            claimed = kept
+        return sorted(claimed)
+
+    def physical_size(self) -> int:
+        return self.backing.physical_size()
+
+    def close(self) -> None:
+        self.backing.close()
+
+
+def make_byzantine(node: object, plan: ByzantinePlan) -> ByzantineStore:
+    """Turn a cluster ``StorageNode`` adversarial in place.
+
+    Duck-typed on ``node.name``/``node.store`` so this layer needs no
+    cluster import.  Returns the installed wrapper; undo with
+    :func:`heal_node`.
+    """
+    adversary = ByzantineStore(
+        node.store, plan, node=str(node.name)  # type: ignore[attr-defined]
+    )
+    node.store = adversary  # type: ignore[attr-defined]
+    return adversary
+
+
+def heal_node(node: object) -> bool:
+    """Remove a node's byzantine wrapper (the adversary gives up).
+
+    The honest backing store — including any real divergence the lies
+    caused — is restored as ``node.store``.  Returns False when the node
+    was not wrapped.
+    """
+    store = getattr(node, "store", None)
+    if not isinstance(store, ByzantineStore):
+        return False
+    node.store = store.backing  # type: ignore[attr-defined]
+    return True
+
+
+def corrupt_queued_hints(cluster: object, plan: ByzantinePlan) -> int:
+    """Replay-corrupt pending hinted-handoff payloads per the plan.
+
+    Models a byzantine *hint holder*: hints live in the writer's memory
+    (see ``ClusterStore.drop_hints``), so a compromised writer can replay
+    them with flipped bytes under the original uid.  Works through the
+    cluster's public ``pending_hint_chunks``/``replace_hint`` surface;
+    the receiving-side verification in ``_replay_hints`` is the defense.
+    Returns the number of hints corrupted.
+    """
+    corrupted = 0
+    pending = cluster.pending_hint_chunks()  # type: ignore[attr-defined]
+    for name, chunks in sorted(pending.items()):
+        for chunk in sorted(chunks, key=lambda c: c.uid):
+            if not plan.corrupt_hint(name, chunk.uid, 0):
+                continue
+            lie = plan.mutate(name, "hint", chunk.data, chunk.uid, 0)
+            forged = Chunk(chunk.type, lie, uid=chunk.uid)
+            if cluster.replace_hint(name, forged):  # type: ignore[attr-defined]
+                corrupted += 1
+    return corrupted

@@ -5,6 +5,16 @@ adversary of the paper's threat model: return modified bytes for a known
 uid, swap one chunk's content for another's, or drop chunks entirely.
 The wrapper keeps returning the *claimed* uid with the wrong payload —
 exactly what client-side verification must catch.
+
+Two granularities share these adversary verbs:
+
+- wrap a flat store directly (``TamperingStore(store)``) — the original
+  single-provider threat model;
+- wrap one cluster replica in place (:meth:`TamperingStore.wrap_node`) —
+  a *targeted*, per-uid adversary inside a replicated cluster, the
+  scripted counterpart to the seeded, rate-driven
+  :class:`~repro.faults.byzantine.ByzantinePlan` (both corrupt bytes
+  through the same :func:`~repro.faults.byzantine.flip_at` primitive).
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Set
 
 from repro.chunk import Chunk, Uid
+from repro.faults.byzantine import flip_at
 from repro.store.base import ChunkStore
 
 
@@ -24,6 +35,27 @@ class TamperingStore(ChunkStore):
         self._overrides: Dict[Uid, Chunk] = {}
         self._dropped: Set[Uid] = set()
 
+    @classmethod
+    def wrap_node(cls, node: object) -> "TamperingStore":
+        """Turn one cluster ``StorageNode`` adversarial in place.
+
+        Duck-typed on ``node.store`` (like
+        :func:`~repro.faults.byzantine.make_byzantine`), so the security
+        layer needs no cluster import.  Undo with :meth:`unwrap_node`.
+        """
+        adversary = cls(node.store)  # type: ignore[attr-defined]
+        node.store = adversary  # type: ignore[attr-defined]
+        return adversary
+
+    @staticmethod
+    def unwrap_node(node: object) -> bool:
+        """Remove a node's tampering wrapper; False if it was not wrapped."""
+        store = getattr(node, "store", None)
+        if not isinstance(store, TamperingStore):
+            return False
+        node.store = store.backing  # type: ignore[attr-defined]
+        return True
+
     # -- adversary actions -------------------------------------------------------
 
     def corrupt_chunk(self, uid: Uid, new_data: bytes) -> None:
@@ -34,12 +66,9 @@ class TamperingStore(ChunkStore):
     def flip_byte(self, uid: Uid, offset: int = 0) -> None:
         """Flip one payload byte (classic silent-corruption model)."""
         original = self.backing.get(uid)
-        data = bytearray(original.data)
-        if not data:
-            data = bytearray(b"\x01")
-        else:
-            data[offset % len(data)] ^= 0xFF
-        self._overrides[uid] = Chunk(original.type, bytes(data), uid=uid)
+        self._overrides[uid] = Chunk(
+            original.type, flip_at(original.data, offset), uid=uid
+        )
 
     def substitute(self, uid: Uid, other: Uid) -> None:
         """Serve another chunk's content under this uid (replay attack)."""

@@ -18,7 +18,7 @@ store's bookkeeping.  It checks, per version uid:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import ChunkCorruptionError, ChunkNotFoundError, TamperError, TransientError
@@ -43,6 +43,12 @@ class VerificationReport:
     #: Chunks unreadable within the retry budget (verdict unknown, NOT
     #: evidence of tampering — rerun when the store recovers).
     transient: int = 0
+    #: Portable tamper-evidence records: one dict per integrity failure
+    #: (``node``/``uid``/``op``/``kind``/``expected``/``served``), in the
+    #: same shape the cluster's accountability board emits.  For a
+    #: cluster-backed store, the board's attributions accrued during this
+    #: verification ride along — detection ends in *who*, not just *that*.
+    evidence: List[Dict[str, object]] = field(default_factory=list)
 
     def describe(self) -> str:
         """One-line summary."""
@@ -71,6 +77,29 @@ class Verifier:
         self.store = store
         self.retry = retry if retry is not None else RetryPolicy.instant()
 
+    @staticmethod
+    def _evidence(
+        uid: Uid, kind: str, served: Optional[str] = None
+    ) -> Dict[str, object]:
+        """One portable tamper-evidence record (board-compatible shape).
+
+        The verifier is a *client*: it usually cannot name the replica
+        that lied (``node`` stays empty), but it can state the claim
+        (``expected``, the uid's digest) and what arrived instead
+        (``served``).  Cluster-side attribution records with the node
+        filled in are merged by :meth:`Verifier.verify_version`.
+        """
+        return {
+            "node": "",
+            "uid": uid.base32(),
+            "op": "get",
+            "kind": kind,
+            "expected": uid.hex(),
+            "served": served,
+            "origin": "verifier",
+            "strike": False,
+        }
+
     def _fetch_checked(
         self, uid: Uid, report: VerificationReport
     ) -> Optional[Chunk]:
@@ -80,6 +109,7 @@ class Verifier:
         except ChunkNotFoundError:
             report.missing += 1
             report.errors.append(f"missing chunk {uid.short(16)}")
+            report.evidence.append(self._evidence(uid, "missing"))
             return None
         except ChunkCorruptionError:
             # A verifying store already rejected the bytes for us.
@@ -88,6 +118,7 @@ class Verifier:
             report.errors.append(
                 f"chunk {uid.short(16)} content does not hash to its id"
             )
+            report.evidence.append(self._evidence(uid, "corrupt"))
             return None
         except TransientError:
             report.transient += 1
@@ -100,6 +131,13 @@ class Verifier:
             report.corrupt += 1
             report.errors.append(
                 f"chunk {uid.short(16)} content does not hash to its id"
+            )
+            report.evidence.append(
+                self._evidence(
+                    uid,
+                    "corrupt",
+                    served=Chunk.compute_uid(chunk.type, chunk.data).hex(),
+                )
             )
             return None
         return chunk
@@ -133,6 +171,14 @@ class Verifier:
         """Validate the value and (optionally) full history of a version."""
         uid = Uid.parse(version) if isinstance(version, str) else version
         report = VerificationReport(version=uid, ok=True)
+        # For cluster-backed stores, snapshot the accountability board's
+        # evidence watermark so replica attributions accrued *during this
+        # verification* can be merged into the client-side report below.
+        board = getattr(self.store, "accountability", None)
+        cluster = getattr(self.store, "cluster", None)
+        if board is None and cluster is not None:
+            board = getattr(cluster, "accountability", None)
+        watermark = board.evidence_total if board is not None else 0
         pending = [uid]
         seen: Set[Uid] = set()
         first = True
@@ -156,6 +202,10 @@ class Verifier:
                 first = False
             if check_history:
                 pending.extend(fnode.bases)
+        if board is not None:
+            report.evidence.extend(
+                record.to_dict() for record in board.evidence_since(watermark)
+            )
         report.ok = not report.errors
         return report
 

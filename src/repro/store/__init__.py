@@ -26,7 +26,7 @@ repairing) silent corruption; :mod:`repro.store.gc` sweeps unreachable
 chunks and drives pack segment compaction.
 """
 
-from repro.store.base import ChunkStore
+from repro.store.base import ChunkStore, physical_store
 from repro.store.cached import CachedStore
 from repro.store.filestore import FileStore
 from repro.store.memory import InMemoryStore
@@ -45,5 +45,6 @@ __all__ = [
     "ScrubReport",
     "Scrubber",
     "StoreStats",
+    "physical_store",
     "scrub",
 ]

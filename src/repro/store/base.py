@@ -7,11 +7,29 @@ optional read verification, and batch helpers on top.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator, List, Optional, Set
 
 from repro.chunk import Chunk, Uid
 from repro.errors import ChunkNotFoundError
 from repro.store.stats import StoreStats
+
+
+def physical_store(store: "ChunkStore") -> "ChunkStore":
+    """Peel cache wrappers down to the physical store.
+
+    Wrapper stores expose their wrapped store as the public ``backing``
+    attribute; sweep notification and segment compaction must talk to the
+    physical layer — the one whose holdings actually change.
+    """
+    depth = 0
+    while depth < 8:
+        backing = getattr(store, "backing", None)
+        if not isinstance(backing, ChunkStore):
+            return store
+        store = backing
+        depth += 1
+    return store
 
 
 class ChunkStore:
@@ -31,6 +49,10 @@ class ChunkStore:
     def __init__(self, verify_reads: bool = False) -> None:
         self.stats = StoreStats()
         self.verify_reads = verify_reads
+        #: Weak refs to stores that asked to hear about bulk removals
+        #: (see :meth:`subscribe_sweeps`); weak so a subscribing cache
+        #: wrapper can be dropped without unsubscribing.
+        self._sweep_listeners: List["weakref.ReferenceType[ChunkStore]"] = []
 
     # -- primitives to implement -------------------------------------------
 
@@ -156,6 +178,41 @@ class ChunkStore:
         # is not workload traffic, so keep it out of the amplification.
         self.stats.io_read_bytes = io_read
         return snap
+
+    # -- sweep notification ---------------------------------------------------
+
+    def subscribe_sweeps(self, listener: "ChunkStore") -> None:
+        """Register a store to be told when chunks are bulk-removed here.
+
+        Content addressing means a cached chunk can never be *stale*, but
+        it can be *unbacked*: garbage collection and quarantine resync
+        remove chunks from the physical store, and a cache wrapper that
+        was not on the delete path would keep serving them — reads that
+        succeed against storage that no longer holds the bytes.  Cache
+        wrappers subscribe to their :func:`physical_store` at
+        construction; :meth:`notify_swept` fans removals out to every
+        live subscriber's :meth:`invalidate_swept`.  Held weakly:
+        dropping the subscriber is enough to unsubscribe.
+        """
+        if all(existing() is not listener for existing in self._sweep_listeners):
+            self._sweep_listeners.append(weakref.ref(listener))
+
+    def notify_swept(self, uids: Iterable[Uid]) -> None:
+        """Tell every subscribed store these uids were removed here."""
+        swept = list(uids)
+        if not swept or not self._sweep_listeners:
+            return
+        alive: List["weakref.ReferenceType[ChunkStore]"] = []
+        for ref in self._sweep_listeners:
+            listener = ref()
+            if listener is None:
+                continue
+            alive.append(ref)
+            listener.invalidate_swept(swept)
+        self._sweep_listeners = alive
+
+    def invalidate_swept(self, uids: List[Uid]) -> None:
+        """Drop any cached state for removed uids; default is a no-op."""
 
     def close(self) -> None:
         """Release resources; default is a no-op."""

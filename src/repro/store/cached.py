@@ -24,7 +24,7 @@ from collections import OrderedDict
 from typing import Iterator, List, Optional
 
 from repro.chunk import Chunk, Uid
-from repro.store.base import ChunkStore
+from repro.store.base import ChunkStore, physical_store
 from repro.store.stats import StoreStats
 
 
@@ -49,6 +49,10 @@ class CachedStore(ChunkStore):
         self._cache: "OrderedDict[Uid, Chunk]" = OrderedDict()  # guarded-by: self._lock
         self.hits = 0  # guarded-by: self._lock
         self.lookups = 0  # guarded-by: self._lock
+        # GC and quarantine resync remove chunks at the physical layer; a
+        # sibling wrapper's delete path never passes through this cache,
+        # so sweep notifications are how those entries get evicted.
+        physical_store(backing).subscribe_sweeps(self)
 
     def _remember(self, chunk: Chunk) -> None:  # holds-lock: self._lock
         cache = self._cache
@@ -96,6 +100,12 @@ class CachedStore(ChunkStore):
         with self._lock:
             self._cache.pop(uid, None)
         return self.backing.delete(uid)
+
+    def invalidate_swept(self, uids: List[Uid]) -> None:
+        """Evict entries whose backing copies were swept elsewhere."""
+        with self._lock:
+            for uid in uids:
+                self._cache.pop(uid, None)
 
     def __len__(self) -> int:
         return len(self.backing)

@@ -23,7 +23,7 @@ from repro.chunk import Chunk, ChunkType, Uid
 from repro.errors import StoreError
 from repro.postree.listtree import ListIndexNode
 from repro.postree.node import IndexNode
-from repro.store.base import ChunkStore
+from repro.store.base import ChunkStore, physical_store
 from repro.store.memory import InMemoryStore
 from repro.vcs.fnode import FNode
 
@@ -72,17 +72,10 @@ class GcReport:
 def _unwrap(store: ChunkStore) -> ChunkStore:
     """Peel cache wrappers down to the physical store.
 
-    Wrapper stores expose their wrapped store as the public ``backing``
-    attribute; segment compaction must talk to the physical layer.
+    Alias of :func:`repro.store.base.physical_store`, kept under the
+    name this module has always exported.
     """
-    seen = 0
-    while seen < 8:
-        backing = getattr(store, "backing", None)
-        if not isinstance(backing, ChunkStore):
-            return store
-        store = backing
-        seen += 1
-    return store
+    return physical_store(store)
 
 
 def mark_live(store: ChunkStore, roots: Iterable[Uid]) -> Set[Uid]:
@@ -150,6 +143,11 @@ def collect_garbage(
         for uid in doomed:
             # Delete through the top of the stack so cache layers evict.
             store.delete(uid)
+        # The engine's own stack evicted via delete(); *sibling* wrappers
+        # sharing this physical store (another client's cache over the
+        # same backing) hear about the sweep through the subscription bus
+        # so they cannot keep serving chunks the store no longer holds.
+        physical_store(store).notify_swept(doomed)
 
     segments_before = 0
     segments_after = 0

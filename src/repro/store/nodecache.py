@@ -34,7 +34,7 @@ from typing import Iterator, List, Optional, Union
 from repro.chunk import Chunk, ChunkType, Uid
 from repro.postree.listtree import ListIndexNode, ListLeafNode
 from repro.postree.node import IndexNode, LeafNode, load_node
-from repro.store.base import ChunkStore
+from repro.store.base import ChunkStore, physical_store
 from repro.store.stats import StoreStats
 
 #: Everything ``get_node`` can hand back: keyed-tree nodes, list-tree
@@ -75,6 +75,10 @@ class NodeCacheStore(ChunkStore):
         self._nodes: "OrderedDict[Uid, DecodedNode]" = OrderedDict()  # guarded-by: self._lock
         self.node_hits = 0  # guarded-by: self._lock
         self.node_lookups = 0  # guarded-by: self._lock
+        # Decoded nodes outlive their chunks unless the physical layer
+        # tells us it swept them (gc, quarantine resync): a descent must
+        # not keep resolving through storage that no longer holds it.
+        physical_store(backing).subscribe_sweeps(self)
 
     # -- the decoded-node surface --------------------------------------------
 
@@ -123,6 +127,12 @@ class NodeCacheStore(ChunkStore):
         with self._lock:
             self._nodes.pop(uid, None)
         return self.backing.delete(uid)
+
+    def invalidate_swept(self, uids: List[Uid]) -> None:
+        """Evict decoded nodes whose backing chunks were swept elsewhere."""
+        with self._lock:
+            for uid in uids:
+                self._nodes.pop(uid, None)
 
     def __len__(self) -> int:
         return len(self.backing)

@@ -207,9 +207,14 @@ class Scrubber:
         return report
 
     def _scrub_cluster(self, cluster: "ClusterStore") -> ScrubReport:
-        """Scrub each live node's copies; repair rot from healthy replicas."""
+        """Scrub each live node's copies; repair rot from healthy replicas.
+
+        QUARANTINED nodes are skipped on both sides: their copies are not
+        worth repairing in place (re-admission re-verifies everything),
+        and they are never used as a repair source.
+        """
         report = ScrubReport()
-        for node in cluster.live_nodes():
+        for node in cluster.trusted_nodes():
             for uid in node.store.ids():
                 report.scanned += 1
                 status, _ = self._diagnose(node.store, uid, report)
@@ -254,15 +259,17 @@ class Scrubber:
     def _healthy_copy(
         self, cluster: "ClusterStore", uid: Uid, exclude: object
     ) -> Optional[Chunk]:
-        """A verified copy from any other live node (placement first)."""
+        """A verified copy from any other trusted live node (placement
+        first) — never from a QUARANTINED replica."""
+        trusted = cluster.trusted_nodes()
         candidates = [
             node
             for node in cluster.replica_nodes(uid)
-            if node.up and node is not exclude
+            if node in trusted and node is not exclude
         ]
         candidates.extend(
             node
-            for node in cluster.live_nodes()
+            for node in trusted
             if node is not exclude and node not in candidates
         )
         for node in candidates:

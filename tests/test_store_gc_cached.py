@@ -8,9 +8,11 @@ store verifies every read, and cache coherence across deletes.
 import pytest
 
 from repro.chunk import Chunk, ChunkType, Uid
+from repro.cluster import ClusterStore
 from repro.db import ForkBase
 from repro.errors import ChunkCorruptionError, ChunkNotFoundError
-from repro.store import CachedStore, InMemoryStore
+from repro.faults import flip_at
+from repro.store import CachedStore, InMemoryStore, NodeCacheStore
 from repro.store.gc import collect_garbage, mark_live
 
 
@@ -140,3 +142,71 @@ class TestDeleteWhileCached:
         cache.put(chunk)
         assert cache.get(chunk.uid).data == b"again"
         assert backing.has(chunk.uid)
+
+
+class TestSweepInvalidationBus:
+    """GC and quarantine resync delete *around* cache wrappers; the
+    physical store's sweep bus must keep every subscribed cache coherent."""
+
+    def test_gc_then_cached_descent_misses_swept_chunks(self):
+        backing = InMemoryStore()
+        engine = ForkBase(store=backing, clock=lambda: 0.0)
+        engine.put("keep", {f"k{i:03d}": "v" for i in range(100)})
+        engine.put("doomed", {f"d{i:03d}": "x" * 40 for i in range(200)})
+        doomed_head = engine.head("doomed")
+        doomed_only = mark_live(backing, [doomed_head]) - mark_live(
+            backing, [engine.head("keep")]
+        )
+        # Two independent cached readers over the same physical store,
+        # both warmed with the doomed subtree before the sweep.
+        raw_cache = CachedStore(backing, capacity=4096)
+        node_cache = NodeCacheStore(backing, capacity=4096)
+        for uid in doomed_only:
+            assert raw_cache.get(uid) is not None
+        node_cache.get_node(doomed_head)
+        assert any(uid in raw_cache._cache for uid in doomed_only)
+        assert doomed_head in node_cache._nodes
+
+        engine.delete_branch("doomed", "master")
+        report = collect_garbage(engine)
+        assert report.swept_chunks > 0
+        # The sweep fanned out: neither cache may serve a chunk the
+        # physical layer no longer holds.
+        for uid in doomed_only:
+            if not backing.has(uid):
+                assert raw_cache.get_maybe(uid) is None
+        assert not backing.has(doomed_head)
+        assert doomed_head not in node_cache._nodes
+        with pytest.raises(ChunkNotFoundError):
+            node_cache.get_node(doomed_head)
+        # The live branch's descent is untouched.
+        assert engine.get_value("keep")[b"k000"] == b"v"
+
+    def test_quarantine_resync_invalidates_shared_cache(self):
+        cluster = ClusterStore(node_count=3, replication=2)
+        cache = CachedStore(cluster, capacity=64)
+        chunks = [_chunk(b"resync-%d" % n) for n in range(30)]
+        cluster.put_many(chunks)
+        victim = "node-01"
+        node = cluster.nodes[victim]
+        held = [c for c in chunks if node.store.has(c.uid)][:4]
+        assert held
+        for chunk in held:  # warm the shared cache through the cluster
+            assert cache.get(chunk.uid).data == chunk.data
+        for chunk in held:  # the node's copies rot while it is quarantined
+            node.store.delete(chunk.uid)
+            node.store._insert(
+                Chunk(chunk.type, flip_at(chunk.data, 0), uid=chunk.uid)
+            )
+        board = cluster.accountability
+        board.record_strike("t", victim, held[0].uid, op="get", kind="audit-mismatch")
+        board.record_strike("t", victim, held[1].uid, op="get", kind="audit-mismatch")
+        assert board.is_quarantined(victim)
+
+        dropped = cluster.readmit(victim)
+        assert dropped == len(held)
+        for chunk in held:
+            # The resync's drops were broadcast: no stale entries survive,
+            # and a re-read refetches the repaired copy through the cluster.
+            assert chunk.uid not in cache._cache
+            assert cache.get(chunk.uid).data == chunk.data
